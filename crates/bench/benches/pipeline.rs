@@ -1,0 +1,92 @@
+//! Criterion end-to-end benchmarks: one full training step (forward +
+//! backward + optimizer) of each model, sparse vs dense — the steady-state
+//! cost Figure 7 integrates over epochs — plus the data-pipeline costs
+//! (negative sampling, batch planning, incidence construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, NegativeSampler, UniformSampler};
+use sptx_bench::harness::{bench_config, ModelKind, Variant};
+use sptransx::{
+    DenseTorusE, DenseTransE, DenseTransH, DenseTransR, KgeModel, SpTorusE, SpTransE, SpTransH,
+    SpTransR,
+};
+use tensor::optim::{Optimizer, Sgd};
+use tensor::Graph;
+
+fn training_step<M: KgeModel>(model: &mut M, opt: &mut Sgd) {
+    model.store_mut().zero_grads();
+    let mut g = Graph::new();
+    let (pos, neg) = model.score_batch(&mut g, 0);
+    let loss = g.margin_ranking_loss(pos, neg, 0.5);
+    g.backward(loss, model.store_mut());
+    opt.step(model.store_mut());
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let ds = SyntheticKgBuilder::new(10_000, 100).triples(50_000).seed(3).build();
+    let sampler = UniformSampler::new(ds.num_entities);
+    let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 4096, 5);
+    let cfg = bench_config(64, 16, 4096, 1);
+
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    macro_rules! pair {
+        ($kind:expr, $sp:ident, $de:ident) => {{
+            let mut sp = $sp::from_config(&ds, &cfg).unwrap();
+            sp.attach_plan(&plan).unwrap();
+            let mut de = $de::from_config(&ds, &cfg).unwrap();
+            de.attach_plan(&plan).unwrap();
+            let mut opt = Sgd::new(cfg.lr);
+            group.bench_function(BenchmarkId::new($kind.name(), Variant::Sparse.name()), |b| {
+                b.iter(|| training_step(&mut sp, &mut opt))
+            });
+            group.bench_function(BenchmarkId::new($kind.name(), Variant::Dense.name()), |b| {
+                b.iter(|| training_step(&mut de, &mut opt))
+            });
+        }};
+    }
+    pair!(ModelKind::TransE, SpTransE, DenseTransE);
+    pair!(ModelKind::TorusE, SpTorusE, DenseTorusE);
+    pair!(ModelKind::TransR, SpTransR, DenseTransR);
+    pair!(ModelKind::TransH, SpTransH, DenseTransH);
+    group.finish();
+}
+
+fn bench_data_pipeline(c: &mut Criterion) {
+    let ds = SyntheticKgBuilder::new(10_000, 100).triples(50_000).seed(4).build();
+    let known = ds.all_known();
+    let sampler = UniformSampler::new(ds.num_entities);
+
+    let mut group = c.benchmark_group("data_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("negative_sampling_45k", |b| {
+        b.iter(|| sampler.corrupt(&ds.train, &known, 9))
+    });
+    group.bench_function("batch_plan_45k_bs4096", |b| {
+        b.iter(|| BatchPlan::build(&ds.train, &known, &sampler, 4096, 9))
+    });
+    let plan = BatchPlan::build(&ds.train, &known, &sampler, 4096, 9);
+    let batch = plan.batch(0);
+    group.bench_function("incidence_build_4096", |b| {
+        b.iter(|| {
+            sparse::incidence::hrt(
+                ds.num_entities,
+                ds.num_relations,
+                batch.pos.heads(),
+                batch.pos.rels(),
+                batch.pos.tails(),
+                sparse::incidence::TailSign::Negative,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step, bench_data_pipeline);
+criterion_main!(benches);

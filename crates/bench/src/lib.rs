@@ -1,0 +1,7 @@
+//! Shared harness utilities for the benchmark binaries that regenerate the
+//! paper's tables and figures. See `src/bin/` for one binary per artifact
+//! and `benches/` for the Criterion micro-benchmarks.
+
+#![deny(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,190 @@
+//! Mini-batch planning.
+//!
+//! SparseTransX pre-generates negatives and shards triples into fixed
+//! batches once, then reuses the shards (and their incidence matrices) every
+//! epoch (§5.3). [`BatchPlan`] captures that: it pairs positive and negative
+//! shards so trainers can cache per-batch sparse structures.
+
+use crate::{NegativeSampler, TripleSet, TripleStore};
+
+/// One training mini-batch: parallel positive and negative triple columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Positive triples.
+    pub pos: TripleStore,
+    /// One negative per positive (same length).
+    pub neg: TripleStore,
+}
+
+impl Batch {
+    /// Number of positive/negative pairs.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+/// A fixed sharding of a training set into batches, with pre-generated
+/// negatives.
+///
+/// # Examples
+///
+/// ```
+/// use kg::{BatchPlan, synthetic::SyntheticKgBuilder, UniformSampler};
+///
+/// let ds = SyntheticKgBuilder::new(50, 3).triples(300).seed(2).build();
+/// let sampler = UniformSampler::new(ds.num_entities);
+/// let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 9);
+/// assert!(plan.num_batches() >= 4);
+/// for batch in plan.iter() {
+///     assert_eq!(batch.pos.len(), batch.neg.len());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    batches: Vec<Batch>,
+    batch_size: usize,
+}
+
+impl BatchPlan {
+    /// Shuffles `train`, shards it into `batch_size` chunks, and draws one
+    /// negative per positive with `sampler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn build(
+        train: &TripleStore,
+        known: &TripleSet,
+        sampler: &dyn NegativeSampler,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let shuffled = train.shuffled(seed);
+        let mut batches = Vec::with_capacity(shuffled.len().div_ceil(batch_size));
+        let mut start = 0;
+        let mut batch_seed = seed;
+        while start < shuffled.len() {
+            let end = (start + batch_size).min(shuffled.len());
+            let pos = shuffled.slice(start..end);
+            batch_seed = batch_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let neg = sampler.corrupt(&pos, known, batch_seed);
+            batches.push(Batch { pos, neg });
+            start = end;
+        }
+        Self { batches, batch_size }
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The configured batch size (the final batch may be smaller).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Total triples across batches.
+    pub fn total_triples(&self) -> usize {
+        self.batches.iter().map(Batch::len).sum()
+    }
+
+    /// Iterates batches in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Batch> {
+        self.batches.iter()
+    }
+
+    /// Borrows batch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_batches()`.
+    pub fn batch(&self, i: usize) -> &Batch {
+        &self.batches[i]
+    }
+
+    /// Splits the plan into `n` contiguous shards of whole batches, for
+    /// data-parallel workers (Appendix F). Earlier shards may hold one more
+    /// batch than later ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shard(&self, n: usize) -> Vec<BatchPlan> {
+        assert!(n > 0, "shard count must be positive");
+        let ranges = xparallel::chunk_ranges(self.batches.len(), 1, n);
+        let mut out: Vec<BatchPlan> = ranges
+            .into_iter()
+            .map(|r| BatchPlan { batches: self.batches[r].to_vec(), batch_size: self.batch_size })
+            .collect();
+        while out.len() < n {
+            out.push(BatchPlan { batches: Vec::new(), batch_size: self.batch_size });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticKgBuilder;
+    use crate::UniformSampler;
+
+    fn plan(batch_size: usize) -> BatchPlan {
+        let ds = SyntheticKgBuilder::new(40, 3).triples(200).seed(5).build();
+        let sampler = UniformSampler::new(ds.num_entities);
+        BatchPlan::build(&ds.train, &ds.all_known(), &sampler, batch_size, 11)
+    }
+
+    #[test]
+    fn covers_all_triples_once() {
+        let p = plan(32);
+        let per_batch: Vec<usize> = p.iter().map(Batch::len).collect();
+        assert!(per_batch[..per_batch.len() - 1].iter().all(|&n| n == 32));
+        assert_eq!(p.total_triples(), 180); // 200 * 0.9 train fraction
+    }
+
+    #[test]
+    fn negatives_parallel_positives() {
+        let p = plan(64);
+        for b in p.iter() {
+            assert_eq!(b.pos.len(), b.neg.len());
+            for i in 0..b.len() {
+                assert_eq!(b.pos.get(i).rel, b.neg.get(i).rel);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = plan(32);
+        let b = plan(32);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn sharding_partitions_batches() {
+        let p = plan(16);
+        let shards = p.shard(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(BatchPlan::total_triples).sum();
+        assert_eq!(total, p.total_triples());
+    }
+
+    #[test]
+    fn sharding_more_workers_than_batches() {
+        let p = plan(1000); // single batch
+        let shards = p.shard(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].num_batches(), 1);
+        assert_eq!(shards[3].num_batches(), 0);
+    }
+}

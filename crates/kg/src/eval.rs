@@ -1,0 +1,271 @@
+//! Link-prediction evaluation: Hits@K, MRR, mean rank (raw and filtered).
+//!
+//! The paper reports **filtered Hits@10** (§6.1, Appendix E): for each test
+//! triple, all entities are ranked as candidate tails (and heads) by model
+//! score; candidates that form *other* known true triples are excluded before
+//! ranking (Bordes et al., 2013's protocol).
+
+use crate::{Triple, TripleSet, TripleStore};
+
+/// A model that can score every candidate head/tail for a partial triple.
+///
+/// Scores are **distances**: lower is better, matching the translational
+/// score functions `‖h + r − t‖`.
+pub trait TripleScorer {
+    /// Scores `(h, r, t)` for every entity `t` in `0..num_entities`.
+    fn score_tails(&self, head: u32, rel: u32) -> Vec<f32>;
+
+    /// Scores `(h, r, t)` for every entity `h` in `0..num_entities`.
+    fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32>;
+
+    /// Number of candidate entities.
+    fn num_entities(&self) -> usize;
+}
+
+/// Aggregate link-prediction metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPredictionReport {
+    /// `hits_at[i]` is the fraction of queries whose true entity ranked
+    /// within `ks[i]`.
+    pub hits_at: Vec<f32>,
+    /// The cutoffs corresponding to `hits_at`.
+    pub ks: Vec<usize>,
+    /// Mean reciprocal rank.
+    pub mrr: f32,
+    /// Mean rank (1-based).
+    pub mean_rank: f32,
+    /// Number of ranking queries performed (2 per test triple).
+    pub queries: usize,
+}
+
+impl LinkPredictionReport {
+    /// The Hits@K value for cutoff `k`, if it was requested.
+    pub fn hits(&self, k: usize) -> Option<f32> {
+        self.ks.iter().position(|&x| x == k).map(|i| self.hits_at[i])
+    }
+}
+
+/// Evaluation protocol configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Hits@K cutoffs to report (default `[1, 3, 10]`).
+    pub ks: Vec<usize>,
+    /// Whether to filter known true triples from candidate lists.
+    pub filtered: bool,
+    /// Cap on evaluated test triples (None = all) — evaluation is `O(|test| ·
+    /// N · d)`, so large synthetic graphs use a sample.
+    pub max_triples: Option<usize>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { ks: vec![1, 3, 10], filtered: true, max_triples: None }
+    }
+}
+
+/// Runs link-prediction evaluation of `scorer` on `test`.
+///
+/// For each test triple both the tail and the head are predicted; the rank of
+/// the true entity is `1 + |{candidates with strictly smaller score}|`
+/// (optimistic tie-breaking on equal scores would inflate results, so ties
+/// count half).
+///
+/// # Examples
+///
+/// ```
+/// use kg::eval::{evaluate, EvalConfig, TripleScorer};
+/// use kg::{Triple, TripleSet, TripleStore};
+///
+/// /// A perfect oracle: distance 0 for the true entity, 1 elsewhere.
+/// struct Oracle { truth: TripleSet, n: usize }
+/// impl TripleScorer for Oracle {
+///     fn score_tails(&self, h: u32, r: u32) -> Vec<f32> {
+///         (0..self.n as u32)
+///             .map(|t| if self.truth.contains(&Triple::new(h, r, t)) { 0.0 } else { 1.0 })
+///             .collect()
+///     }
+///     fn score_heads(&self, r: u32, t: u32) -> Vec<f32> {
+///         (0..self.n as u32)
+///             .map(|h| if self.truth.contains(&Triple::new(h, r, t)) { 0.0 } else { 1.0 })
+///             .collect()
+///     }
+///     fn num_entities(&self) -> usize { self.n }
+/// }
+///
+/// let test: TripleStore = [Triple::new(0, 0, 1)].into_iter().collect();
+/// let truth = TripleSet::from_stores([&test]);
+/// let report = evaluate(&Oracle { truth: truth.clone(), n: 5 }, &test, &truth, &EvalConfig::default());
+/// assert_eq!(report.hits(1), Some(1.0));
+/// ```
+pub fn evaluate(
+    scorer: &dyn TripleScorer,
+    test: &TripleStore,
+    known: &TripleSet,
+    config: &EvalConfig,
+) -> LinkPredictionReport {
+    let limit = config.max_triples.unwrap_or(test.len()).min(test.len());
+    let mut hits = vec![0usize; config.ks.len()];
+    let mut rr_sum = 0.0f64;
+    let mut rank_sum = 0.0f64;
+    let mut queries = 0usize;
+
+    for i in 0..limit {
+        let t = test.get(i);
+        // Tail prediction.
+        let scores = scorer.score_tails(t.head, t.rel);
+        let rank = rank_of(&scores, t.tail as usize, |cand| {
+            config.filtered
+                && cand != t.tail as usize
+                && known.contains(&Triple::new(t.head, t.rel, cand as u32))
+        });
+        record(&mut hits, &mut rr_sum, &mut rank_sum, &config.ks, rank);
+        queries += 1;
+
+        // Head prediction.
+        let scores = scorer.score_heads(t.rel, t.tail);
+        let rank = rank_of(&scores, t.head as usize, |cand| {
+            config.filtered
+                && cand != t.head as usize
+                && known.contains(&Triple::new(cand as u32, t.rel, t.tail))
+        });
+        record(&mut hits, &mut rr_sum, &mut rank_sum, &config.ks, rank);
+        queries += 1;
+    }
+
+    let q = queries.max(1) as f64;
+    LinkPredictionReport {
+        hits_at: hits.iter().map(|&h| (h as f64 / q) as f32).collect(),
+        ks: config.ks.clone(),
+        mrr: (rr_sum / q) as f32,
+        mean_rank: (rank_sum / q) as f32,
+        queries,
+    }
+}
+
+/// 1-based rank of `target` among `scores` (lower score = better), skipping
+/// filtered candidates; ties count half to avoid optimistic bias.
+fn rank_of(scores: &[f32], target: usize, filtered: impl Fn(usize) -> bool) -> f64 {
+    let target_score = scores[target];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for (cand, &s) in scores.iter().enumerate() {
+        if cand == target || filtered(cand) {
+            continue;
+        }
+        if s < target_score {
+            better += 1;
+        } else if s == target_score {
+            ties += 1;
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+fn record(hits: &mut [usize], rr: &mut f64, ranks: &mut f64, ks: &[usize], rank: f64) {
+    for (slot, &k) in hits.iter_mut().zip(ks) {
+        if rank <= k as f64 {
+            *slot += 1;
+        }
+    }
+    *rr += 1.0 / rank;
+    *ranks += rank;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedScorer {
+        n: usize,
+        /// score[i] used for every query.
+        scores: Vec<f32>,
+    }
+
+    impl TripleScorer for FixedScorer {
+        fn score_tails(&self, _h: u32, _r: u32) -> Vec<f32> {
+            self.scores.clone()
+        }
+        fn score_heads(&self, _r: u32, _t: u32) -> Vec<f32> {
+            self.scores.clone()
+        }
+        fn num_entities(&self) -> usize {
+            self.n
+        }
+    }
+
+    fn single_test_triple() -> (TripleStore, TripleSet) {
+        let test: TripleStore = [Triple::new(0, 0, 2)].into_iter().collect();
+        let known = TripleSet::from_stores([&test]);
+        (test, known)
+    }
+
+    #[test]
+    fn perfect_scores_rank_first() {
+        let (test, known) = single_test_triple();
+        // Entity 2 has the lowest distance; entity 0 (head query truth) does too... use
+        // distinct scores so both queries rank exactly.
+        let scorer = FixedScorer { n: 4, scores: vec![0.0, 3.0, 0.1, 2.0] };
+        // tail query: truth = 2 (score 0.1): entity 0 scores better -> rank 2.
+        // head query: truth = 0 (score 0.0): rank 1.
+        let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
+        assert_eq!(r.queries, 2);
+        assert_eq!(r.hits(1), Some(0.5));
+        assert_eq!(r.hits(3), Some(1.0));
+        assert!((r.mrr - (1.0 + 0.5) / 2.0).abs() < 1e-6);
+        assert!((r.mean_rank - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filtering_removes_known_competitors() {
+        // Truth for tail query is entity 2; entity 0 scores better but forms a
+        // known triple, so filtered eval ranks the truth first.
+        let test: TripleStore = [Triple::new(1, 0, 2)].into_iter().collect();
+        let mut known = TripleSet::from_stores([&test]);
+        known.insert(Triple::new(1, 0, 0)); // known competitor as tail
+        known.insert(Triple::new(0, 0, 2)); // known competitor as head
+        let scorer = FixedScorer { n: 3, scores: vec![0.0, 0.5, 1.0] };
+        let raw = evaluate(
+            &scorer,
+            &test,
+            &known,
+            &EvalConfig { filtered: false, ..Default::default() },
+        );
+        let filt = evaluate(&scorer, &test, &known, &EvalConfig::default());
+        assert!(filt.mrr > raw.mrr);
+        // Tail query filtered: candidates {1}, truth=2 score 1.0 vs 0.5 -> rank 2.
+        // Head query filtered: candidates {2}, truth=1 score 0.5 vs 1.0 -> rank 1.
+        assert!((filt.mean_rank - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let (test, known) = single_test_triple();
+        let scorer = FixedScorer { n: 3, scores: vec![1.0, 1.0, 1.0] };
+        let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
+        // Two ties -> rank 1 + 2/2 = 2 for both queries.
+        assert!((r.mean_rank - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_triples_caps_work() {
+        let test: TripleStore =
+            (0..10).map(|i| Triple::new(i, 0, (i + 1) % 10)).collect();
+        let known = TripleSet::from_stores([&test]);
+        let scorer = FixedScorer { n: 10, scores: (0..10).map(|i| i as f32).collect() };
+        let r = evaluate(
+            &scorer,
+            &test,
+            &known,
+            &EvalConfig { max_triples: Some(3), ..Default::default() },
+        );
+        assert_eq!(r.queries, 6);
+    }
+
+    #[test]
+    fn hits_lookup_missing_k() {
+        let (test, known) = single_test_triple();
+        let scorer = FixedScorer { n: 3, scores: vec![0.0, 1.0, 2.0] };
+        let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
+        assert_eq!(r.hits(7), None);
+    }
+}

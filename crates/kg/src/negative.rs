@@ -1,0 +1,246 @@
+//! Negative sampling.
+//!
+//! Margin-ranking training needs one corrupted triple per positive. The paper
+//! pre-generates negatives outside the training loop (§5.3); the samplers
+//! here produce whole negative stores in one deterministic pass.
+//!
+//! Two strategies are provided:
+//!
+//! * [`UniformSampler`] — corrupt head or tail with probability ½ each,
+//!   replacement drawn uniformly (the TransE paper's scheme).
+//! * [`BernoulliSampler`] — corrupt-side probability depends on the
+//!   relation's tails-per-head / heads-per-tail statistics (the TransH
+//!   paper's scheme, reducing false negatives for 1-N / N-1 relations).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Triple, TripleSet, TripleStore};
+
+/// A strategy for corrupting positive triples into negatives.
+pub trait NegativeSampler {
+    /// Produces one negative per positive triple in `positives`.
+    ///
+    /// Sampled corruptions that collide with a known triple in `known` are
+    /// re-drawn (up to a bounded number of attempts) to avoid false
+    /// negatives.
+    fn corrupt(&self, positives: &TripleStore, known: &TripleSet, seed: u64) -> TripleStore;
+}
+
+/// Uniform corruption: pick head or tail with probability ½ and replace it
+/// with a uniform random entity.
+///
+/// # Examples
+///
+/// ```
+/// use kg::{NegativeSampler, Triple, TripleSet, TripleStore, UniformSampler};
+///
+/// let pos: TripleStore = [Triple::new(0, 0, 1)].into_iter().collect();
+/// let known = TripleSet::from_stores([&pos]);
+/// let neg = UniformSampler::new(10).corrupt(&pos, &known, 7);
+/// assert_eq!(neg.len(), 1);
+/// assert!(!known.contains(&neg.get(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    num_entities: usize,
+}
+
+impl UniformSampler {
+    /// Creates a sampler over `num_entities` candidate replacements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_entities < 2`.
+    pub fn new(num_entities: usize) -> Self {
+        assert!(num_entities >= 2, "need at least two entities to corrupt");
+        Self { num_entities }
+    }
+}
+
+const MAX_REDRAWS: usize = 32;
+
+fn corrupt_one(
+    t: Triple,
+    corrupt_head: bool,
+    num_entities: usize,
+    known: &TripleSet,
+    rng: &mut StdRng,
+) -> Triple {
+    // Self-loop candidates (head == tail) are rejected alongside known
+    // triples: they are degenerate negatives, and the incidence-matrix
+    // formulation relies on the three triple components occupying three
+    // distinct columns.
+    let other = if corrupt_head { t.tail } else { t.head };
+    for _ in 0..MAX_REDRAWS {
+        let replacement = rng.gen_range(0..num_entities as u32);
+        if replacement == other {
+            continue;
+        }
+        let cand = if corrupt_head {
+            Triple::new(replacement, t.rel, t.tail)
+        } else {
+            Triple::new(t.head, t.rel, replacement)
+        };
+        if cand != t && !known.contains(&cand) {
+            return cand;
+        }
+    }
+    // Dense graph corner: give up on known-triple filtering and return a
+    // shifted replacement that still avoids the positive and self-loops.
+    let base = if corrupt_head { t.head } else { t.tail };
+    let mut replacement = (base + 1) % num_entities as u32;
+    if replacement == other {
+        replacement = (replacement + 1) % num_entities as u32;
+    }
+    if corrupt_head {
+        Triple::new(replacement, t.rel, t.tail)
+    } else {
+        Triple::new(t.head, t.rel, replacement)
+    }
+}
+
+impl NegativeSampler for UniformSampler {
+    fn corrupt(&self, positives: &TripleStore, known: &TripleSet, seed: u64) -> TripleStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = TripleStore::with_capacity(positives.len());
+        for t in positives.iter() {
+            let corrupt_head = rng.gen_bool(0.5);
+            out.push(corrupt_one(t, corrupt_head, self.num_entities, known, &mut rng));
+        }
+        out
+    }
+}
+
+/// Bernoulli corruption (Wang et al., 2014): for each relation compute
+/// `tph` (average tails per head) and `hpt` (average heads per tail), then
+/// corrupt the **head** with probability `tph / (tph + hpt)`.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler {
+    num_entities: usize,
+    head_prob: HashMap<u32, f64>,
+}
+
+impl BernoulliSampler {
+    /// Computes per-relation statistics from the training store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_entities < 2`.
+    pub fn fit(train: &TripleStore, num_entities: usize) -> Self {
+        assert!(num_entities >= 2, "need at least two entities to corrupt");
+        // tails-per-head and heads-per-tail, per relation.
+        let mut tails_of: HashMap<(u32, u32), u32> = HashMap::new(); // (rel, head) -> count
+        let mut heads_of: HashMap<(u32, u32), u32> = HashMap::new(); // (rel, tail) -> count
+        for t in train.iter() {
+            *tails_of.entry((t.rel, t.head)).or_insert(0) += 1;
+            *heads_of.entry((t.rel, t.tail)).or_insert(0) += 1;
+        }
+        let mut tph_sum: HashMap<u32, (u64, u64)> = HashMap::new(); // rel -> (sum, heads)
+        for ((rel, _), c) in &tails_of {
+            let e = tph_sum.entry(*rel).or_insert((0, 0));
+            e.0 += u64::from(*c);
+            e.1 += 1;
+        }
+        let mut hpt_sum: HashMap<u32, (u64, u64)> = HashMap::new();
+        for ((rel, _), c) in &heads_of {
+            let e = hpt_sum.entry(*rel).or_insert((0, 0));
+            e.0 += u64::from(*c);
+            e.1 += 1;
+        }
+        let mut head_prob = HashMap::new();
+        for (rel, (sum, n)) in &tph_sum {
+            let tph = *sum as f64 / (*n).max(1) as f64;
+            let (hs, hn) = hpt_sum.get(rel).copied().unwrap_or((1, 1));
+            let hpt = hs as f64 / hn.max(1) as f64;
+            head_prob.insert(*rel, tph / (tph + hpt));
+        }
+        Self { num_entities, head_prob }
+    }
+
+    /// The fitted probability of corrupting the head for `rel` (0.5 for
+    /// unseen relations).
+    pub fn head_probability(&self, rel: u32) -> f64 {
+        self.head_prob.get(&rel).copied().unwrap_or(0.5)
+    }
+}
+
+impl NegativeSampler for BernoulliSampler {
+    fn corrupt(&self, positives: &TripleStore, known: &TripleSet, seed: u64) -> TripleStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = TripleStore::with_capacity(positives.len());
+        for t in positives.iter() {
+            let corrupt_head = rng.gen_bool(self.head_probability(t.rel));
+            out.push(corrupt_one(t, corrupt_head, self.num_entities, known, &mut rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> TripleStore {
+        (0..n).map(|i| Triple::new(i, 0, i + 1)).collect()
+    }
+
+    #[test]
+    fn uniform_negatives_avoid_known() {
+        let pos = chain(50);
+        let known = TripleSet::from_stores([&pos]);
+        let neg = UniformSampler::new(60).corrupt(&pos, &known, 1);
+        assert_eq!(neg.len(), 50);
+        for (i, n) in neg.iter().enumerate() {
+            assert!(!known.contains(&n), "negative {i} collides");
+            let p = pos.get(i);
+            assert_eq!(n.rel, p.rel, "relation must be preserved");
+            assert!(n.head == p.head || n.tail == p.tail, "only one side corrupted");
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let pos = chain(20);
+        let known = TripleSet::from_stores([&pos]);
+        let s = UniformSampler::new(30);
+        assert_eq!(s.corrupt(&pos, &known, 5), s.corrupt(&pos, &known, 5));
+        assert_ne!(s.corrupt(&pos, &known, 5), s.corrupt(&pos, &known, 6));
+    }
+
+    #[test]
+    fn bernoulli_skews_toward_heads_for_one_to_many() {
+        // Relation 0: entity 0 connects to tails 1..=40 (1-N). tph=40, hpt=1:
+        // corrupting the head is very likely.
+        let pos: TripleStore = (1..=40).map(|t| Triple::new(0, 0, t)).collect();
+        let sampler = BernoulliSampler::fit(&pos, 64);
+        assert!(sampler.head_probability(0) > 0.9);
+        assert_eq!(sampler.head_probability(99), 0.5); // unseen relation
+    }
+
+    #[test]
+    fn bernoulli_balanced_for_one_to_one() {
+        let pos = chain(30); // each head one tail, each tail one head
+        let sampler = BernoulliSampler::fit(&pos, 64);
+        let p = sampler.head_probability(0);
+        assert!((p - 0.5).abs() < 0.05, "got {p}");
+    }
+
+    #[test]
+    fn dense_graph_fallback_terminates() {
+        // Complete bipartite-ish tiny graph where most corruptions collide.
+        let mut pos = TripleStore::new();
+        for h in 0..3u32 {
+            for t in 0..3u32 {
+                if h != t {
+                    pos.push(Triple::new(h, 0, t));
+                }
+            }
+        }
+        let known = TripleSet::from_stores([&pos]);
+        let neg = UniformSampler::new(3).corrupt(&pos, &known, 2);
+        assert_eq!(neg.len(), pos.len()); // must not hang or panic
+    }
+}

@@ -1,0 +1,233 @@
+//! File-backed embedding storage with chunked streaming reads.
+//!
+//! The paper's framework supports "streaming embeddings from disc storage
+//! when the embeddings are too large to fit in CPU memory" via PyTorch
+//! memory-mapped tensors (§4.7.1) — the use case is starting from pre-trained
+//! LLM embeddings. [`EmbeddingStore`] is the Rust analog: a flat binary file
+//! of little-endian `f32` rows with a header, read back row-range by
+//! row-range so only the active window is resident.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::{Error, Result};
+
+const MAGIC: &[u8; 8] = b"SPTXEMB1";
+
+/// Writer/reader for an on-disk embedding matrix.
+///
+/// Layout: 8-byte magic, `u64` rows, `u64` cols, then `rows × cols`
+/// little-endian `f32`s.
+///
+/// # Examples
+///
+/// ```
+/// use kg::stream::EmbeddingStore;
+///
+/// let dir = std::env::temp_dir().join("sptx-doc-embstore");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("emb.bin");
+/// EmbeddingStore::write(&path, 4, 2, |row, out| {
+///     out[0] = row as f32;
+///     out[1] = -(row as f32);
+/// })?;
+/// let mut store = EmbeddingStore::open(&path)?;
+/// assert_eq!(store.rows(), 4);
+/// let window = store.read_rows(1, 2)?;
+/// assert_eq!(window, vec![1.0, -1.0, 2.0, -2.0]);
+/// # Ok::<(), kg::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct EmbeddingStore {
+    file: BufReader<File>,
+    rows: usize,
+    cols: usize,
+}
+
+impl EmbeddingStore {
+    /// Writes an embedding file by invoking `fill(row, out_row)` per row.
+    ///
+    /// Rows are produced one at a time, so arbitrarily large matrices can be
+    /// written with `O(cols)` memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on any write failure.
+    pub fn write(
+        path: impl AsRef<Path>,
+        rows: usize,
+        cols: usize,
+        mut fill: impl FnMut(usize, &mut [f32]),
+    ) -> Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        let mut header = BytesMut::with_capacity(24);
+        header.put_slice(MAGIC);
+        header.put_u64_le(rows as u64);
+        header.put_u64_le(cols as u64);
+        w.write_all(&header)?;
+        let mut row_buf = vec![0f32; cols];
+        let mut byte_buf = BytesMut::with_capacity(cols * 4);
+        for r in 0..rows {
+            fill(r, &mut row_buf);
+            byte_buf.clear();
+            for &v in &row_buf {
+                byte_buf.put_f32_le(v);
+            }
+            w.write_all(&byte_buf)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Opens an embedding file, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on read failure and [`Error::Parse`] on a bad
+    /// magic number.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 24];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(Error::Parse {
+                line: 0,
+                context: "not an SPTXEMB1 embedding file".to_string(),
+            });
+        }
+        let mut rest = &header[8..];
+        let rows = rest.get_u64_le() as usize;
+        let cols = rest.get_u64_le() as usize;
+        Ok(Self { file, rows, cols })
+    }
+
+    /// Number of embedding rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads `count` rows starting at `first`, returning a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if the range exceeds the stored
+    /// rows, or [`Error::Io`] on read failure.
+    pub fn read_rows(&mut self, first: usize, count: usize) -> Result<Vec<f32>> {
+        if first + count > self.rows {
+            return Err(Error::IndexOutOfBounds {
+                context: format!(
+                    "rows {first}..{} of a {}-row store",
+                    first + count,
+                    self.rows
+                ),
+            });
+        }
+        let offset = 24 + (first * self.cols * 4) as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut bytes = vec![0u8; count * self.cols * 4];
+        self.file.read_exact(&mut bytes)?;
+        let mut out = Vec::with_capacity(count * self.cols);
+        let mut cursor = bytes.as_slice();
+        for _ in 0..count * self.cols {
+            out.push(cursor.get_f32_le());
+        }
+        Ok(out)
+    }
+
+    /// Iterates the store in windows of `rows_per_chunk` rows, calling
+    /// `visit(first_row, chunk)` for each — the streaming-training access
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any read error.
+    pub fn for_each_chunk(
+        &mut self,
+        rows_per_chunk: usize,
+        mut visit: impl FnMut(usize, &[f32]),
+    ) -> Result<()> {
+        let step = rows_per_chunk.max(1);
+        let mut first = 0;
+        while first < self.rows {
+            let count = step.min(self.rows - first);
+            let chunk = self.read_rows(first, count)?;
+            visit(first, &chunk);
+            first += count;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sptx-kg-stream-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_open_read_round_trip() {
+        let path = temp_path("round_trip.bin");
+        EmbeddingStore::write(&path, 10, 3, |r, out| {
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = (r * 10 + j) as f32;
+            }
+        })
+        .unwrap();
+        let mut store = EmbeddingStore::open(&path).unwrap();
+        assert_eq!((store.rows(), store.cols()), (10, 3));
+        let rows = store.read_rows(2, 2).unwrap();
+        assert_eq!(rows, vec![20.0, 21.0, 22.0, 30.0, 31.0, 32.0]);
+        // Seeks are independent: read an earlier range afterwards.
+        let rows = store.read_rows(0, 1).unwrap();
+        assert_eq!(rows, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunked_iteration_covers_all_rows() {
+        let path = temp_path("chunks.bin");
+        EmbeddingStore::write(&path, 25, 2, |r, out| {
+            out[0] = r as f32;
+            out[1] = 0.0;
+        })
+        .unwrap();
+        let mut store = EmbeddingStore::open(&path).unwrap();
+        let mut seen = Vec::new();
+        store
+            .for_each_chunk(8, |first, chunk| {
+                assert!(chunk.len() % 2 == 0);
+                for (k, pair) in chunk.chunks_exact(2).enumerate() {
+                    seen.push((first + k, pair[0] as usize));
+                }
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 25);
+        assert!(seen.iter().all(|&(i, v)| i == v));
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let path = temp_path("oob.bin");
+        EmbeddingStore::write(&path, 4, 2, |_, out| out.fill(0.0)).unwrap();
+        let mut store = EmbeddingStore::open(&path).unwrap();
+        assert!(matches!(store.read_rows(3, 2), Err(Error::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("bad_magic.bin");
+        std::fs::write(&path, b"NOTMAGIC________________").unwrap();
+        assert!(matches!(EmbeddingStore::open(&path), Err(Error::Parse { .. })));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the data pipeline: sampler soundness, batch-plan
+//! partitioning, split disjointness, and evaluation-protocol invariants.
+
+use proptest::prelude::*;
+
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, BernoulliSampler, NegativeSampler, TripleSet, UniformSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Splits partition the generated triples without overlap.
+    #[test]
+    fn dataset_splits_are_disjoint(
+        entities in 10usize..80,
+        relations in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let ds = SyntheticKgBuilder::new(entities, relations)
+            .triples(entities * 4)
+            .valid_frac(0.1)
+            .test_frac(0.2)
+            .seed(seed)
+            .build();
+        let train: std::collections::HashSet<_> = ds.train.iter().collect();
+        for t in ds.valid.iter() {
+            prop_assert!(!train.contains(&t));
+        }
+        for t in ds.test.iter() {
+            prop_assert!(!train.contains(&t));
+        }
+        prop_assert_eq!(
+            ds.total_triples(),
+            ds.train.len() + ds.valid.len() + ds.test.len()
+        );
+    }
+
+    /// Negatives never collide with known triples, never self-loop, preserve
+    /// the relation, and corrupt exactly one side.
+    #[test]
+    fn negative_sampler_soundness(
+        entities in 5usize..60,
+        seed in 0u64..500,
+        bernoulli in proptest::bool::ANY,
+    ) {
+        let ds = SyntheticKgBuilder::new(entities, 3)
+            .triples(entities * 3)
+            .seed(seed)
+            .build();
+        let known = ds.all_known();
+        let negatives = if bernoulli {
+            BernoulliSampler::fit(&ds.train, entities).corrupt(&ds.train, &known, seed)
+        } else {
+            UniformSampler::new(entities).corrupt(&ds.train, &known, seed)
+        };
+        prop_assert_eq!(negatives.len(), ds.train.len());
+        for (i, neg) in negatives.iter().enumerate() {
+            let pos = ds.train.get(i);
+            prop_assert_eq!(neg.rel, pos.rel);
+            prop_assert!(neg.head != neg.tail, "self-loop negative {:?}", neg);
+            prop_assert!(neg != pos);
+            let head_changed = neg.head != pos.head;
+            let tail_changed = neg.tail != pos.tail;
+            prop_assert!(head_changed ^ tail_changed, "exactly one side corrupted");
+        }
+    }
+
+    /// Batch plans cover the training set exactly once and shards partition
+    /// the batches.
+    #[test]
+    fn batch_plan_partitions(
+        entities in 10usize..60,
+        batch_size in 1usize..64,
+        workers in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let ds = SyntheticKgBuilder::new(entities, 3)
+            .triples(entities * 3)
+            .seed(seed)
+            .build();
+        let sampler = UniformSampler::new(entities);
+        let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, batch_size, seed);
+        prop_assert_eq!(plan.total_triples(), ds.train.len());
+
+        // Every training triple appears exactly once across batches.
+        let mut seen = std::collections::HashMap::new();
+        for batch in plan.iter() {
+            for t in batch.pos.iter() {
+                *seen.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        for t in ds.train.iter() {
+            prop_assert_eq!(seen.get(&t).copied(), Some(1));
+        }
+
+        let shards = plan.shard(workers);
+        prop_assert_eq!(shards.len(), workers);
+        let total: usize = shards.iter().map(BatchPlan::total_triples).sum();
+        prop_assert_eq!(total, plan.total_triples());
+    }
+
+    /// The filtered protocol never ranks worse than the raw protocol.
+    #[test]
+    fn filtered_never_worse_than_raw(seed in 0u64..200) {
+        use kg::eval::{evaluate, EvalConfig, TripleScorer};
+        let ds = SyntheticKgBuilder::new(30, 3).triples(150).seed(seed).build();
+        let known = ds.all_known();
+        struct S;
+        impl TripleScorer for S {
+            fn score_tails(&self, h: u32, r: u32) -> Vec<f32> {
+                (0..30).map(|t| ((h + r + t) % 7) as f32).collect()
+            }
+            fn score_heads(&self, r: u32, t: u32) -> Vec<f32> {
+                (0..30).map(|h| ((h + r + t) % 5) as f32).collect()
+            }
+            fn num_entities(&self) -> usize { 30 }
+        }
+        let raw = evaluate(&S, &ds.test, &known, &EvalConfig { filtered: false, ..Default::default() });
+        let filt = evaluate(&S, &ds.test, &known, &EvalConfig::default());
+        prop_assert!(filt.mean_rank <= raw.mean_rank + 1e-6);
+        prop_assert!(filt.mrr + 1e-6 >= raw.mrr);
+    }
+
+    /// `TripleSet` is exactly the union of the splits.
+    #[test]
+    fn known_set_is_union(seed in 0u64..200) {
+        let ds = SyntheticKgBuilder::new(40, 3).triples(200).seed(seed).build();
+        let known = ds.all_known();
+        let mut manual = TripleSet::new();
+        for t in ds.train.iter().chain(ds.valid.iter()).chain(ds.test.iter()) {
+            manual.insert(t);
+        }
+        prop_assert_eq!(known.len(), manual.len());
+        for t in ds.train.iter() {
+            prop_assert!(known.contains(&t));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Coordinate-format sparse matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrMatrix, Error, Result};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// COO is the construction format: entries may be appended in any order and
+/// duplicates are allowed until [`CooMatrix::to_csr`] (which sums them) or
+/// [`CooMatrix::sort_and_sum_duplicates`] is called. The SparseTransX
+/// incidence builders emit COO directly because each batch row's nonzeros are
+/// known up front.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::CooMatrix;
+///
+/// let mut m = CooMatrix::new(2, 4);
+/// m.push(0, 1, 1.0)?;
+/// m.push(0, 3, -1.0)?;
+/// m.push(1, 0, 1.0)?;
+/// assert_eq!(m.nnz(), 3);
+/// let csr = m.to_csr();
+/// assert_eq!(csr.row(0).count(), 2);
+/// # Ok::<(), sparse::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_indices: Vec::new(),
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with entry capacity pre-reserved.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_indices: Vec::with_capacity(nnz),
+            col_indices: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if any coordinate exceeds the shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Result<Self> {
+        let mut m = Self::new(rows, cols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if `(row, col)` exceeds the shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(Error::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.row_indices.push(row as u32);
+        self.col_indices.push(col as u32);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Appends one entry without bounds checking (debug-asserted).
+    ///
+    /// Used by the incidence builders on the hot path where indices come from
+    /// an already-validated triple store.
+    pub fn push_unchecked(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.row_indices.push(row as u32);
+        self.col_indices.push(col as u32);
+        self.values.push(value);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including any duplicates).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row index array.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Column index array.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates `(row, col, value)` entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Sorts entries by `(row, col)` and sums duplicate coordinates in place.
+    pub fn sort_and_sum_duplicates(&mut self) {
+        let mut perm: Vec<usize> = (0..self.nnz()).collect();
+        perm.sort_unstable_by_key(|&i| (self.row_indices[i], self.col_indices[i]));
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals: Vec<f32> = Vec::with_capacity(self.nnz());
+        for &i in &perm {
+            let (r, c, v) = (self.row_indices[i], self.col_indices[i], self.values[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.row_indices = rows;
+        self.col_indices = cols;
+        self.values = vals;
+    }
+
+    /// Converts to CSR, summing duplicate coordinates.
+    ///
+    /// Runs in `O(nnz + rows)` via counting sort on the row index — no
+    /// comparison sort is needed, which matters because a fresh incidence
+    /// matrix is built per mini-batch in SparseTransX training.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut counts = vec![0u32; self.rows + 1];
+        for &r in &self.row_indices {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr: Vec<u32> = counts.clone();
+        let nnz = self.nnz();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0f32; nnz];
+        let mut cursor = counts;
+        for i in 0..nnz {
+            let r = self.row_indices[i] as usize;
+            let dst = cursor[r] as usize;
+            indices[dst] = self.col_indices[i];
+            values[dst] = self.values[i];
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_indices = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        let mut out_indptr = vec![0u32; self.rows + 1];
+        for r in 0..self.rows {
+            let (s, e) = (indptr[r] as usize, indptr[r + 1] as usize);
+            let mut row: Vec<(u32, f32)> = indices[s..e]
+                .iter()
+                .copied()
+                .zip(values[s..e].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let row_start = out_indices.len();
+            for (c, v) in row {
+                if out_indices.len() > row_start && *out_indices.last().expect("nonempty") == c {
+                    *out_values.last_mut().expect("parallel arrays") += v;
+                } else {
+                    out_indices.push(c);
+                    out_values.push(v);
+                }
+            }
+            out_indptr[r + 1] = out_indices.len() as u32;
+        }
+        CsrMatrix::from_raw_parts_unchecked(self.rows, self.cols, out_indptr, out_indices, out_values)
+    }
+
+    /// Returns the transpose as a new COO matrix (cheap index swap).
+    pub fn transpose(&self) -> CooMatrix {
+        CooMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_indices: self.col_indices.clone(),
+            col_indices: self.row_indices.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Materializes the matrix densely (row-major). Intended for tests and
+    /// small reference computations.
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut m = crate::DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            let cur = m.get(r, c);
+            m.set(r, c, cur + v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.push(0, 0, 1.0).is_ok());
+        let err = m.push(2, 0, 1.0).unwrap_err();
+        assert!(matches!(err, Error::IndexOutOfBounds { row: 2, .. }));
+        let err = m.push(0, 5, 1.0).unwrap_err();
+        assert!(matches!(err, Error::IndexOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn duplicates_are_summed_in_csr() {
+        let m = CooMatrix::from_triplets(2, 3, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 2, -1.0)]).unwrap();
+        let csr = m.to_csr();
+        let row0: Vec<_> = csr.row(0).collect();
+        assert_eq!(row0, vec![(1, 3.5)]);
+        let row1: Vec<_> = csr.row(1).collect();
+        assert_eq!(row1, vec![(2, -1.0)]);
+    }
+
+    #[test]
+    fn sort_and_sum_duplicates_in_place() {
+        let mut m =
+            CooMatrix::from_triplets(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        m.sort_and_sum_duplicates();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 2.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let m = CooMatrix::from_triplets(2, 3, vec![(0, 2, 5.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.iter().next(), Some((2, 0, 5.0)));
+    }
+
+    #[test]
+    fn empty_rows_produce_empty_csr_rows() {
+        let m = CooMatrix::from_triplets(4, 4, vec![(3, 0, 1.0)]).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.row(0).count(), 0);
+        assert_eq!(csr.row(1).count(), 0);
+        assert_eq!(csr.row(2).count(), 0);
+        assert_eq!(csr.row(3).count(), 1);
+    }
+
+    #[test]
+    fn to_dense_matches_entries() {
+        let m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0), (0, 1, 1.0)]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 0), 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Triplet incidence matrices (paper §4.2).
+//!
+//! For a batch of `M` training triplets over `N` entities and `R` relations,
+//! SparseTransX represents the batch as a sparse incidence matrix `A` whose
+//! rows are triplets and whose columns are entities (and, for the `hrt` form,
+//! relations). Multiplying `A` by the embedding matrix computes, in one SpMM:
+//!
+//! * **`ht` form** (`A ∈ {−1,0,1}^{M×N}`, §4.2.1): row `i` holds `+1` at the
+//!   head column and `−1` at the tail column, so `A·E = head − tail`.
+//!   Used by TransR and TransH after algebraic rearrangement.
+//! * **`hrt` form** (`A ∈ {−1,0,1}^{M×(N+R)}`, §4.2.2): additionally `+1` at
+//!   column `N + r`, with entity and relation embeddings stacked vertically,
+//!   so `A·[E;Rel] = head + relation − tail`. Used by TransE and TorusE.
+//! * **`hrt_unsigned` form** (Appendix D): all three coefficients `+1`; the
+//!   sign carries no meaning under product semirings (DistMult), or flags
+//!   conjugation/subtraction (ComplEx, RotatE) where the tail keeps `−1`.
+
+use crate::{CooMatrix, CsrMatrix, Error, Result};
+
+/// Coefficient convention for the tail (and, per semiring, its meaning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailSign {
+    /// Tail column stores `−1` (translational `h − t` / `h + r − t`; also the
+    /// conjugate/subtract marker for ComplEx/RotatE).
+    Negative,
+    /// Tail column stores `+1` (pure product semirings such as DistMult).
+    Positive,
+}
+
+/// Builds the `M × N` `ht` incidence matrix for `head − tail` (§4.2.1).
+///
+/// Each row has exactly two stored entries: `+1` at `heads[i]` and `−1` at
+/// `tails[i]`. Self-loops (`head == tail`) collapse to a single explicit zero
+/// entry after duplicate summing, which is mathematically exact.
+///
+/// # Errors
+///
+/// Returns [`Error::IndexOutOfBounds`] if any index `≥ num_entities`, or
+/// [`Error::ShapeMismatch`] if `heads.len() != tails.len()`.
+///
+/// # Examples
+///
+/// ```
+/// let a = sparse::incidence::ht(22, &[5], &[15])?;
+/// assert_eq!(a.rows(), 1);
+/// assert_eq!(a.row(0).collect::<Vec<_>>(), vec![(5, 1.0), (15, -1.0)]);
+/// # Ok::<(), sparse::Error>(())
+/// ```
+pub fn ht(num_entities: usize, heads: &[u32], tails: &[u32]) -> Result<CsrMatrix> {
+    if heads.len() != tails.len() {
+        return Err(Error::shape(format!(
+            "heads length {} != tails length {}",
+            heads.len(),
+            tails.len()
+        )));
+    }
+    let m = heads.len();
+    let mut coo = CooMatrix::with_capacity(m, num_entities, 2 * m);
+    for i in 0..m {
+        let (h, t) = (heads[i] as usize, tails[i] as usize);
+        check_entity(h, num_entities, i)?;
+        check_entity(t, num_entities, i)?;
+        coo.push_unchecked(i, h, 1.0);
+        coo.push_unchecked(i, t, -1.0);
+    }
+    Ok(coo.to_csr())
+}
+
+/// Builds the `M × (N + R)` `hrt` incidence matrix for `head + relation −
+/// tail` (§4.2.2).
+///
+/// Relation column indices are offset by `num_entities` so that the matrix
+/// multiplies a vertically stacked `[entities; relations]` embedding matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::IndexOutOfBounds`] on any out-of-range entity/relation
+/// index, or [`Error::ShapeMismatch`] on unequal slice lengths.
+///
+/// # Examples
+///
+/// ```
+/// // 20 entities, 8 relations: triple (h=5, r=2, t=15) as in Figure 3(b).
+/// let a = sparse::incidence::hrt(20, 8, &[5], &[2], &[15], sparse::incidence::TailSign::Negative)?;
+/// assert_eq!(a.cols(), 28);
+/// assert_eq!(a.row(0).collect::<Vec<_>>(), vec![(5, 1.0), (15, -1.0), (22, 1.0)]);
+/// # Ok::<(), sparse::Error>(())
+/// ```
+pub fn hrt(
+    num_entities: usize,
+    num_relations: usize,
+    heads: &[u32],
+    rels: &[u32],
+    tails: &[u32],
+    tail_sign: TailSign,
+) -> Result<CsrMatrix> {
+    if heads.len() != tails.len() || heads.len() != rels.len() {
+        return Err(Error::shape(format!(
+            "triple component lengths differ: heads {}, rels {}, tails {}",
+            heads.len(),
+            rels.len(),
+            tails.len()
+        )));
+    }
+    let m = heads.len();
+    let cols = num_entities + num_relations;
+    let tail_coeff = match tail_sign {
+        TailSign::Negative => -1.0,
+        TailSign::Positive => 1.0,
+    };
+    let mut coo = CooMatrix::with_capacity(m, cols, 3 * m);
+    for i in 0..m {
+        let (h, r, t) = (heads[i] as usize, rels[i] as usize, tails[i] as usize);
+        check_entity(h, num_entities, i)?;
+        check_entity(t, num_entities, i)?;
+        if r >= num_relations {
+            return Err(Error::IndexOutOfBounds {
+                row: i,
+                col: num_entities + r,
+                rows: m,
+                cols,
+            });
+        }
+        coo.push_unchecked(i, h, 1.0);
+        coo.push_unchecked(i, num_entities + r, 1.0);
+        coo.push_unchecked(i, t, tail_coeff);
+    }
+    Ok(coo.to_csr())
+}
+
+fn check_entity(idx: usize, num_entities: usize, row: usize) -> Result<()> {
+    if idx >= num_entities {
+        Err(Error::IndexOutOfBounds { row, col: idx, rows: 0, cols: num_entities })
+    } else {
+        Ok(())
+    }
+}
+
+/// A forward incidence matrix paired with its cached transpose.
+///
+/// SparseTransX training reuses each mini-batch's incidence matrix every
+/// epoch; the backward pass needs `Aᵀ` (Appendix G), so both are materialized
+/// once and kept together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidencePair {
+    /// Forward matrix `A` (`M × cols`).
+    pub forward: CsrMatrix,
+    /// Cached transpose `Aᵀ` (`cols × M`).
+    pub transpose: CsrMatrix,
+}
+
+impl IncidencePair {
+    /// Builds the pair from a forward matrix.
+    pub fn new(forward: CsrMatrix) -> Self {
+        let transpose = forward.transpose();
+        Self { forward, transpose }
+    }
+
+    /// Number of triplets (rows of the forward matrix).
+    pub fn num_triples(&self) -> usize {
+        self.forward.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmm::csr_spmm;
+    use crate::DenseMatrix;
+
+    #[test]
+    fn ht_computes_head_minus_tail() {
+        // 4 entities, embeddings are rows of E.
+        let e = DenseMatrix::from_rows(&[[1.0, 0.0], [2.0, 1.0], [4.0, 4.0], [8.0, -1.0]]);
+        let a = ht(4, &[0, 2], &[1, 3]).unwrap();
+        let c = csr_spmm(&a, &e);
+        assert_eq!(c.row(0), &[-1.0, -1.0]); // e0 - e1
+        assert_eq!(c.row(1), &[-4.0, 5.0]); // e2 - e3
+    }
+
+    #[test]
+    fn hrt_computes_head_plus_rel_minus_tail() {
+        // 3 entities, 2 relations; stacked embedding matrix is 5 x 2.
+        let stacked = DenseMatrix::from_rows(&[
+            [1.0, 0.0],  // e0
+            [0.0, 1.0],  // e1
+            [2.0, 2.0],  // e2
+            [10.0, 0.0], // r0
+            [0.0, 10.0], // r1
+        ]);
+        let a = hrt(3, 2, &[0, 2], &[1, 0], &[1, 0], TailSign::Negative).unwrap();
+        let c = csr_spmm(&a, &stacked);
+        assert_eq!(c.row(0), &[1.0, 9.0]); // e0 + r1 - e1
+        assert_eq!(c.row(1), &[11.0, 2.0]); // e2 + r0 - e0
+    }
+
+    #[test]
+    fn each_row_has_expected_nnz() {
+        let a = ht(10, &[1, 2, 3], &[4, 5, 6]).unwrap();
+        for i in 0..3 {
+            assert_eq!(a.row(i).count(), 2);
+        }
+        let a = hrt(10, 4, &[1], &[0], &[2], TailSign::Negative).unwrap();
+        assert_eq!(a.row(0).count(), 3);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn self_loop_collapses_exactly() {
+        // head == tail: +1 and -1 on the same column sum to zero.
+        let a = ht(5, &[2], &[2]).unwrap();
+        let e = DenseMatrix::from_rows(&[[1.0], [2.0], [3.0], [4.0], [5.0]]);
+        let c = csr_spmm(&a, &e);
+        assert_eq!(c.row(0), &[0.0]);
+    }
+
+    #[test]
+    fn positive_tail_sign_for_product_semirings() {
+        let a = hrt(3, 1, &[0], &[0], &[1], TailSign::Positive).unwrap();
+        let vals: Vec<f32> = a.row(0).map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bounds_are_validated() {
+        assert!(matches!(ht(3, &[3], &[0]), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(ht(3, &[0], &[9]), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            hrt(3, 2, &[0], &[2], &[1], TailSign::Negative),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(ht(3, &[0, 1], &[0]), Err(Error::ShapeMismatch { .. })));
+        assert!(matches!(
+            hrt(3, 2, &[0], &[0, 1], &[1], TailSign::Negative),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incidence_pair_caches_transpose() {
+        let a = hrt(5, 2, &[0, 1], &[0, 1], &[2, 3], TailSign::Negative).unwrap();
+        let pair = IncidencePair::new(a.clone());
+        assert_eq!(pair.num_triples(), 2);
+        assert_eq!(pair.transpose, a.transpose());
+    }
+}

@@ -1,0 +1,324 @@
+//! Semiring-generalized SpMM (paper Appendix D).
+//!
+//! TransE's `h + r − t` is a standard `(+, ×)` SpMM over the `hrt` incidence
+//! matrix. Appendix D observes that swapping the semiring operators turns the
+//! *same traversal* into the score kernels of non-translational models:
+//!
+//! * **DistMult** — `h ⊙ r ⊙ t`: both operators become multiplication
+//!   ([`TimesTimes`]).
+//! * **ComplEx** — `h ⊙ r ⊙ t̄` over complex embeddings: complex
+//!   multiplication, with the tail's `−1` coefficient flagging conjugation
+//!   ([`ComplexTriple`]).
+//! * **RotatE** — `h ⊙ r − t` over complex embeddings: multiply on `+1`
+//!   entries, subtract on `−1` entries ([`RotateTriple`]).
+//!
+//! Because CSR stores row entries in column order (head/tail before the
+//! offset relation columns), accumulators must be **order-independent**:
+//! each semiring keeps whatever partial state it needs ([`Semiring::Acc`])
+//! and renders a scalar only in [`Semiring::finish`].
+
+use crate::{metrics, Complex32, CsrMatrix};
+
+/// A (generalized) semiring: how one incidence row combines gathered values.
+///
+/// Implementations are zero-sized tag types; the kernel is monomorphized per
+/// semiring. The trait is sealed in spirit — downstream models are expected
+/// to add semirings here rather than implement it externally, but it is left
+/// open for extension experiments.
+pub trait Semiring: Send + Sync + 'static {
+    /// Element type of the dense operand and the output.
+    type Scalar: Copy + Send + Sync + Default;
+    /// Accumulator carried across a row's nonzeros.
+    type Acc: Copy + Send + Sync;
+    /// Human-readable kernel name (for reports).
+    const NAME: &'static str;
+
+    /// The empty-row accumulator.
+    fn init() -> Self::Acc;
+    /// Folds one `(coefficient, value)` pair into the accumulator.
+    fn absorb(acc: Self::Acc, coeff: f32, val: Self::Scalar) -> Self::Acc;
+    /// Renders the accumulator into an output element.
+    fn finish(acc: Self::Acc) -> Self::Scalar;
+}
+
+/// Standard arithmetic `(+, ×)` over `f32` — recovers ordinary SpMM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type Scalar = f32;
+    type Acc = f32;
+    const NAME: &'static str = "plus-times";
+
+    #[inline]
+    fn init() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn absorb(acc: f32, coeff: f32, val: f32) -> f32 {
+        acc + coeff * val
+    }
+    #[inline]
+    fn finish(acc: f32) -> f32 {
+        acc
+    }
+}
+
+/// Both operators are multiplication — the DistMult kernel `h ⊙ r ⊙ t`.
+///
+/// Coefficient signs are ignored; use an unsigned (`TailSign::Positive`)
+/// incidence matrix for clarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimesTimes;
+
+impl Semiring for TimesTimes {
+    type Scalar = f32;
+    type Acc = f32;
+    const NAME: &'static str = "times-times";
+
+    #[inline]
+    fn init() -> f32 {
+        1.0
+    }
+    #[inline]
+    fn absorb(acc: f32, _coeff: f32, val: f32) -> f32 {
+        acc * val
+    }
+    #[inline]
+    fn finish(acc: f32) -> f32 {
+        acc
+    }
+}
+
+/// ComplEx kernel: complex product, conjugating values with negative
+/// coefficients (`h ⊙ r ⊙ t̄`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComplexTriple;
+
+impl Semiring for ComplexTriple {
+    type Scalar = Complex32;
+    type Acc = Complex32;
+    const NAME: &'static str = "complex-conj-product";
+
+    #[inline]
+    fn init() -> Complex32 {
+        Complex32::ONE
+    }
+    #[inline]
+    fn absorb(acc: Complex32, coeff: f32, val: Complex32) -> Complex32 {
+        if coeff >= 0.0 {
+            acc * val
+        } else {
+            acc * val.conj()
+        }
+    }
+    #[inline]
+    fn finish(acc: Complex32) -> Complex32 {
+        acc
+    }
+}
+
+/// RotatE kernel: multiply positive-coefficient values, subtract
+/// negative-coefficient values (`h ⊙ r − t`).
+///
+/// The accumulator keeps the product chain and the subtractive part
+/// separately so the fold is independent of CSR column order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RotateTriple;
+
+impl Semiring for RotateTriple {
+    type Scalar = Complex32;
+    type Acc = (Complex32, Complex32); // (product, subtrahend)
+    const NAME: &'static str = "rotate";
+
+    #[inline]
+    fn init() -> (Complex32, Complex32) {
+        (Complex32::ONE, Complex32::ZERO)
+    }
+    #[inline]
+    fn absorb(acc: (Complex32, Complex32), coeff: f32, val: Complex32) -> (Complex32, Complex32) {
+        if coeff >= 0.0 {
+            (acc.0 * val, acc.1)
+        } else {
+            (acc.0, acc.1 + val)
+        }
+    }
+    #[inline]
+    fn finish(acc: (Complex32, Complex32)) -> Complex32 {
+        acc.0 - acc.1
+    }
+}
+
+/// Computes `C[i][j] = finish(fold_k absorb(coeff_ik, B[k][j]))` — semiring
+/// SpMM over a generic scalar type.
+///
+/// `b` is row-major with `b_rows × b_cols` elements of `S::Scalar`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b_rows` or `b.len() != b_rows * b_cols`.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::semiring::{semiring_spmm, TimesTimes};
+/// use sparse::incidence::{hrt, TailSign};
+///
+/// // DistMult: one triple (h=0, r=0, t=1), 2 entities + 1 relation.
+/// let a = hrt(2, 1, &[0], &[0], &[1], TailSign::Positive)?;
+/// let b = vec![2.0f32, 3.0, /* t */ 5.0, 7.0, /* r */ 11.0, 13.0];
+/// let c = semiring_spmm::<TimesTimes>(&a, &b, 3, 2);
+/// assert_eq!(c, vec![2.0 * 5.0 * 11.0, 3.0 * 7.0 * 13.0]);
+/// # Ok::<(), sparse::Error>(())
+/// ```
+pub fn semiring_spmm<S: Semiring>(
+    a: &CsrMatrix,
+    b: &[S::Scalar],
+    b_rows: usize,
+    b_cols: usize,
+) -> Vec<S::Scalar> {
+    assert_eq!(a.cols(), b_rows, "semiring spmm shape mismatch");
+    assert_eq!(b.len(), b_rows * b_cols, "dense operand has wrong length");
+    metrics::record_spmm_call();
+    metrics::add_flops(2 * a.nnz() as u64 * b_cols as u64);
+    let mut out: Vec<S::Scalar> = vec![S::Scalar::default(); a.rows() * b_cols];
+    if b_cols == 0 || a.rows() == 0 {
+        return out;
+    }
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let values = a.values();
+    xparallel::parallel_for_rows(&mut out, b_cols, 16, |first_row, chunk| {
+        let nrows = chunk.len() / b_cols;
+        for local in 0..nrows {
+            let i = first_row + local;
+            let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
+            let dst = &mut chunk[local * b_cols..(local + 1) * b_cols];
+            for (j, d) in dst.iter_mut().enumerate() {
+                let mut acc = S::init();
+                for k in s..e {
+                    let col = indices[k] as usize;
+                    acc = S::absorb(acc, values[k], b[col * b_cols + j]);
+                }
+                *d = S::finish(acc);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incidence::{hrt, TailSign};
+    use crate::spmm::csr_spmm;
+    use crate::{CooMatrix, DenseMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn plus_times_matches_regular_spmm() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut coo = CooMatrix::new(20, 15);
+        for _ in 0..60 {
+            coo.push(rng.gen_range(0..20), rng.gen_range(0..15), rng.gen_range(-1.0..1.0))
+                .unwrap();
+        }
+        let a = coo.to_csr();
+        let bdata: Vec<f32> = (0..15 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b = DenseMatrix::from_vec(15, 6, bdata.clone());
+        let want = csr_spmm(&a, &b);
+        let got = semiring_spmm::<PlusTimes>(&a, &bdata, 15, 6);
+        for (x, y) in got.iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn distmult_triple_product() {
+        // 3 entities, 2 relations, embedding dim 4.
+        let n = 3;
+        let r = 2;
+        let d = 4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let b: Vec<f32> = (0..(n + r) * d).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let a = hrt(n, r, &[0, 2], &[1, 0], &[1, 1], TailSign::Positive).unwrap();
+        let c = semiring_spmm::<TimesTimes>(&a, &b, n + r, d);
+        for (row, (h, rel, t)) in [(0usize, 1usize, 1usize), (2, 0, 1)].iter().enumerate() {
+            for j in 0..d {
+                let want = b[h * d + j] * b[(n + rel) * d + j] * b[t * d + j];
+                assert!((c[row * d + j] - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_conjugates_tail() {
+        // 2 entities + 1 relation, complex dim 2.
+        let n = 2;
+        let d = 2;
+        let b = vec![
+            Complex32::new(1.0, 1.0),
+            Complex32::new(2.0, 0.0), // h = e0
+            Complex32::new(0.5, -0.5),
+            Complex32::new(1.0, 3.0), // t = e1
+            Complex32::new(0.0, 1.0),
+            Complex32::new(1.0, 0.0), // r = r0
+        ];
+        let a = hrt(n, 1, &[0], &[0], &[1], TailSign::Negative).unwrap();
+        let c = semiring_spmm::<ComplexTriple>(&a, &b, 3, d);
+        for j in 0..d {
+            let want = b[j] * b[2 * d + j] * b[d + j].conj();
+            assert!((c[j] - want).norm_sqr() < 1e-8, "{} vs {}", c[j], want);
+        }
+    }
+
+    #[test]
+    fn rotate_is_product_minus_tail() {
+        let n = 2;
+        let d = 3;
+        let mut rng = StdRng::seed_from_u64(4);
+        let b: Vec<Complex32> = (0..(n + 1) * d)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let a = hrt(n, 1, &[1], &[0], &[0], TailSign::Negative).unwrap();
+        let c = semiring_spmm::<RotateTriple>(&a, &b, n + 1, d);
+        for j in 0..d {
+            let want = b[d + j] * b[2 * d + j] - b[j]; // h=e1, r=r0, t=e0
+            assert!((c[j] - want).norm_sqr() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rotate_order_independence_with_low_tail_column() {
+        // Tail column 0 sorts before head column 1 in CSR; the accumulator
+        // must still produce h*r - t, not (1 - t) * h * r.
+        let b = vec![
+            Complex32::new(5.0, 0.0), // e0 (tail)
+            Complex32::new(2.0, 0.0), // e1 (head)
+            Complex32::new(3.0, 0.0), // r0
+        ];
+        let a = hrt(2, 1, &[1], &[0], &[0], TailSign::Negative).unwrap();
+        let c = semiring_spmm::<RotateTriple>(&a, &b, 3, 1);
+        assert!((c[0] - Complex32::new(1.0, 0.0)).norm_sqr() < 1e-10); // 2*3-5
+    }
+
+    #[test]
+    fn empty_rows_yield_finished_identity() {
+        let a = CooMatrix::new(2, 3).to_csr();
+        let b = vec![1.0f32; 3 * 2];
+        let c = semiring_spmm::<TimesTimes>(&a, &b, 3, 2);
+        assert_eq!(c, vec![1.0; 4]); // finish(init) = 1 for product semiring
+
+        let c = semiring_spmm::<PlusTimes>(&a, &b, 3, 2);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_validation() {
+        let a = CooMatrix::new(1, 3).to_csr();
+        let b = vec![0.0f32; 4];
+        let _ = semiring_spmm::<PlusTimes>(&a, &b, 2, 2);
+    }
+}

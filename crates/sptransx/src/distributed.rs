@@ -1,0 +1,222 @@
+//! Data-parallel training (paper Appendix F).
+//!
+//! The paper wraps SpTransX in PyTorch DDP and scales TransE to 64 GPUs
+//! (Table 9). The single-machine analog here follows DDP's algorithm
+//! exactly:
+//!
+//! 1. the model is **replicated** once per worker (same seed → identical
+//!    initial parameters);
+//! 2. the batch plan is **sharded** across workers;
+//! 3. each synchronous step, every worker computes gradients on its own
+//!    batch in parallel (scoped threads);
+//! 4. gradients are **all-reduced** (averaged) and the identical optimizer
+//!    step is applied to every replica, keeping parameters in lock-step.
+//!
+//! Workers process `ceil(batches / workers)` steps per epoch, so wall-clock
+//! time shrinks with worker count until synchronization overhead dominates —
+//! the scaling curve of Table 9.
+
+use std::time::{Duration, Instant};
+
+use kg::{BatchPlan, Dataset, UniformSampler};
+use tensor::optim::{Optimizer, Sgd};
+use tensor::Graph;
+
+use crate::model::{KgeModel, TrainConfig};
+use crate::Result;
+
+/// Report from a data-parallel run.
+#[derive(Debug, Clone)]
+pub struct DistributedReport {
+    /// Worker count used.
+    pub workers: usize,
+    /// Mean batch loss per epoch (averaged over workers).
+    pub epoch_losses: Vec<f32>,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Number of synchronous steps executed.
+    pub steps: usize,
+}
+
+/// Trains replicas of a model data-parallel over `workers` shards.
+///
+/// `make_model` must construct identical replicas (it is called `workers`
+/// times; deterministic seeded init makes them bit-identical, mirroring
+/// DDP's broadcast-from-rank-0).
+///
+/// # Errors
+///
+/// Propagates configuration and plan-attachment errors.
+///
+/// # Examples
+///
+/// ```
+/// use kg::synthetic::SyntheticKgBuilder;
+/// use sptransx::{distributed::train_data_parallel, SpTransE, TrainConfig};
+///
+/// # fn main() -> Result<(), sptransx::Error> {
+/// let ds = SyntheticKgBuilder::new(80, 4).triples(600).seed(9).build();
+/// let config = TrainConfig { epochs: 2, batch_size: 64, dim: 8, lr: 0.05, ..Default::default() };
+/// let report = train_data_parallel(&ds, &config, 2, |ds, cfg| SpTransE::from_config(ds, cfg))?;
+/// assert_eq!(report.workers, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn train_data_parallel<M, F>(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    workers: usize,
+    make_model: F,
+) -> Result<DistributedReport>
+where
+    M: KgeModel + Send,
+    F: Fn(&Dataset, &TrainConfig) -> Result<M>,
+{
+    config.validate()?;
+    let workers = workers.max(1);
+    let known = dataset.all_known();
+    let sampler = UniformSampler::new(dataset.num_entities.max(2));
+    let plan = BatchPlan::build(&dataset.train, &known, &sampler, config.batch_size, config.seed);
+    let shards = plan.shard(workers);
+    let steps_per_epoch = shards.iter().map(BatchPlan::num_batches).max().unwrap_or(0);
+
+    let mut replicas: Vec<M> = Vec::with_capacity(workers);
+    for (w, shard) in shards.iter().enumerate() {
+        let mut m = make_model(dataset, config)?;
+        m.attach_plan(shard)?;
+        let _ = w;
+        replicas.push(m);
+    }
+    let shard_sizes: Vec<usize> = shards.iter().map(BatchPlan::num_batches).collect();
+
+    let mut optimizer = Sgd::new(config.lr);
+    let started = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut steps = 0usize;
+
+    for _epoch in 0..config.epochs {
+        let mut loss_sum = 0f64;
+        let mut loss_count = 0usize;
+        for step in 0..steps_per_epoch {
+            // Phase 1: parallel local gradient computation.
+            let losses: Vec<Option<f32>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = replicas
+                    .iter_mut()
+                    .zip(&shard_sizes)
+                    .map(|(model, &size)| {
+                        scope.spawn(move |_| {
+                            if size == 0 {
+                                return None;
+                            }
+                            let b = step % size;
+                            model.store_mut().zero_grads();
+                            let mut g = Graph::new();
+                            let (pos, neg) = model.score_batch(&mut g, b);
+                            let loss = g.margin_ranking_loss(pos, neg, 0.5);
+                            let lv = g.value(loss).get(0, 0);
+                            g.backward(loss, model.store_mut());
+                            Some(lv)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("worker scope panicked");
+
+            for l in losses.into_iter().flatten() {
+                loss_sum += f64::from(l);
+                loss_count += 1;
+            }
+
+            // Phase 2: all-reduce (average) gradients into replica 0.
+            let active = shard_sizes.iter().filter(|&&s| s > 0).count().max(1) as f32;
+            all_reduce_grads(&mut replicas, active);
+
+            // Phase 3: identical optimizer step on every replica.
+            for m in replicas.iter_mut() {
+                optimizer.step(m.store_mut());
+            }
+            steps += 1;
+        }
+        for m in replicas.iter_mut() {
+            m.end_epoch();
+        }
+        epoch_losses.push(if loss_count == 0 { 0.0 } else { (loss_sum / loss_count as f64) as f32 });
+    }
+
+    Ok(DistributedReport { workers, epoch_losses, wall: started.elapsed(), steps })
+}
+
+/// Averages gradients across replicas and broadcasts the result, so every
+/// replica holds the same (mean) gradient — the all-reduce of DDP.
+fn all_reduce_grads<M: KgeModel>(replicas: &mut [M], active_workers: f32) {
+    if replicas.len() < 2 {
+        return;
+    }
+    let ids = replicas[0].store().param_ids();
+    for id in ids {
+        // Sum into a scratch buffer.
+        let mut acc = replicas[0].store().grad(id).clone();
+        for other in replicas.iter().skip(1) {
+            acc.add_scaled(other.store().grad(id), 1.0);
+        }
+        let scale = 1.0 / active_workers;
+        for x in acc.as_mut_slice() {
+            *x *= scale;
+        }
+        for m in replicas.iter_mut() {
+            let g = m.store_mut().grad_mut(id);
+            g.zero_();
+            g.add_scaled(&acc, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpTransE;
+    use kg::synthetic::SyntheticKgBuilder;
+
+    fn dataset() -> Dataset {
+        SyntheticKgBuilder::new(60, 4).triples(600).seed(40).build()
+    }
+
+    fn config() -> TrainConfig {
+        TrainConfig { epochs: 3, batch_size: 64, dim: 8, lr: 0.05, ..Default::default() }
+    }
+
+    #[test]
+    fn single_worker_matches_step_count() {
+        let ds = dataset();
+        let cfg = config();
+        let r = train_data_parallel(&ds, &cfg, 1, SpTransE::from_config).unwrap();
+        assert_eq!(r.workers, 1);
+        assert_eq!(r.steps, 3 * (540usize.div_ceil(64)));
+    }
+
+    #[test]
+    fn multi_worker_reduces_steps() {
+        let ds = dataset();
+        let cfg = config();
+        let r1 = train_data_parallel(&ds, &cfg, 1, SpTransE::from_config).unwrap();
+        let r4 = train_data_parallel(&ds, &cfg, 4, SpTransE::from_config).unwrap();
+        assert!(r4.steps < r1.steps, "{} !< {}", r4.steps, r1.steps);
+    }
+
+    #[test]
+    fn replicas_stay_synchronized_and_loss_decreases() {
+        let ds = dataset();
+        let cfg = config();
+        let r = train_data_parallel(&ds, &cfg, 3, SpTransE::from_config).unwrap();
+        assert!(r.epoch_losses.last().unwrap() <= r.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn more_workers_than_batches_is_safe() {
+        let ds = SyntheticKgBuilder::new(30, 2).triples(80).seed(41).build();
+        let cfg = TrainConfig { epochs: 1, batch_size: 64, dim: 4, lr: 0.05, ..Default::default() };
+        let r = train_data_parallel(&ds, &cfg, 8, SpTransE::from_config).unwrap();
+        assert_eq!(r.workers, 8);
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared model interface and training configuration.
+
+use kg::BatchPlan;
+use tensor::{Graph, ParamStore, Var};
+
+use crate::Result;
+
+/// Distance metric applied to the translated expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Norm {
+    /// Manhattan distance.
+    L1,
+    /// Euclidean distance (the paper's default, §5.3).
+    #[default]
+    L2,
+    /// Wraparound L1 distance on the unit torus (TorusE).
+    TorusL1,
+    /// Squared wraparound L2 distance on the unit torus (TorusE).
+    TorusL2,
+}
+
+impl Norm {
+    /// Applies this norm row-wise on the tape, producing `(m, 1)` scores.
+    pub fn apply(self, g: &mut Graph, expr: Var) -> Var {
+        match self {
+            Norm::L1 => g.l1_norm_rows(expr),
+            Norm::L2 => g.l2_norm_rows(expr, 1e-9),
+            Norm::TorusL1 => g.torus_l1_rows(expr),
+            Norm::TorusL2 => g.torus_l2_sq_rows(expr),
+        }
+    }
+
+    /// Distance between two raw vectors under this norm (evaluation path).
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Norm::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Norm::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt(),
+            Norm::TorusL1 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let f = (x - y) - (x - y).floor();
+                    f.min(1.0 - f)
+                })
+                .sum(),
+            Norm::TorusL2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let f = (x - y) - (x - y).floor();
+                    let d = f.min(1.0 - f);
+                    d * d
+                })
+                .sum(),
+        }
+    }
+}
+
+/// Negative-sampling strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerKind {
+    /// Uniform head/tail corruption (TransE's scheme).
+    #[default]
+    Uniform,
+    /// Relation-statistics-weighted corruption (TransH's scheme).
+    Bernoulli,
+}
+
+/// Hyperparameters shared by all models and the trainer.
+///
+/// Defaults follow the paper's training configuration (§5.3): learning rate
+/// `4e-4`, margin `0.5`, L2 dissimilarity, margin-ranking loss. Batch size
+/// and dimensions are scaled-down defaults; the benchmark harnesses override
+/// them per experiment (Table 4).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Positive triples per mini-batch.
+    pub batch_size: usize,
+    /// Entity embedding dimension.
+    pub dim: usize,
+    /// Relation-space dimension (TransR projections; TransH relation vectors
+    /// use `dim`).
+    pub rel_dim: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Margin of the ranking loss.
+    pub margin: f32,
+    /// Dissimilarity function.
+    pub norm: Norm,
+    /// Negative sampler.
+    pub sampler: SamplerKind,
+    /// RNG seed for init, shuffling and sampling.
+    pub seed: u64,
+    /// Optional step LR schedule `(step_epochs, gamma)` (Appendix E).
+    pub lr_schedule: Option<(u32, f32)>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 1024,
+            dim: 32,
+            rel_dim: 16,
+            lr: 4e-4,
+            margin: 0.5,
+            norm: Norm::L2,
+            sampler: SamplerKind::Uniform,
+            seed: 42,
+            lr_schedule: None,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Config`] for zero sizes or non-positive
+    /// hyperparameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(crate::Error::config("epochs must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(crate::Error::config("batch_size must be positive"));
+        }
+        if self.dim == 0 || self.rel_dim == 0 {
+            return Err(crate::Error::config("embedding dimensions must be positive"));
+        }
+        if self.lr.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(crate::Error::config("learning rate must be positive"));
+        }
+        if self.margin < 0.0 {
+            return Err(crate::Error::config("margin must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// A trainable knowledge-graph embedding model.
+///
+/// Models own their parameters (a [`ParamStore`]) and any per-batch cached
+/// structures (incidence matrices for the sparse variants, index arrays for
+/// the dense baselines). The [`crate::Trainer`] drives the protocol:
+///
+/// 1. [`attach_plan`](KgeModel::attach_plan) once per training run;
+/// 2. per batch: build a fresh [`Graph`], call
+///    [`score_batch`](KgeModel::score_batch), take the margin loss, run
+///    backward, step the optimizer;
+/// 3. [`end_epoch`](KgeModel::end_epoch) applies model constraints (entity
+///    normalization, hyperplane unit norms).
+pub trait KgeModel {
+    /// Short model name (e.g. `"SpTransE"`).
+    fn name(&self) -> &'static str;
+
+    /// Borrows the parameter store.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutably borrows the parameter store.
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Pre-computes cached structures for every batch of `plan`. Replaces
+    /// any previously attached plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plan references out-of-range indices.
+    fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()>;
+
+    /// Number of batches in the attached plan (0 before attachment).
+    fn num_batches(&self) -> usize;
+
+    /// Builds the forward graph for attached batch `batch_idx`, returning
+    /// `(positive_scores, negative_scores)` as `(m, 1)` distance columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_idx >= num_batches()`.
+    fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var);
+
+    /// Applies per-epoch parameter constraints. Default: none.
+    fn end_epoch(&mut self) {}
+}
+
+/// Normalizes the first `n` rows of a parameter to unit L2 norm in place —
+/// the entity-embedding constraint of TransE/TransH.
+pub(crate) fn normalize_leading_rows(store: &mut ParamStore, id: tensor::ParamId, n: usize) {
+    let t = store.value_mut(id);
+    let cols = t.cols();
+    let n = n.min(t.rows());
+    let data = t.as_mut_slice();
+    for row in data[..n * cols].chunks_exact_mut(cols.max(1)) {
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            let inv = 1.0 / norm;
+            for x in row {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_distances() {
+        let a = [1.0, 2.0];
+        let b = [0.0, 0.0];
+        assert_eq!(Norm::L1.distance(&a, &b), 3.0);
+        assert!((Norm::L2.distance(&a, &b) - 5f32.sqrt()).abs() < 1e-6);
+        // Torus: differences 1.0 and 2.0 are both 0 on the unit torus.
+        assert!(Norm::TorusL1.distance(&a, &b).abs() < 1e-6);
+        assert!(Norm::TorusL2.distance(&[0.25, 0.0], &[0.0, 0.0]) - 0.0625 < 1e-6);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrainConfig::default().validate().is_ok());
+        let bad = TrainConfig { epochs: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = TrainConfig { lr: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = TrainConfig { margin: -1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = TrainConfig { dim: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn normalize_leading_rows_only() {
+        let mut store = ParamStore::new();
+        let p = store.add_param("e", tensor::Tensor::from_rows(&[[3.0, 4.0], [10.0, 0.0]]));
+        normalize_leading_rows(&mut store, p, 1);
+        assert!((store.value(p).get(0, 0) - 0.6).abs() < 1e-6);
+        assert_eq!(store.value(p).get(1, 0), 10.0); // untouched
+    }
+}

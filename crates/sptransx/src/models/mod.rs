@@ -1,0 +1,128 @@
+//! Model implementations (sparse variants and dense baselines).
+
+pub mod dense;
+pub mod extensions;
+pub mod spcomplex;
+pub mod spdistmult;
+pub mod sprotate;
+pub mod sptorus;
+pub mod sptranse;
+pub mod sptransh;
+pub mod sptransr;
+
+use std::sync::Arc;
+
+use kg::BatchPlan;
+use sparse::incidence::{self, IncidencePair, TailSign};
+use tensor::{init, Tensor};
+
+use crate::Result;
+
+/// The stacked `(N + R) × d` TransE-family initialization: Xavier uniform
+/// with entity rows (the first `n`) L2-normalized, relation rows left as-is.
+pub(crate) fn stacked_transe_init(n: usize, r: usize, d: usize, seed: u64) -> Tensor {
+    let mut emb = init::xavier_translational(n + r, d, seed);
+    let data = emb.as_mut_slice();
+    for row in data[..n * d].chunks_exact_mut(d) {
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+    emb
+}
+
+/// Cached sparse structures for one batch of an `hrt`-family model
+/// (TransE, TorusE, DistMult): positive and negative incidence pairs.
+#[derive(Debug, Clone)]
+pub(crate) struct HrtCache {
+    pub pos: Arc<IncidencePair>,
+    pub neg: Arc<IncidencePair>,
+}
+
+/// Builds `hrt` incidence caches for every batch of a plan.
+pub(crate) fn build_hrt_caches(
+    plan: &BatchPlan,
+    num_entities: usize,
+    num_relations: usize,
+    tail_sign: TailSign,
+) -> Result<Vec<HrtCache>> {
+    let mut out = Vec::with_capacity(plan.num_batches());
+    for batch in plan.iter() {
+        let pos = incidence::hrt(
+            num_entities,
+            num_relations,
+            batch.pos.heads(),
+            batch.pos.rels(),
+            batch.pos.tails(),
+            tail_sign,
+        )?;
+        let neg = incidence::hrt(
+            num_entities,
+            num_relations,
+            batch.neg.heads(),
+            batch.neg.rels(),
+            batch.neg.tails(),
+            tail_sign,
+        )?;
+        out.push(HrtCache {
+            pos: Arc::new(IncidencePair::new(pos)),
+            neg: Arc::new(IncidencePair::new(neg)),
+        });
+    }
+    Ok(out)
+}
+
+/// Cached sparse structures for one batch of an `ht`-family model
+/// (TransR, TransH): incidence pairs plus the per-triple relation indices
+/// needed for gathers/projections.
+#[derive(Debug, Clone)]
+pub(crate) struct HtCache {
+    pub pos: Arc<IncidencePair>,
+    pub neg: Arc<IncidencePair>,
+    pub pos_rels: Vec<u32>,
+    pub neg_rels: Vec<u32>,
+}
+
+/// Builds `ht` incidence caches for every batch of a plan.
+pub(crate) fn build_ht_caches(plan: &BatchPlan, num_entities: usize) -> Result<Vec<HtCache>> {
+    let mut out = Vec::with_capacity(plan.num_batches());
+    for batch in plan.iter() {
+        let pos = incidence::ht(num_entities, batch.pos.heads(), batch.pos.tails())?;
+        let neg = incidence::ht(num_entities, batch.neg.heads(), batch.neg.tails())?;
+        out.push(HtCache {
+            pos: Arc::new(IncidencePair::new(pos)),
+            neg: Arc::new(IncidencePair::new(neg)),
+            pos_rels: batch.pos.rels().to_vec(),
+            neg_rels: batch.neg.rels().to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+/// Per-batch index arrays for the dense (gather/scatter) baselines.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseCache {
+    pub pos_heads: Vec<u32>,
+    pub pos_rels: Vec<u32>,
+    pub pos_tails: Vec<u32>,
+    pub neg_heads: Vec<u32>,
+    pub neg_rels: Vec<u32>,
+    pub neg_tails: Vec<u32>,
+}
+
+/// Extracts dense index caches for every batch of a plan.
+pub(crate) fn build_dense_caches(plan: &BatchPlan) -> Vec<DenseCache> {
+    plan.iter()
+        .map(|b| DenseCache {
+            pos_heads: b.pos.heads().to_vec(),
+            pos_rels: b.pos.rels().to_vec(),
+            pos_tails: b.pos.tails().to_vec(),
+            neg_heads: b.neg.heads().to_vec(),
+            neg_rels: b.neg.rels().to_vec(),
+            neg_tails: b.neg.tails().to_vec(),
+        })
+        .collect()
+}

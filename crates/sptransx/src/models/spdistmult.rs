@@ -1,0 +1,205 @@
+//! Sparse DistMult (paper Appendix D).
+//!
+//! DistMult is a bilinear (semantic matching) model with score
+//! `⟨h, r, t⟩ = Σⱼ hⱼ rⱼ tⱼ` — **higher is better**, unlike the
+//! translational distances. Appendix D shows the same incidence-matrix
+//! traversal computes it when the SpMM semiring is switched to `(×, ×)`;
+//! this model implements that: forward scoring runs
+//! [`sparse::semiring::semiring_spmm`] with [`sparse::semiring::TimesTimes`]
+//! over an **unsigned** `hrt` incidence matrix, and the backward pass
+//! distributes `g ⊙ (product of the other two rows)` via the cached
+//! transpose.
+//!
+//! To reuse the margin-ranking trainer (which minimizes positive
+//! *distances*), scores are negated on the tape.
+
+use kg::eval::TripleScorer;
+use kg::{BatchPlan, Dataset};
+use sparse::incidence::TailSign;
+use tensor::{init, Graph, ParamId, ParamStore, Var};
+
+use crate::model::{KgeModel, TrainConfig};
+use crate::models::{build_hrt_caches, HrtCache};
+use crate::Result;
+
+/// The semiring-SpMM DistMult model.
+///
+/// # Examples
+///
+/// ```
+/// use kg::synthetic::SyntheticKgBuilder;
+/// use sptransx::{SpDistMult, TrainConfig};
+///
+/// let ds = SyntheticKgBuilder::new(40, 3).triples(200).seed(1).build();
+/// let model = SpDistMult::from_config(&ds, &TrainConfig { dim: 8, ..Default::default() })?;
+/// assert_eq!(sptransx::KgeModel::name(&model), "SpDistMult");
+/// # Ok::<(), sptransx::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SpDistMult {
+    store: ParamStore,
+    emb: ParamId,
+    num_entities: usize,
+    num_relations: usize,
+    dim: usize,
+    batches: Vec<HrtCache>,
+}
+
+impl SpDistMult {
+    /// Initializes the model for a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Config`] for invalid hyperparameters.
+    pub fn from_config(dataset: &Dataset, config: &TrainConfig) -> Result<Self> {
+        config.validate()?;
+        let (n, r, d) = (dataset.num_entities, dataset.num_relations, config.dim);
+        let mut store = ParamStore::new();
+        // Unit-normalized init keeps triple products in a sane range.
+        let emb = store.add_param("embeddings", init::xavier_normalized(n + r, d, config.seed));
+        Ok(Self { store, emb, num_entities: n, num_relations: r, dim: d, batches: Vec::new() })
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Handle to the stacked embedding parameter.
+    pub fn embedding_param(&self) -> ParamId {
+        self.emb
+    }
+
+    /// Raw (similarity) score of one triple: `Σⱼ hⱼ rⱼ tⱼ`.
+    pub fn similarity(&self, head: u32, rel: u32, tail: u32) -> f32 {
+        let emb = self.store.value(self.emb);
+        let h = emb.row(head as usize);
+        let r = emb.row(self.num_entities + rel as usize);
+        let t = emb.row(tail as usize);
+        h.iter().zip(r).zip(t).map(|((a, b), c)| a * b * c).sum()
+    }
+}
+
+impl KgeModel for SpDistMult {
+    fn name(&self) -> &'static str {
+        "SpDistMult"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
+        // Positive tail sign: the (×,×) semiring ignores signs, and an
+        // all-+1 matrix keeps the formulation of Appendix D literal.
+        self.batches =
+            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Positive)?;
+        Ok(())
+    }
+
+    fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
+        let cache = &self.batches[batch_idx];
+        let side = |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>| {
+            let prod = g.triple_product(&self.store, self.emb, pair.clone());
+            let sim = g.row_sum(prod);
+            // Similarity -> pseudo-distance for the margin ranking loss.
+            g.scale(sim, -1.0)
+        };
+        let pos = side(g, &cache.pos);
+        let neg = side(g, &cache.neg);
+        (pos, neg)
+    }
+}
+
+impl TripleScorer for SpDistMult {
+    fn score_tails(&self, head: u32, rel: u32) -> Vec<f32> {
+        let emb = self.store.value(self.emb);
+        let h = emb.row(head as usize);
+        let r = emb.row(self.num_entities + rel as usize);
+        let q: Vec<f32> = h.iter().zip(r).map(|(a, b)| a * b).collect();
+        (0..self.num_entities)
+            .map(|t| -q.iter().zip(emb.row(t)).map(|(a, b)| a * b).sum::<f32>())
+            .collect()
+    }
+
+    fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
+        let emb = self.store.value(self.emb);
+        let t = emb.row(tail as usize);
+        let r = emb.row(self.num_entities + rel as usize);
+        let q: Vec<f32> = t.iter().zip(r).map(|(a, b)| a * b).collect();
+        (0..self.num_entities)
+            .map(|h| -q.iter().zip(emb.row(h)).map(|(a, b)| a * b).sum::<f32>())
+            .collect()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synthetic::SyntheticKgBuilder;
+    use kg::UniformSampler;
+
+    fn setup() -> (Dataset, SpDistMult, BatchPlan) {
+        let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(13).build();
+        let config = TrainConfig { dim: 8, batch_size: 64, ..Default::default() };
+        let model = SpDistMult::from_config(&ds, &config).unwrap();
+        let sampler = UniformSampler::new(ds.num_entities);
+        let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 14);
+        (ds, model, plan)
+    }
+
+    #[test]
+    fn tape_scores_match_similarity() {
+        let (_, mut model, plan) = setup();
+        model.attach_plan(&plan).unwrap();
+        let mut g = Graph::new();
+        let (pos, _) = model.score_batch(&mut g, 0);
+        let batch = plan.batch(0);
+        for i in 0..batch.len().min(10) {
+            let t = batch.pos.get(i);
+            let want = -model.similarity(t.head, t.rel, t.tail);
+            assert!((g.value(pos).get(i, 0) - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn symmetry_of_distmult() {
+        // DistMult is symmetric in head/tail by construction.
+        let (_, model, plan) = setup();
+        let t = plan.batch(0).pos.get(0);
+        let a = model.similarity(t.head, t.rel, t.tail);
+        let b = model.similarity(t.tail, t.rel, t.head);
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_flow_through_semiring() {
+        let (_, mut model, plan) = setup();
+        model.attach_plan(&plan).unwrap();
+        let mut g = Graph::new();
+        let (pos, neg) = model.score_batch(&mut g, 0);
+        let loss = g.margin_ranking_loss(pos, neg, 5.0);
+        g.backward(loss, model.store_mut());
+        assert!(model.store().grad(model.embedding_param()).frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn scorer_matches_similarity() {
+        let (_, model, plan) = setup();
+        let t = plan.batch(0).pos.get(0);
+        let tails = model.score_tails(t.head, t.rel);
+        assert!((tails[t.tail as usize] + model.similarity(t.head, t.rel, t.tail)).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Evaluation scoring helpers and the complex-embedding scorers
+//! (ComplEx / RotatE, paper Appendix D).
+
+use kg::eval::TripleScorer;
+use sparse::semiring::{semiring_spmm, ComplexTriple, RotateTriple};
+use sparse::incidence::{hrt, TailSign};
+use sparse::Complex32;
+
+use crate::model::Norm;
+
+/// Distances from `query` to each of the first `n` rows of a row-major
+/// `buffer` with row width `d`, under `norm`. Parallelized over rows.
+pub(crate) fn distances_to_rows(
+    buffer: &[f32],
+    n: usize,
+    d: usize,
+    query: &[f32],
+    norm: Norm,
+) -> Vec<f32> {
+    debug_assert!(buffer.len() >= n * d);
+    debug_assert_eq!(query.len(), d);
+    let mut out = vec![0f32; n];
+    xparallel::parallel_for_mut(&mut out, 256, |offset, chunk| {
+        for (k, dst) in chunk.iter_mut().enumerate() {
+            let i = offset + k;
+            *dst = norm.distance(query, &buffer[i * d..(i + 1) * d]);
+        }
+    });
+    out
+}
+
+/// Link-prediction scorer over **complex** embeddings with the ComplEx score
+/// `Re(⟨h, r, t̄⟩)` (similarity — negated into a distance).
+///
+/// Embeddings are interleaved `(re, im)` pairs: `2 * half_dim` floats per
+/// row, entities stacked above relations as in the `hrt` formulation. The
+/// per-triple kernel is the Appendix D semiring SpMM.
+///
+/// # Examples
+///
+/// ```
+/// use sptransx::ComplExScorer;
+/// use kg::eval::TripleScorer;
+///
+/// // 2 entities + 1 relation, complex dim 1 (2 floats per row).
+/// let emb = vec![1.0, 0.0,  0.0, 1.0,  1.0, 0.0];
+/// let scorer = ComplExScorer::new(emb, 2, 1, 1)?;
+/// let scores = scorer.score_tails(0, 0);
+/// assert_eq!(scores.len(), 2);
+/// # Ok::<(), sptransx::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplExScorer {
+    emb: Vec<Complex32>,
+    num_entities: usize,
+    num_relations: usize,
+    half_dim: usize,
+}
+
+impl ComplExScorer {
+    /// Wraps interleaved complex embeddings of shape
+    /// `(num_entities + num_relations) × (2 * half_dim)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Config`] if the buffer length disagrees with
+    /// the declared shape.
+    pub fn new(
+        interleaved: Vec<f32>,
+        num_entities: usize,
+        num_relations: usize,
+        half_dim: usize,
+    ) -> crate::Result<Self> {
+        let expected = (num_entities + num_relations) * half_dim * 2;
+        if interleaved.len() != expected {
+            return Err(crate::Error::config(format!(
+                "embedding buffer has {} floats, expected {expected}",
+                interleaved.len()
+            )));
+        }
+        Ok(Self {
+            emb: Complex32::slice_from_interleaved(&interleaved),
+            num_entities,
+            num_relations,
+            half_dim,
+        })
+    }
+
+    /// ComplEx similarity of one triple via the semiring SpMM kernel.
+    pub fn similarity(&self, head: u32, rel: u32, tail: u32) -> f32 {
+        let a = hrt(
+            self.num_entities,
+            self.num_relations,
+            &[head],
+            &[rel],
+            &[tail],
+            TailSign::Negative, // −1 marks the conjugated operand
+        )
+        .expect("validated indices");
+        let c = semiring_spmm::<ComplexTriple>(
+            &a,
+            &self.emb,
+            self.num_entities + self.num_relations,
+            self.half_dim,
+        );
+        c.iter().map(|z| z.re).sum()
+    }
+}
+
+impl TripleScorer for ComplExScorer {
+    fn score_tails(&self, head: u32, rel: u32) -> Vec<f32> {
+        (0..self.num_entities as u32)
+            .map(|t| -self.similarity(head, rel, t))
+            .collect()
+    }
+
+    fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
+        (0..self.num_entities as u32)
+            .map(|h| -self.similarity(h, rel, tail))
+            .collect()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+}
+
+/// Link-prediction scorer with the RotatE score `‖h ∘ r − t‖` over complex
+/// embeddings (distance — lower is better), computed with the Appendix D
+/// rotate semiring.
+#[derive(Debug, Clone)]
+pub struct RotatEScorer {
+    emb: Vec<Complex32>,
+    num_entities: usize,
+    num_relations: usize,
+    half_dim: usize,
+}
+
+impl RotatEScorer {
+    /// Wraps interleaved complex embeddings (same layout as
+    /// [`ComplExScorer::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Config`] on a shape mismatch.
+    pub fn new(
+        interleaved: Vec<f32>,
+        num_entities: usize,
+        num_relations: usize,
+        half_dim: usize,
+    ) -> crate::Result<Self> {
+        let expected = (num_entities + num_relations) * half_dim * 2;
+        if interleaved.len() != expected {
+            return Err(crate::Error::config(format!(
+                "embedding buffer has {} floats, expected {expected}",
+                interleaved.len()
+            )));
+        }
+        Ok(Self {
+            emb: Complex32::slice_from_interleaved(&interleaved),
+            num_entities,
+            num_relations,
+            half_dim,
+        })
+    }
+
+    /// RotatE distance of one triple via the semiring SpMM kernel.
+    pub fn distance(&self, head: u32, rel: u32, tail: u32) -> f32 {
+        let a = hrt(
+            self.num_entities,
+            self.num_relations,
+            &[head],
+            &[rel],
+            &[tail],
+            TailSign::Negative,
+        )
+        .expect("validated indices");
+        let c = semiring_spmm::<RotateTriple>(
+            &a,
+            &self.emb,
+            self.num_entities + self.num_relations,
+            self.half_dim,
+        );
+        c.iter().map(|z| z.abs()).sum()
+    }
+}
+
+impl TripleScorer for RotatEScorer {
+    fn score_tails(&self, head: u32, rel: u32) -> Vec<f32> {
+        (0..self.num_entities as u32)
+            .map(|t| self.distance(head, rel, t))
+            .collect()
+    }
+
+    fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
+        (0..self.num_entities as u32)
+            .map(|h| self.distance(h, rel, tail))
+            .collect()
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_to_rows_matches_norm() {
+        let buffer = vec![0.0, 0.0, 3.0, 4.0, 1.0, 1.0];
+        let q = vec![0.0, 0.0];
+        let d = distances_to_rows(&buffer, 3, 2, &q, Norm::L2);
+        assert!((d[0] - 0.0).abs() < 1e-6);
+        assert!((d[1] - 5.0).abs() < 1e-6);
+        let d = distances_to_rows(&buffer, 3, 2, &q, Norm::L1);
+        assert!((d[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complex_scorer_validates_shape() {
+        assert!(ComplExScorer::new(vec![0.0; 5], 2, 1, 1).is_err());
+        assert!(ComplExScorer::new(vec![0.0; 6], 2, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn complex_similarity_matches_manual() {
+        // h = 1+i, r = i, t = 2 - i: Re(h*r*conj(t)).
+        let emb = vec![
+            1.0, 1.0, // e0 = h
+            2.0, -1.0, // e1 = t
+            0.0, 1.0, // r0
+        ];
+        let s = ComplExScorer::new(emb, 2, 1, 1).unwrap();
+        let h = Complex32::new(1.0, 1.0);
+        let r = Complex32::new(0.0, 1.0);
+        let t = Complex32::new(2.0, -1.0);
+        let want = (h * r * t.conj()).re;
+        assert!((s.similarity(0, 0, 1) - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotate_exact_rotation_scores_zero() {
+        // t = h rotated by r (unit phase) => distance 0.
+        let h = Complex32::from_phase(0.7);
+        let r = Complex32::from_phase(1.1);
+        let t = h * r;
+        let emb = vec![h.re, h.im, t.re, t.im, r.re, r.im];
+        let s = RotatEScorer::new(emb, 2, 1, 1).unwrap();
+        assert!(s.distance(0, 0, 1) < 1e-5);
+        // And the true tail ranks first.
+        let tails = s.score_tails(0, 0);
+        assert!(tails[1] < tails[0]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Downstream tasks beyond link prediction (paper §4.7.1: "calculating
+//! scores, predicting links, and classifying entities").
+//!
+//! * [`EntityClassifier`] — nearest-centroid classification of entities in
+//!   embedding space (the paper's entity-classification use case).
+//! * [`TripleClassifier`] — fact checking: per-relation distance thresholds
+//!   fitted on validation data decide whether an unseen triple is true
+//!   (Socher et al.'s triple-classification protocol).
+
+use std::collections::HashMap;
+
+use kg::{Triple, TripleStore};
+use tensor::Tensor;
+
+/// Nearest-centroid entity classifier over a trained embedding matrix.
+///
+/// # Examples
+///
+/// ```
+/// use sptransx::tasks::EntityClassifier;
+/// use tensor::Tensor;
+///
+/// // 4 entities in 2-D: two tight clusters.
+/// let emb = Tensor::from_rows(&[[0.0, 1.0], [0.1, 0.9], [1.0, 0.0], [0.9, 0.1]]);
+/// let clf = EntityClassifier::fit(&emb, &[(0, 7), (2, 9)])?;
+/// assert_eq!(clf.predict(emb.row(1)), Some(7));
+/// assert_eq!(clf.predict(emb.row(3)), Some(9));
+/// # Ok::<(), sptransx::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntityClassifier {
+    centroids: Vec<(u32, Vec<f32>)>,
+    dim: usize,
+}
+
+impl EntityClassifier {
+    /// Fits class centroids from `(entity_index, label)` examples against
+    /// the embedding matrix (one row per entity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Config`] if `labeled` is empty or references
+    /// an out-of-range entity.
+    pub fn fit(embeddings: &Tensor, labeled: &[(u32, u32)]) -> crate::Result<Self> {
+        if labeled.is_empty() {
+            return Err(crate::Error::config("need at least one labeled entity"));
+        }
+        let dim = embeddings.cols();
+        let mut sums: HashMap<u32, (Vec<f64>, usize)> = HashMap::new();
+        for &(entity, label) in labeled {
+            if entity as usize >= embeddings.rows() {
+                return Err(crate::Error::config(format!(
+                    "labeled entity {entity} out of range ({} rows)",
+                    embeddings.rows()
+                )));
+            }
+            let acc = sums.entry(label).or_insert_with(|| (vec![0.0; dim], 0));
+            for (a, &x) in acc.0.iter_mut().zip(embeddings.row(entity as usize)) {
+                *a += f64::from(x);
+            }
+            acc.1 += 1;
+        }
+        let mut centroids: Vec<(u32, Vec<f32>)> = sums
+            .into_iter()
+            .map(|(label, (sum, count))| {
+                (label, sum.into_iter().map(|x| (x / count as f64) as f32).collect())
+            })
+            .collect();
+        centroids.sort_by_key(|c| c.0);
+        Ok(Self { centroids, dim })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Predicts the label of an embedding vector (None if the vector length
+    /// mismatches the fitted dimension).
+    pub fn predict(&self, embedding: &[f32]) -> Option<u32> {
+        if embedding.len() != self.dim {
+            return None;
+        }
+        self.centroids
+            .iter()
+            .map(|(label, c)| {
+                let d: f32 = c.iter().zip(embedding).map(|(a, b)| (a - b) * (a - b)).sum();
+                (*label, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(label, _)| label)
+    }
+
+    /// Classification accuracy on held-out `(entity, label)` pairs.
+    pub fn accuracy(&self, embeddings: &Tensor, test: &[(u32, u32)]) -> f32 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let correct = test
+            .iter()
+            .filter(|&&(e, label)| {
+                self.predict(embeddings.row(e as usize)) == Some(label)
+            })
+            .count();
+        correct as f32 / test.len() as f32
+    }
+}
+
+/// Per-relation threshold triple classifier: a triple is predicted true when
+/// its model distance falls below the relation's fitted threshold.
+#[derive(Debug, Clone)]
+pub struct TripleClassifier {
+    thresholds: HashMap<u32, f32>,
+    default_threshold: f32,
+}
+
+impl TripleClassifier {
+    /// Fits thresholds from positive and negative validation triples scored
+    /// by `score` (a distance: lower = more plausible). For each relation the
+    /// threshold maximizing validation accuracy is chosen by sweeping the
+    /// observed scores.
+    pub fn fit(
+        positives: &TripleStore,
+        negatives: &TripleStore,
+        mut score: impl FnMut(Triple) -> f32,
+    ) -> Self {
+        // Collect (rel, score, is_positive).
+        let mut by_rel: HashMap<u32, Vec<(f32, bool)>> = HashMap::new();
+        for t in positives.iter() {
+            by_rel.entry(t.rel).or_default().push((score(t), true));
+        }
+        for t in negatives.iter() {
+            by_rel.entry(t.rel).or_default().push((score(t), false));
+        }
+        let mut all_scores: Vec<(f32, bool)> = by_rel.values().flatten().copied().collect();
+        let default_threshold = best_threshold(&mut all_scores);
+        let thresholds = by_rel
+            .into_iter()
+            .map(|(rel, mut scores)| (rel, best_threshold(&mut scores)))
+            .collect();
+        Self { thresholds, default_threshold }
+    }
+
+    /// The fitted threshold for `rel` (global default for unseen relations).
+    pub fn threshold(&self, rel: u32) -> f32 {
+        self.thresholds.get(&rel).copied().unwrap_or(self.default_threshold)
+    }
+
+    /// Classifies a scored triple.
+    pub fn is_true(&self, rel: u32, distance: f32) -> bool {
+        distance <= self.threshold(rel)
+    }
+
+    /// Accuracy over labeled test triples scored by `score`.
+    pub fn accuracy(
+        &self,
+        positives: &TripleStore,
+        negatives: &TripleStore,
+        mut score: impl FnMut(Triple) -> f32,
+    ) -> f32 {
+        let total = positives.len() + negatives.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for t in positives.iter() {
+            if self.is_true(t.rel, score(t)) {
+                correct += 1;
+            }
+        }
+        for t in negatives.iter() {
+            if !self.is_true(t.rel, score(t)) {
+                correct += 1;
+            }
+        }
+        correct as f32 / total as f32
+    }
+}
+
+/// Threshold maximizing accuracy over `(score, is_positive)` pairs: sweep the
+/// sorted scores, counting positives below and negatives above each cut.
+fn best_threshold(scores: &mut [(f32, bool)]) -> f32 {
+    if scores.is_empty() {
+        return f32::INFINITY;
+    }
+    scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = scores.iter().filter(|s| s.1).count();
+    let total_neg = scores.len() - total_pos;
+    // Threshold below the smallest score: all predicted negative.
+    let mut best_correct = total_neg;
+    let mut best_t = scores[0].0 - 1.0;
+    let mut pos_below = 0usize;
+    let mut neg_below = 0usize;
+    for i in 0..scores.len() {
+        if scores[i].1 {
+            pos_below += 1;
+        } else {
+            neg_below += 1;
+        }
+        // Cut between scores[i] and scores[i+1].
+        let correct = pos_below + (total_neg - neg_below);
+        if correct > best_correct {
+            best_correct = correct;
+            best_t = if i + 1 < scores.len() {
+                (scores[i].0 + scores[i + 1].0) / 2.0
+            } else {
+                scores[i].0 + 1.0
+            };
+        }
+    }
+    best_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_classifier_separates_clusters() {
+        let emb = Tensor::from_rows(&[
+            [0.0, 1.0],
+            [0.2, 0.8],
+            [0.1, 1.1],
+            [1.0, 0.0],
+            [0.8, 0.2],
+            [1.1, 0.1],
+        ]);
+        let clf = EntityClassifier::fit(&emb, &[(0, 1), (1, 1), (3, 2), (4, 2)]).unwrap();
+        assert_eq!(clf.num_classes(), 2);
+        // Held-out members of each cluster.
+        assert_eq!(clf.predict(emb.row(2)), Some(1));
+        assert_eq!(clf.predict(emb.row(5)), Some(2));
+        let acc = clf.accuracy(&emb, &[(2, 1), (5, 2)]);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn entity_classifier_validates_input() {
+        let emb = Tensor::zeros(3, 2);
+        assert!(EntityClassifier::fit(&emb, &[]).is_err());
+        assert!(EntityClassifier::fit(&emb, &[(9, 0)]).is_err());
+        let clf = EntityClassifier::fit(&emb, &[(0, 0)]).unwrap();
+        assert_eq!(clf.predict(&[0.0; 5]), None); // wrong dimension
+    }
+
+    #[test]
+    fn threshold_separates_clean_scores() {
+        let mut scores = vec![(0.1, true), (0.2, true), (0.9, false), (1.0, false)];
+        let t = best_threshold(&mut scores);
+        assert!(t > 0.2 && t < 0.9, "threshold {t}");
+    }
+
+    #[test]
+    fn threshold_handles_degenerate_cases() {
+        assert_eq!(best_threshold(&mut []), f32::INFINITY);
+        // All positives: everything below threshold.
+        let mut scores = vec![(0.5, true), (0.7, true)];
+        let t = best_threshold(&mut scores);
+        assert!(t >= 0.7);
+        // All negatives: nothing below threshold.
+        let mut scores = vec![(0.5, false), (0.7, false)];
+        let t = best_threshold(&mut scores);
+        assert!(t < 0.5);
+    }
+
+    #[test]
+    fn triple_classifier_end_to_end() {
+        // Synthetic distances: relation 0 positives score ~0.2, negatives ~0.8;
+        // relation 1 positives ~1.0, negatives ~2.0 (different scale).
+        let positives: TripleStore = (0..20)
+            .map(|i| Triple::new(i, i % 2, i + 1))
+            .collect();
+        let negatives: TripleStore = (0..20)
+            .map(|i| Triple::new(i + 30, i % 2, i + 31))
+            .collect();
+        let score = |t: Triple| -> f32 {
+            let base = if t.rel == 0 { 0.2 } else { 1.0 };
+            if t.head < 30 {
+                base + 0.01 * t.head as f32
+            } else {
+                base * 3.0 + 0.01 * t.head as f32
+            }
+        };
+        let clf = TripleClassifier::fit(&positives, &negatives, score);
+        // Per-relation thresholds differ (different score scales).
+        assert!(clf.threshold(0) < clf.threshold(1));
+        let acc = clf.accuracy(&positives, &negatives, score);
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Unseen relation falls back to the global threshold.
+        assert!(clf.threshold(42).is_finite());
+    }
+
+    #[test]
+    fn works_with_a_trained_model() {
+        use crate::{SpTransE, TrainConfig, Trainer};
+        use kg::eval::TripleScorer;
+        use kg::synthetic::SyntheticKgBuilder;
+        use kg::{NegativeSampler, UniformSampler};
+
+        let ds = SyntheticKgBuilder::new(60, 4).triples(500).seed(90).build();
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            dim: 16,
+            lr: 0.3,
+            margin: 1.0,
+            ..Default::default()
+        };
+        let mut trainer =
+            Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+        trainer.run().unwrap();
+        let model = trainer.model();
+
+        // Triple classification: distances of true test triples should be
+        // separable from corrupted ones above chance.
+        let known = ds.all_known();
+        let neg = UniformSampler::new(ds.num_entities).corrupt(&ds.test, &known, 9);
+        let score = |t: Triple| model.score_tails(t.head, t.rel)[t.tail as usize];
+        let clf = TripleClassifier::fit(&ds.valid, &{
+            UniformSampler::new(ds.num_entities).corrupt(&ds.valid, &known, 10)
+        }, score);
+        let acc = clf.accuracy(&ds.test, &neg, score);
+        assert!(acc > 0.55, "triple classification accuracy {acc} not above chance");
+    }
+}

@@ -1,0 +1,1152 @@
+//! The define-by-run autograd tape.
+
+use std::sync::Arc;
+
+use sparse::incidence::IncidencePair;
+use sparse::spmm::csr_spmm;
+
+use crate::profile;
+use crate::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node on a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Gather { param: ParamId, indices: Arc<Vec<u32>> },
+    Spmm { param: ParamId, pair: Arc<IncidencePair> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    RowDot(Var, Var),
+    ScaleRows { mat: Var, scale: Var },
+    L1NormRows(Var),
+    L2NormRows { input: Var, eps: f32 },
+    SquaredL2NormRows(Var),
+    TorusL1Rows(Var),
+    TorusL2SqRows(Var),
+    ProjectRows { mats: ParamId, vecs: Var, rels: Arc<Vec<u32>>, d_out: usize, d_in: usize },
+    MarginRankingLoss { pos: Var, neg: Var, margin: f32 },
+    Mean(Var),
+    RowSum(Var),
+    TripleProduct { param: ParamId, pair: Arc<IncidencePair> },
+    RotateScore { param: ParamId, pair: Arc<IncidencePair> },
+    ComplexScore { param: ParamId, pair: Arc<IncidencePair> },
+}
+
+/// Decomposes one 3-nonzero incidence row into `(pos_a, pos_b, tail)` column
+/// indices: the negative coefficient marks the tail; the other two positive
+/// columns are interchangeable for the complex products (h ⊙ r commutes).
+#[inline]
+fn split_hrt_row(cols: &[u32], vals: &[f32]) -> (usize, usize, usize) {
+    debug_assert_eq!(cols.len(), 3);
+    let mut tail = usize::MAX;
+    let mut pos = [usize::MAX; 2];
+    let mut k = 0;
+    for (c, v) in cols.iter().zip(vals) {
+        if *v < 0.0 {
+            tail = *c as usize;
+        } else if k < 2 {
+            pos[k] = *c as usize;
+            k += 1;
+        }
+    }
+    debug_assert!(tail != usize::MAX && k == 2, "row is not a signed hrt row");
+    (pos[0], pos[1], tail)
+}
+
+#[inline]
+fn complex_at(buf: &[f32], row: usize, j: usize, d2: usize) -> (f32, f32) {
+    let base = row * d2 + 2 * j;
+    (buf[base], buf[base + 1])
+}
+
+#[inline]
+fn cmul(a: (f32, f32), b: (f32, f32)) -> (f32, f32) {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A tape of eagerly-evaluated operations supporting reverse-mode autodiff.
+///
+/// A fresh `Graph` is built per mini-batch (define-by-run, as in PyTorch).
+/// Values are computed when ops are recorded; [`Graph::backward`] replays the
+/// tape in reverse, accumulating parameter gradients into the
+/// [`ParamStore`].
+///
+/// The two embedding-access ops embody the paper's comparison:
+///
+/// * [`Graph::gather`] — fine-grained row gather whose backward is a
+///   **scatter-add** (the non-sparse baseline path, paper Figure 1);
+/// * [`Graph::spmm`] — incidence-matrix SpMM whose backward is a second SpMM
+///   with `Aᵀ` (the SparseTransX path, paper §4.1 and Appendix G).
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrows the forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Borrows the gradient of a node, if backward has reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input (gradients are tracked but go nowhere).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Gathers rows `indices` of parameter `param`: `out[i] = P[indices[i]]`.
+    ///
+    /// Backward is a scatter-add into the parameter gradient — the
+    /// fine-grained path the paper identifies as the training bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for the parameter.
+    pub fn gather(&mut self, store: &ParamStore, param: ParamId, indices: Vec<u32>) -> Var {
+        let _t = profile::scope("op::gather");
+        let p = store.value(param);
+        let d = p.cols();
+        let mut out = Tensor::zeros(indices.len(), d);
+        let src = p.as_slice();
+        xparallel::parallel_for_rows(out.as_mut_slice(), d.max(1), 64, |first, chunk| {
+            for (k, dst) in chunk.chunks_exact_mut(d.max(1)).enumerate() {
+                let r = indices[first + k] as usize;
+                dst.copy_from_slice(&src[r * d..(r + 1) * d]);
+            }
+        });
+        sparse::metrics::add_bytes(2 * (indices.len() * d * 4) as u64);
+        self.push(out, Op::Gather { param, indices: Arc::new(indices) })
+    }
+
+    /// Multiplies a (cached-transpose) incidence matrix by parameter `param`:
+    /// `out = A · P`. Backward: `P.grad += Aᵀ · out.grad` (Appendix G).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A.cols() != P.rows()`.
+    pub fn spmm(&mut self, store: &ParamStore, param: ParamId, pair: Arc<IncidencePair>) -> Var {
+        let _t = profile::scope("op::spmm");
+        let p = store.value(param);
+        let out = csr_spmm(&pair.forward, p.view());
+        let out = Tensor::from_vec(out.rows(), out.cols(), out.into_vec());
+        self.push(out, Op::Spmm { param, pair })
+    }
+
+    /// Elementwise sum of two same-shape nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::scope("op::add");
+        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        sparse::metrics::add_flops(v.len() as u64);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference of two same-shape nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::scope("op::sub");
+        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        sparse::metrics::add_flops(v.len() as u64);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product of two same-shape nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::scope("op::mul");
+        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        sparse::metrics::add_flops(v.len() as u64);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scales a node by a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| c * x);
+        sparse::metrics::add_flops(v.len() as u64);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Per-row dot product: `out[i] = Σ_j a[i,j]·b[i,j]`, shape `(m, 1)`.
+    ///
+    /// TransH uses this for `wᵣᵀ·(h−t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::scope("op::row_dot");
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+        let (m, n) = av.shape();
+        let mut out = Tensor::zeros(m, 1);
+        let (ad, bd) = (av.as_slice(), bv.as_slice());
+        xparallel::parallel_for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
+            for (k, dst) in chunk.iter_mut().enumerate() {
+                let i = first + k;
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += ad[i * n + j] * bd[i * n + j];
+                }
+                *dst = acc;
+            }
+        });
+        sparse::metrics::add_flops(2 * (m * n) as u64);
+        self.push(out, Op::RowDot(a, b))
+    }
+
+    /// Broadcast row scaling: `out[i,:] = mat[i,:] · scale[i]`, where `scale`
+    /// has shape `(m, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not `(mat.rows, 1)`.
+    pub fn scale_rows(&mut self, mat: Var, scale: Var) -> Var {
+        let _t = profile::scope("op::scale_rows");
+        let (mv, sv) = (self.value(mat), self.value(scale));
+        assert_eq!(sv.shape(), (mv.rows(), 1), "scale must be a (m,1) column");
+        let (m, n) = mv.shape();
+        let mut out = Tensor::zeros(m, n);
+        let (md, sd) = (mv.as_slice(), sv.as_slice());
+        xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+            for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                let i = first + k;
+                let s = sd[i];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = md[i * n + j] * s;
+                }
+            }
+        });
+        sparse::metrics::add_flops((m * n) as u64);
+        self.push(out, Op::ScaleRows { mat, scale })
+    }
+
+    /// Per-row L1 norm: `out[i] = Σ_j |a[i,j]|`, shape `(m, 1)`.
+    pub fn l1_norm_rows(&mut self, a: Var) -> Var {
+        let _t = profile::scope("op::l1_norm");
+        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x.abs()).sum());
+        self.push(v, Op::L1NormRows(a))
+    }
+
+    /// Per-row L2 norm: `out[i] = √(Σ_j a[i,j]²)`, shape `(m, 1)`.
+    ///
+    /// `eps` guards the backward division for zero rows.
+    pub fn l2_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let _t = profile::scope("op::l2_norm");
+        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x * x).sum::<f32>().sqrt());
+        self.push(v, Op::L2NormRows { input: a, eps })
+    }
+
+    /// Per-row squared L2 norm (TransC-style scoring), shape `(m, 1)`.
+    pub fn squared_l2_norm_rows(&mut self, a: Var) -> Var {
+        let _t = profile::scope("op::sq_l2_norm");
+        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x * x).sum());
+        self.push(v, Op::SquaredL2NormRows(a))
+    }
+
+    /// Per-row L1 torus distance: `out[i] = Σ_j min(fⱼ, 1−fⱼ)` where
+    /// `fⱼ = frac(a[i,j])` — TorusE's wraparound metric.
+    pub fn torus_l1_rows(&mut self, a: Var) -> Var {
+        let _t = profile::scope("op::torus_l1");
+        let v = row_reduce(self.value(a), |row| {
+            row.iter().map(|&x| {
+                let f = x - x.floor();
+                f.min(1.0 - f)
+            }).sum()
+        });
+        self.push(v, Op::TorusL1Rows(a))
+    }
+
+    /// Per-row squared L2 torus distance: `out[i] = Σ_j min(fⱼ, 1−fⱼ)²`.
+    ///
+    /// This is the `l2_torus_dissimilarity` the paper's Figure 2 profiles.
+    pub fn torus_l2_sq_rows(&mut self, a: Var) -> Var {
+        let _t = profile::scope("op::torus_l2");
+        let v = row_reduce(self.value(a), |row| {
+            row.iter().map(|&x| {
+                let f = x - x.floor();
+                let d = f.min(1.0 - f);
+                d * d
+            }).sum()
+        });
+        self.push(v, Op::TorusL2SqRows(a))
+    }
+
+    /// Per-row relation-specific projection (TransR):
+    /// `out[i] = M_{rels[i]} · vecs[i]`, where parameter `mats` has shape
+    /// `(R, d_out·d_in)` storing each `d_out × d_in` matrix row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent or a relation index is out of range.
+    pub fn project_rows(
+        &mut self,
+        store: &ParamStore,
+        mats: ParamId,
+        vecs: Var,
+        rels: Vec<u32>,
+        d_out: usize,
+    ) -> Var {
+        let _t = profile::scope("op::project_rows");
+        let mv = store.value(mats);
+        let vv = self.value(vecs);
+        let (m, d_in) = vv.shape();
+        assert_eq!(rels.len(), m, "one relation per row required");
+        assert_eq!(mv.cols(), d_out * d_in, "projection parameter has wrong width");
+        let mut out = Tensor::zeros(m, d_out);
+        let (md, vd) = (mv.as_slice(), vv.as_slice());
+        xparallel::parallel_for_rows(out.as_mut_slice(), d_out.max(1), 32, |first, chunk| {
+            for (k, dst) in chunk.chunks_exact_mut(d_out.max(1)).enumerate() {
+                let i = first + k;
+                let r = rels[i] as usize;
+                let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
+                let vec = &vd[i * d_in..(i + 1) * d_in];
+                for (o, d) in dst.iter_mut().enumerate() {
+                    let mrow = &mat[o * d_in..(o + 1) * d_in];
+                    let mut acc = 0.0;
+                    for j in 0..d_in {
+                        acc += mrow[j] * vec[j];
+                    }
+                    *d = acc;
+                }
+            }
+        });
+        sparse::metrics::add_flops(2 * (m * d_out * d_in) as u64);
+        self.push(out, Op::ProjectRows { mats, vecs, rels: Arc::new(rels), d_out, d_in })
+    }
+
+    /// Margin ranking loss over `(m,1)` positive/negative score columns:
+    /// `loss = mean(max(0, margin + pos − neg))`.
+    ///
+    /// Distance scores: positives should be *smaller* than negatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or are not columns.
+    pub fn margin_ranking_loss(&mut self, pos: Var, neg: Var, margin: f32) -> Var {
+        let _t = profile::scope("op::margin_loss");
+        let (pv, nv) = (self.value(pos), self.value(neg));
+        assert_eq!(pv.shape(), nv.shape(), "margin loss operands must match");
+        assert_eq!(pv.cols(), 1, "scores must be (m,1) columns");
+        let m = pv.rows();
+        let mut acc = 0.0f64;
+        for i in 0..m {
+            acc += f64::from((margin + pv.get(i, 0) - nv.get(i, 0)).max(0.0));
+        }
+        let loss = if m == 0 { 0.0 } else { (acc / m as f64) as f32 };
+        sparse::metrics::add_flops(3 * m as u64);
+        let t = Tensor::from_vec(1, 1, vec![loss]);
+        self.push(t, Op::MarginRankingLoss { pos, neg, margin })
+    }
+
+    /// Mean over all elements, shape `(1,1)`.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Per-row sum: `out[i] = Σ_j a[i,j]`, shape `(m, 1)`.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let _t = profile::scope("op::row_sum");
+        let v = row_reduce(self.value(a), |row| row.iter().sum());
+        self.push(v, Op::RowSum(a))
+    }
+
+    /// Semiring triple product (paper Appendix D, DistMult):
+    /// `out[i,:] = E[h_i,:] ⊙ E[r_i,:] ⊙ E[t_i,:]` computed with the
+    /// `(×, ×)` semiring SpMM over an **unsigned** `hrt` incidence matrix.
+    ///
+    /// Backward distributes `g_i ⊙ (product of the other two rows)` to each
+    /// incident row, traversing the cached transpose so updates stay
+    /// deterministic and lock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the incidence matrix does not have exactly 3 nonzeros per
+    /// row or its width differs from the parameter's row count.
+    pub fn triple_product(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    ) -> Var {
+        let _t = profile::scope("op::triple_product");
+        let p = store.value(param);
+        assert_eq!(pair.forward.cols(), p.rows(), "incidence width mismatch");
+        assert_eq!(
+            pair.forward.nnz(),
+            3 * pair.forward.rows(),
+            "triple_product requires exactly 3 nonzeros per row"
+        );
+        let out = sparse::semiring::semiring_spmm::<sparse::semiring::TimesTimes>(
+            &pair.forward,
+            p.as_slice(),
+            p.rows(),
+            p.cols(),
+        );
+        let t = Tensor::from_vec(pair.forward.rows(), p.cols(), out);
+        self.push(t, Op::TripleProduct { param, pair })
+    }
+
+    /// RotatE score rows (paper Appendix D): for each incidence triple,
+    /// `out[i] = Σ_j |h_j ⊙ r_j − t_j|` over **interleaved complex**
+    /// embeddings (the parameter has `2·d'` columns holding `d'` complex
+    /// values per row). Lower is better — a distance, directly usable with
+    /// the margin ranking loss.
+    ///
+    /// The incidence matrix must be the signed `hrt` form: `−1` marks the
+    /// tail, the two `+1` columns form the commuting product `h ⊙ r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter width is odd, the incidence shape mismatches,
+    /// or any row does not have exactly 3 nonzeros.
+    pub fn rotate_score(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    ) -> Var {
+        let _t = profile::scope("op::rotate_score");
+        let value = complex_score_forward(store, param, &pair, ComplexKernel::Rotate);
+        self.push(value, Op::RotateScore { param, pair })
+    }
+
+    /// ComplEx score rows (paper Appendix D): `out[i] = Σ_j Re(h_j r_j t̄_j)`
+    /// over interleaved complex embeddings. **Higher is better** — negate
+    /// (e.g. [`Graph::scale`] by `−1`) before a distance-based loss.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Graph::rotate_score`].
+    pub fn complex_score(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    ) -> Var {
+        let _t = profile::scope("op::complex_score");
+        let value = complex_score_forward(store, param, &pair, ComplexKernel::ComplEx);
+        self.push(value, Op::ComplexScore { param, pair })
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss`.
+    ///
+    /// Node gradients are materialized on the tape (available via
+    /// [`Graph::grad`]); parameter gradients **accumulate** into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `(1,1)` scalar node.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        let _t = profile::scope("backward");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss node"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            self.backward_node(i, &g, store);
+            // Re-install so callers can inspect intermediate gradients.
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn backward_node(&mut self, i: usize, g: &Tensor, store: &mut ParamStore) {
+        // Compute input deltas immutably, then accumulate. All input nodes
+        // have indices < i by construction. The op is cloned out of the node
+        // (cheap: `Copy` fields plus `Arc`s) so `self` stays borrowable.
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Input => {}
+            Op::Gather { param, indices } => {
+                let _t = profile::scope("op::gather_backward");
+                scatter_add_rows(store.grad_mut(param), &indices, g);
+                sparse::metrics::add_flops(g.len() as u64);
+            }
+            Op::Spmm { param, pair } => {
+                let _t = profile::scope("op::spmm_backward");
+                // grad += Aᵀ · g, accumulated in place: untouched parameter
+                // rows cost nothing (Appendix G, without the dense delta).
+                sparse::spmm::csr_spmm_acc_into(
+                    &pair.transpose,
+                    g.view(),
+                    store.grad_mut(param).as_mut_slice(),
+                );
+            }
+            Op::Add(a, b) => {
+                self.accum(a, g, 1.0);
+                self.accum(b, g, 1.0);
+            }
+            Op::Sub(a, b) => {
+                self.accum(a, g, 1.0);
+                self.accum(b, g, -1.0);
+            }
+            Op::Mul(a, b) => {
+                let da = g.zip_map(self.value(b), |gx, bx| gx * bx);
+                let db = g.zip_map(self.value(a), |gx, ax| gx * ax);
+                self.accum(a, &da, 1.0);
+                self.accum(b, &db, 1.0);
+            }
+            Op::Scale(a, c) => {
+                self.accum(a, g, c);
+            }
+            Op::RowDot(a, b) => {
+                let da = scale_rows_tensor(self.value(b), g);
+                let db = scale_rows_tensor(self.value(a), g);
+                self.accum(a, &da, 1.0);
+                self.accum(b, &db, 1.0);
+            }
+            Op::ScaleRows { mat, scale } => {
+                let dm = scale_rows_tensor(g, self.value(scale));
+                let ds = row_dot_tensor(g, self.value(mat));
+                self.accum(mat, &dm, 1.0);
+                self.accum(scale, &ds, 1.0);
+            }
+            Op::L1NormRows(a) => {
+                let da = rowwise_unary_backward(self.value(a), g, |x, _| x.signum());
+                self.accum(a, &da, 1.0);
+            }
+            Op::L2NormRows { input, eps } => {
+                let norms = self.nodes[i].value.clone();
+                let av = self.value(input);
+                let (m, n) = av.shape();
+                let mut da = Tensor::zeros(m, n);
+                for r in 0..m {
+                    let denom = norms.get(r, 0).max(eps);
+                    let gr = g.get(r, 0);
+                    let src = av.row(r);
+                    for (j, d) in da.row_mut(r).iter_mut().enumerate() {
+                        *d = gr * src[j] / denom;
+                    }
+                }
+                sparse::metrics::add_flops(2 * (m * n) as u64);
+                self.accum(input, &da, 1.0);
+            }
+            Op::SquaredL2NormRows(a) => {
+                let da = rowwise_unary_backward(self.value(a), g, |x, _| 2.0 * x);
+                self.accum(a, &da, 1.0);
+            }
+            Op::TorusL1Rows(a) => {
+                let da = rowwise_unary_backward(self.value(a), g, |x, _| {
+                    let f = x - x.floor();
+                    if f <= 0.5 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                });
+                self.accum(a, &da, 1.0);
+            }
+            Op::TorusL2SqRows(a) => {
+                let da = rowwise_unary_backward(self.value(a), g, |x, _| {
+                    let f = x - x.floor();
+                    if f <= 0.5 {
+                        2.0 * f
+                    } else {
+                        -2.0 * (1.0 - f)
+                    }
+                });
+                self.accum(a, &da, 1.0);
+            }
+            Op::ProjectRows { mats, vecs, rels, d_out, d_in } => {
+                let _t = profile::scope("op::project_backward");
+                let m = g.rows();
+                // d vecs[i] = M_{r}ᵀ · g_i — computed against the parameter
+                // value before its gradient is borrowed mutably.
+                let mut dv = Tensor::zeros(m, d_in);
+                {
+                    let mv = store.value(mats);
+                    let (md, gd) = (mv.as_slice(), g.as_slice());
+                    xparallel::parallel_for_rows(dv.as_mut_slice(), d_in.max(1), 32, |first, chunk| {
+                        for (k, dst) in chunk.chunks_exact_mut(d_in.max(1)).enumerate() {
+                            let i = first + k;
+                            let r = rels[i] as usize;
+                            let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
+                            for (j, d) in dst.iter_mut().enumerate() {
+                                let mut acc = 0.0;
+                                for o in 0..d_out {
+                                    acc += mat[o * d_in + j] * gd[i * d_out + o];
+                                }
+                                *d = acc;
+                            }
+                        }
+                    });
+                }
+                // d mats[r] += g_i ⊗ vecs[i], scattered by relation index.
+                let vv = self.value(vecs);
+                let gm = store.grad_mut(mats);
+                scatter_add_outer(gm, &rels, g, vv, d_out, d_in);
+                sparse::metrics::add_flops(4 * (m * d_out * d_in) as u64);
+                self.accum(vecs, &dv, 1.0);
+            }
+            Op::MarginRankingLoss { pos, neg, margin } => {
+                let (pv, nv) = (self.value(pos), self.value(neg));
+                let m = pv.rows();
+                let gscale = if m == 0 { 0.0 } else { g.get(0, 0) / m as f32 };
+                let mut dp = Tensor::zeros(m, 1);
+                let mut dn = Tensor::zeros(m, 1);
+                for r in 0..m {
+                    if margin + pv.get(r, 0) - nv.get(r, 0) > 0.0 {
+                        dp.set(r, 0, gscale);
+                        dn.set(r, 0, -gscale);
+                    }
+                }
+                self.accum(pos, &dp, 1.0);
+                self.accum(neg, &dn, 1.0);
+            }
+            Op::Mean(a) => {
+                let len = self.value(a).len().max(1);
+                let gv = g.get(0, 0) / len as f32;
+                let (m, n) = self.value(a).shape();
+                let da = Tensor::full(m, n, gv);
+                self.accum(a, &da, 1.0);
+            }
+            Op::RowSum(a) => {
+                let da = rowwise_unary_backward(self.value(a), g, |_, _| 1.0);
+                self.accum(a, &da, 1.0);
+            }
+            Op::RotateScore { param, pair } => {
+                let _t = profile::scope("op::rotate_score_backward");
+                complex_score_backward(store, param, &pair, g, ComplexKernel::Rotate);
+            }
+            Op::ComplexScore { param, pair } => {
+                let _t = profile::scope("op::complex_score_backward");
+                complex_score_backward(store, param, &pair, g, ComplexKernel::ComplEx);
+            }
+            Op::TripleProduct { param, pair } => {
+                let _t = profile::scope("op::triple_product_backward");
+                let d = g.cols();
+                let fwd = &pair.forward;
+                let tr = &pair.transpose;
+                // For entity/relation row `e`, each incident triple row `i`
+                // contributes g_i ⊙ Π_{c ≠ e} E[c]. Traverse Aᵀ so each
+                // parameter-gradient row is owned by exactly one worker.
+                let (pv, grad) = store.value_and_grad_mut(param);
+                let pd = pv.as_slice();
+                let gd = g.as_slice();
+                let indptr = fwd.indptr();
+                let indices = fwd.indices();
+                xparallel::parallel_for_rows(grad.as_mut_slice(), d.max(1), 64, |first, chunk| {
+                    let rows_here = chunk.len() / d.max(1);
+                    for local in 0..rows_here {
+                        let e = first + local;
+                        let dst = &mut chunk[local * d..(local + 1) * d];
+                        for (i, _) in tr.row(e) {
+                            let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
+                            debug_assert_eq!(epos - s, 3);
+                            // The two sibling columns of triple i (CSR column
+                            // indices are strictly ascending, so `e` appears
+                            // exactly once).
+                            let mut others = [0usize; 2];
+                            let mut k = 0;
+                            for &c in &indices[s..epos] {
+                                if c as usize != e && k < 2 {
+                                    others[k] = c as usize;
+                                    k += 1;
+                                }
+                            }
+                            debug_assert_eq!(k, 2);
+                            let a = &pd[others[0] * d..others[0] * d + d];
+                            let b = &pd[others[1] * d..others[1] * d + d];
+                            let gr = &gd[i * d..(i + 1) * d];
+                            for j in 0..d {
+                                dst[j] += gr[j] * a[j] * b[j];
+                            }
+                        }
+                    }
+                });
+                sparse::metrics::add_flops(3 * (fwd.nnz() * d) as u64);
+            }
+        }
+    }
+
+    /// `nodes[v].grad += alpha * delta`, allocating the grad on first touch.
+    fn accum(&mut self, v: Var, delta: &Tensor, alpha: f32) {
+        let node = &mut self.nodes[v.0];
+        let grad = node
+            .grad
+            .get_or_insert_with(|| Tensor::zeros(node.value.rows(), node.value.cols()));
+        grad.add_scaled(delta, alpha);
+        sparse::metrics::add_flops(2 * delta.len() as u64);
+    }
+}
+
+/// `out[i] = f(row_i)`, shape `(m, 1)`.
+fn row_reduce(a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -> Tensor {
+    let (m, n) = a.shape();
+    let mut out = Tensor::zeros(m, 1);
+    let ad = a.as_slice();
+    xparallel::parallel_for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
+        for (k, dst) in chunk.iter_mut().enumerate() {
+            let i = first + k;
+            *dst = f(&ad[i * n..(i + 1) * n]);
+        }
+    });
+    sparse::metrics::add_flops(2 * (m * n) as u64);
+    out
+}
+
+/// `out[i,j] = mat[i,j] * col[i]` (col is `(m,1)`).
+fn scale_rows_tensor(mat: &Tensor, col: &Tensor) -> Tensor {
+    let (m, n) = mat.shape();
+    debug_assert_eq!(col.shape(), (m, 1));
+    let mut out = Tensor::zeros(m, n);
+    let (md, cd) = (mat.as_slice(), col.as_slice());
+    xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+        for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let i = first + k;
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = md[i * n + j] * cd[i];
+            }
+        }
+    });
+    out
+}
+
+/// `out[i] = Σ_j a[i,j]·b[i,j]` as an `(m,1)` tensor.
+fn row_dot_tensor(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = a.shape();
+    debug_assert_eq!(b.shape(), (m, n));
+    let mut out = Tensor::zeros(m, 1);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for i in 0..m {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += ad[i * n + j] * bd[i * n + j];
+        }
+        out.set(i, 0, acc);
+    }
+    out
+}
+
+/// `da[i,j] = g[i] * f(a[i,j], j)` — shared shape of the norm backwards.
+fn rowwise_unary_backward(a: &Tensor, g: &Tensor, f: impl Fn(f32, usize) -> f32 + Sync) -> Tensor {
+    let (m, n) = a.shape();
+    debug_assert_eq!(g.shape(), (m, 1));
+    sparse::metrics::add_flops((m * n) as u64);
+    let mut out = Tensor::zeros(m, n);
+    let (ad, gd) = (a.as_slice(), g.as_slice());
+    xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+        for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let i = first + k;
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = gd[i] * f(ad[i * n + j], j);
+            }
+        }
+    });
+    out
+}
+
+/// `dst[indices[k], :] += src[k, :]` — the scatter of paper Figure 1(b).
+///
+/// Parallelized by destination row range: each worker scans the whole index
+/// list and applies only the updates landing in its range, which is
+/// deterministic and lock-free.
+pub fn scatter_add_rows(dst: &mut Tensor, indices: &[u32], src: &Tensor) {
+    let n = dst.cols();
+    debug_assert_eq!(src.cols(), n);
+    debug_assert_eq!(src.rows(), indices.len());
+    let sd = src.as_slice();
+    xparallel::parallel_for_rows(dst.as_mut_slice(), n.max(1), 512, |first, chunk| {
+        let rows_here = chunk.len() / n.max(1);
+        let lo = first;
+        let hi = first + rows_here;
+        for (k, &idx) in indices.iter().enumerate() {
+            let r = idx as usize;
+            if r >= lo && r < hi {
+                let dst_row = &mut chunk[(r - lo) * n..(r - lo + 1) * n];
+                let src_row = &sd[k * n..(k + 1) * n];
+                for (d, s) in dst_row.iter_mut().zip(src_row) {
+                    *d += *s;
+                }
+            }
+        }
+    });
+    sparse::metrics::add_bytes(3 * (indices.len() * n * 4) as u64);
+}
+
+/// `dst[rels[i]] += g_i ⊗ v_i` where `dst` is `(R, d_out*d_in)`.
+fn scatter_add_outer(
+    dst: &mut Tensor,
+    rels: &[u32],
+    g: &Tensor,
+    v: &Tensor,
+    d_out: usize,
+    d_in: usize,
+) {
+    let width = d_out * d_in;
+    debug_assert_eq!(dst.cols(), width);
+    let (gd, vd) = (g.as_slice(), v.as_slice());
+    xparallel::parallel_for_rows(dst.as_mut_slice(), width.max(1), 8, |first, chunk| {
+        let rows_here = chunk.len() / width.max(1);
+        let (lo, hi) = (first, first + rows_here);
+        for (i, &rel) in rels.iter().enumerate() {
+            let r = rel as usize;
+            if r >= lo && r < hi {
+                let mat = &mut chunk[(r - lo) * width..(r - lo + 1) * width];
+                for o in 0..d_out {
+                    let go = gd[i * d_out + o];
+                    let row = &mut mat[o * d_in..(o + 1) * d_in];
+                    for (j, m) in row.iter_mut().enumerate() {
+                        *m += go * vd[i * d_in + j];
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ComplexKernel {
+    Rotate,
+    ComplEx,
+}
+
+/// Shared forward of the complex-semiring score ops: one `(m, 1)` column of
+/// RotatE distances or ComplEx similarities.
+fn complex_score_forward(
+    store: &ParamStore,
+    param: ParamId,
+    pair: &IncidencePair,
+    kernel: ComplexKernel,
+) -> Tensor {
+    let p = store.value(param);
+    let d2 = p.cols();
+    assert!(d2.is_multiple_of(2), "complex ops need an even parameter width");
+    assert_eq!(pair.forward.cols(), p.rows(), "incidence width mismatch");
+    assert_eq!(
+        pair.forward.nnz(),
+        3 * pair.forward.rows(),
+        "complex score ops require exactly 3 nonzeros per row"
+    );
+    let half = d2 / 2;
+    let m = pair.forward.rows();
+    let pd = p.as_slice();
+    let indptr = pair.forward.indptr();
+    let indices = pair.forward.indices();
+    let values = pair.forward.values();
+    let mut out = Tensor::zeros(m, 1);
+    xparallel::parallel_for_rows(out.as_mut_slice(), 1, 128, |first, chunk| {
+        for (k, dst) in chunk.iter_mut().enumerate() {
+            let i = first + k;
+            let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
+            let (a, b, t) = split_hrt_row(&indices[s..e], &values[s..e]);
+            let mut acc = 0.0f32;
+            for j in 0..half {
+                let hv = complex_at(pd, a, j, d2);
+                let rv = complex_at(pd, b, j, d2);
+                let tv = complex_at(pd, t, j, d2);
+                match kernel {
+                    ComplexKernel::Rotate => {
+                        let hr = cmul(hv, rv);
+                        let z = (hr.0 - tv.0, hr.1 - tv.1);
+                        acc += (z.0 * z.0 + z.1 * z.1).sqrt();
+                    }
+                    ComplexKernel::ComplEx => {
+                        let hr = cmul(hv, rv);
+                        // Re(hr · conj(t)) = hr.re·t.re + hr.im·t.im.
+                        acc += hr.0 * tv.0 + hr.1 * tv.1;
+                    }
+                }
+            }
+            *dst = acc;
+        }
+    });
+    sparse::metrics::add_flops(8 * (m * half) as u64);
+    out
+}
+
+/// Shared backward: distributes per-triple complex gradients to the three
+/// incident parameter rows via the cached transpose (deterministic, each
+/// gradient row owned by one worker).
+///
+/// Derivations (treating re/im as independent reals):
+/// * RotatE, `f = Σ|z|`, `z = h·r − t`: with `u = z/|z|`,
+///   `∇h = conj(r)·u`, `∇r = conj(h)·u`, `∇t = −u`.
+/// * ComplEx, `f = Σ Re(h·r·conj(t))`: `∇h = conj(r·conj(t)) = conj(r)·t`,
+///   `∇r = conj(h)·t`, `∇t = h·r`.
+fn complex_score_backward(
+    store: &mut ParamStore,
+    param: ParamId,
+    pair: &IncidencePair,
+    g: &Tensor,
+    kernel: ComplexKernel,
+) {
+    let fwd = &pair.forward;
+    let tr = &pair.transpose;
+    let (pv, grad) = store.value_and_grad_mut(param);
+    let d2 = pv.cols();
+    let half = d2 / 2;
+    let pd = pv.as_slice();
+    let gd = g.as_slice();
+    let indptr = fwd.indptr();
+    let indices = fwd.indices();
+    let values = fwd.values();
+    xparallel::parallel_for_rows(grad.as_mut_slice(), d2.max(1), 32, |first, chunk| {
+        let rows_here = chunk.len() / d2.max(1);
+        for local in 0..rows_here {
+            let e = first + local;
+            let dst = &mut chunk[local * d2..(local + 1) * d2];
+            for (i, _) in tr.row(e) {
+                let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
+                let (a, b, t) = split_hrt_row(&indices[s..epos], &values[s..epos]);
+                let gi = gd[i];
+                for j in 0..half {
+                    let hv = complex_at(pd, a, j, d2);
+                    let rv = complex_at(pd, b, j, d2);
+                    let tv = complex_at(pd, t, j, d2);
+                    // Per-component upstream direction.
+                    let gz = match kernel {
+                        ComplexKernel::Rotate => {
+                            let hr = cmul(hv, rv);
+                            let z = (hr.0 - tv.0, hr.1 - tv.1);
+                            let norm = (z.0 * z.0 + z.1 * z.1).sqrt().max(1e-12);
+                            (z.0 / norm, z.1 / norm)
+                        }
+                        ComplexKernel::ComplEx => tv,
+                    };
+                    let delta = if e == t {
+                        match kernel {
+                            ComplexKernel::Rotate => (-gz.0, -gz.1),
+                            ComplexKernel::ComplEx => cmul(hv, rv),
+                        }
+                    } else {
+                        // e is one of the two positive columns; the partner
+                        // is the other one. ∇e = conj(partner)·gz for both
+                        // kernels (ComplEx: gz = t).
+                        let partner = if e == a { rv } else { hv };
+                        cmul((partner.0, -partner.1), gz)
+                    };
+                    dst[2 * j] += gi * delta.0;
+                    dst[2 * j + 1] += gi * delta.1;
+                }
+            }
+        }
+    });
+    sparse::metrics::add_flops(12 * (fwd.nnz() * half) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::incidence::{hrt, ht, TailSign};
+
+    fn store_with(name: &str, t: Tensor) -> (ParamStore, ParamId) {
+        let mut s = ParamStore::new();
+        let id = s.add_param(name, t);
+        (s, id)
+    }
+
+    #[test]
+    fn gather_forward_and_backward() {
+        let (mut store, emb) =
+            store_with("e", Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]));
+        let mut g = Graph::new();
+        let x = g.gather(&store, emb, vec![2, 0, 2]);
+        assert_eq!(g.value(x).row(0), &[5.0, 6.0]);
+        assert_eq!(g.value(x).row(1), &[1.0, 2.0]);
+        let loss = g.mean(x);
+        g.backward(loss, &mut store);
+        // d mean / d x = 1/6 per element; row 2 gathered twice.
+        let grad = store.grad(emb);
+        assert!((grad.get(0, 0) - 1.0 / 6.0).abs() < 1e-6);
+        assert!((grad.get(1, 0) - 0.0).abs() < 1e-6);
+        assert!((grad.get(2, 0) - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_matches_gather_arithmetic() {
+        // h + r - t via SpMM should equal the gather/add/sub path.
+        let stacked = Tensor::from_rows(&[[1.0, 0.5], [2.0, -1.0], [0.25, 0.25]]); // e0,e1,r0
+        let (mut store, emb) = store_with("emb", stacked);
+        let pair = Arc::new(IncidencePair::new(
+            hrt(2, 1, &[0], &[0], &[1], TailSign::Negative).unwrap(),
+        ));
+        let mut g = Graph::new();
+        let expr = g.spmm(&store, emb, pair);
+        assert_eq!(g.value(expr).row(0), &[1.0 + 0.25 - 2.0, 0.5 + 0.25 + 1.0]);
+        let loss = g.mean(expr);
+        g.backward(loss, &mut store);
+        let grad = store.grad(emb);
+        // d expr / d e0 = +1, e1 = -1, r0 = +1; mean scale 1/2 per column.
+        assert!((grad.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((grad.get(1, 0) + 0.5).abs() < 1e-6);
+        assert!((grad.get(2, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_and_gather_paths_agree_on_gradients() {
+        let data = Tensor::from_rows(&[[0.3, -0.2], [1.5, 0.7], [-0.4, 0.9], [0.1, 0.2]]);
+        // Entities 0..3, relation embedded separately in same stacked matrix:
+        // treat row 3 as the single relation.
+        let heads = vec![0u32, 1];
+        let tails = vec![2u32, 0];
+        let rels = vec![0u32, 0];
+
+        // Sparse path.
+        let (mut s1, p1) = store_with("emb", data.clone());
+        let pair = Arc::new(IncidencePair::new(
+            hrt(3, 1, &heads, &rels, &tails, TailSign::Negative).unwrap(),
+        ));
+        let mut g1 = Graph::new();
+        let expr1 = g1.spmm(&s1, p1, pair);
+        let n1 = g1.l2_norm_rows(expr1, 1e-9);
+        let l1 = g1.mean(n1);
+        g1.backward(l1, &mut s1);
+
+        // Dense path.
+        let (mut s2, p2) = store_with("emb", data);
+        let mut g2 = Graph::new();
+        let h = g2.gather(&s2, p2, heads.clone());
+        let r = g2.gather(&s2, p2, rels.iter().map(|&x| x + 3).collect());
+        let t = g2.gather(&s2, p2, tails.clone());
+        let hr = g2.add(h, r);
+        let expr2 = g2.sub(hr, t);
+        let n2 = g2.l2_norm_rows(expr2, 1e-9);
+        let l2 = g2.mean(n2);
+        g2.backward(l2, &mut s2);
+
+        assert!((g1.value(l1).get(0, 0) - g2.value(l2).get(0, 0)).abs() < 1e-6);
+        for (a, b) in s1.grad(p1).as_slice().iter().zip(s2.grad(p2).as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ht_spmm_is_head_minus_tail() {
+        let (store, emb) = store_with("e", Tensor::from_rows(&[[1.0], [4.0], [9.0]]));
+        let pair = Arc::new(IncidencePair::new(ht(3, &[2], &[0]).unwrap()));
+        let mut g = Graph::new();
+        let expr = g.spmm(&store, emb, pair);
+        assert_eq!(g.value(expr).get(0, 0), 8.0);
+    }
+
+    #[test]
+    fn margin_loss_forward_and_active_set() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let pos = g.input(Tensor::from_rows(&[[1.0], [5.0]]));
+        let neg = g.input(Tensor::from_rows(&[[3.0], [5.2]]));
+        // margin 0.5: row 0 -> 0.5 + 1 - 3 < 0 inactive; row 1 -> 0.5 + 5 - 5.2 = 0.3 active.
+        let loss = g.margin_ranking_loss(pos, neg, 0.5);
+        assert!((g.value(loss).get(0, 0) - 0.15).abs() < 1e-6);
+        g.backward(loss, &mut store);
+        let gp = g.grad(pos).unwrap();
+        assert_eq!(gp.get(0, 0), 0.0);
+        assert!((gp.get(1, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transh_style_composition_runs() {
+        // (h - t) + d_r - w (wᵀ(h-t)) through the tape.
+        let (mut store, ent) =
+            store_with("ent", Tensor::from_rows(&[[0.5, 0.1], [0.2, -0.3], [0.9, 0.4]]));
+        let w = store.add_param("w", Tensor::from_rows(&[[0.6, 0.8]]));
+        let d = store.add_param("d", Tensor::from_rows(&[[0.05, -0.02]]));
+        let pair = Arc::new(IncidencePair::new(ht(3, &[0, 1], &[2, 0]).unwrap()));
+        let mut g = Graph::new();
+        let htv = g.spmm(&store, ent, pair);
+        let wv = g.gather(&store, w, vec![0, 0]);
+        let dv = g.gather(&store, d, vec![0, 0]);
+        let dot = g.row_dot(wv, htv);
+        let proj = g.scale_rows(wv, dot);
+        let tmp = g.sub(htv, proj);
+        let expr = g.add(tmp, dv);
+        let score = g.l2_norm_rows(expr, 1e-9);
+        let loss = g.mean(score);
+        g.backward(loss, &mut store);
+        assert!(store.grad(ent).frobenius_norm() > 0.0);
+        assert!(store.grad(w).frobenius_norm() > 0.0);
+        assert!(store.grad(d).frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn project_rows_forward() {
+        let (store, _) = store_with("unused", Tensor::zeros(1, 1));
+        let mut s = ParamStore::new();
+        // One relation, projecting 2D -> 1D with matrix [2, 3].
+        let mats = s.add_param("m", Tensor::from_rows(&[[2.0, 3.0]]));
+        let mut g = Graph::new();
+        let v = g.input(Tensor::from_rows(&[[1.0, 1.0], [0.5, -1.0]]));
+        let p = g.project_rows(&s, mats, v, vec![0, 0], 1);
+        assert_eq!(g.value(p).get(0, 0), 5.0);
+        assert_eq!(g.value(p).get(1, 0), -2.0);
+        drop(store);
+    }
+
+    #[test]
+    fn torus_norms_are_wraparound() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[[0.25, 1.75]])); // fracs: 0.25, 0.75
+        let l1 = g.torus_l1_rows(x);
+        assert!((g.value(l1).get(0, 0) - 0.5).abs() < 1e-6); // 0.25 + 0.25
+        let l2 = g.torus_l2_sq_rows(x);
+        assert!((g.value(l2).get(0, 0) - 0.125).abs() < 1e-6); // 0.0625 * 2
+    }
+
+    #[test]
+    fn scatter_add_rows_handles_duplicates() {
+        let mut dst = Tensor::zeros(4, 2);
+        let src = Tensor::from_rows(&[[1.0, 1.0], [2.0, 2.0], [4.0, 4.0]]);
+        scatter_add_rows(&mut dst, &[1, 1, 3], &src);
+        assert_eq!(dst.row(1), &[3.0, 3.0]);
+        assert_eq!(dst.row(3), &[4.0, 4.0]);
+        assert_eq!(dst.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x, &mut store);
+    }
+}

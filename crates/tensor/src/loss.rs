@@ -1,0 +1,79 @@
+//! Standalone loss utilities.
+//!
+//! The differentiable margin ranking loss lives on the tape
+//! ([`crate::Graph::margin_ranking_loss`]); this module provides the
+//! non-differentiable helpers used for reporting and evaluation.
+
+use crate::Tensor;
+
+/// Computes `mean(max(0, margin + pos − neg))` without a tape.
+///
+/// Matches the forward value of [`crate::Graph::margin_ranking_loss`]; used
+/// to evaluate held-out loss without building a graph.
+///
+/// # Panics
+///
+/// Panics if the score columns differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::{loss, Tensor};
+///
+/// let pos = Tensor::from_rows(&[[1.0], [2.0]]);
+/// let neg = Tensor::from_rows(&[[2.0], [1.0]]);
+/// // row 0: max(0, 0.5 - 1) = 0; row 1: max(0, 0.5 + 1) = 1.5
+/// assert!((loss::margin_ranking(&pos, &neg, 0.5) - 0.75).abs() < 1e-6);
+/// ```
+pub fn margin_ranking(pos: &Tensor, neg: &Tensor, margin: f32) -> f32 {
+    assert_eq!(pos.shape(), neg.shape(), "margin loss operands must match");
+    let m = pos.rows();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for i in 0..m {
+        acc += f64::from((margin + pos.get(i, 0) - neg.get(i, 0)).max(0.0));
+    }
+    (acc / m as f64) as f32
+}
+
+/// Fraction of pairs where the positive scores strictly better (lower) than
+/// the negative — a quick training-sanity metric.
+pub fn pairwise_accuracy(pos: &Tensor, neg: &Tensor) -> f32 {
+    assert_eq!(pos.shape(), neg.shape(), "operands must match");
+    let m = pos.rows();
+    if m == 0 {
+        return 0.0;
+    }
+    let wins = (0..m).filter(|&i| pos.get(i, 0) < neg.get(i, 0)).count();
+    wins as f32 / m as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_zero_when_well_separated() {
+        let pos = Tensor::from_rows(&[[0.1], [0.2]]);
+        let neg = Tensor::from_rows(&[[5.0], [6.0]]);
+        assert_eq!(margin_ranking(&pos, &neg, 1.0), 0.0);
+        assert_eq!(pairwise_accuracy(&pos, &neg), 1.0);
+    }
+
+    #[test]
+    fn loss_equals_margin_when_tied() {
+        let pos = Tensor::from_rows(&[[2.0]]);
+        let neg = Tensor::from_rows(&[[2.0]]);
+        assert!((margin_ranking(&pos, &neg, 0.5) - 0.5).abs() < 1e-6);
+        assert_eq!(pairwise_accuracy(&pos, &neg), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = Tensor::zeros(0, 1);
+        assert_eq!(margin_ranking(&empty, &empty, 1.0), 0.0);
+        assert_eq!(pairwise_accuracy(&empty, &empty), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Global tensor-memory accounting.
+//!
+//! The paper reports peak CUDA memory per framework (Table 5, Figure 6).
+//! Our analog: every [`crate::Tensor`] buffer registers its byte size on
+//! allocation and deregisters on drop, and we track the running and peak
+//! totals. Peak can be reset per phase (e.g. per training run) just like
+//! `torch.cuda.reset_peak_memory_stats`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensor::{memory, Tensor};
+//!
+//! memory::reset_peak();
+//! let before = memory::current_bytes();
+//! let t = Tensor::zeros(64, 64);
+//! assert!(memory::current_bytes() >= before + 64 * 64 * 4);
+//! drop(t);
+//! assert!(memory::peak_bytes() >= before + 64 * 64 * 4);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Registers an allocation of `bytes`.
+pub(crate) fn register(bytes: u64) {
+    let cur = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(cur, Ordering::Relaxed);
+}
+
+/// Deregisters an allocation of `bytes`.
+pub(crate) fn deregister(bytes: u64) {
+    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Currently live tensor bytes.
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live tensor bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live total.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// RAII scope that reports the peak-over-scope delta.
+///
+/// # Examples
+///
+/// ```
+/// let scope = tensor::memory::MemoryScope::start();
+/// let t = tensor::Tensor::zeros(128, 128);
+/// drop(t);
+/// assert!(scope.peak_delta_bytes() >= 128 * 128 * 4);
+/// ```
+#[derive(Debug)]
+pub struct MemoryScope {
+    baseline: u64,
+}
+
+impl MemoryScope {
+    /// Starts a scope: resets the peak to the current live total.
+    pub fn start() -> Self {
+        reset_peak();
+        Self { baseline: current_bytes() }
+    }
+
+    /// Peak bytes allocated above the scope's baseline so far.
+    pub fn peak_delta_bytes(&self) -> u64 {
+        peak_bytes().saturating_sub(self.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn tracks_alloc_and_free() {
+        let before = current_bytes();
+        let t = Tensor::zeros(100, 10);
+        assert_eq!(current_bytes(), before + 100 * 10 * 4);
+        drop(t);
+        assert_eq!(current_bytes(), before);
+    }
+
+    #[test]
+    fn peak_survives_drop() {
+        reset_peak();
+        let base = current_bytes();
+        {
+            let _a = Tensor::zeros(50, 50);
+            let _b = Tensor::zeros(50, 50);
+        }
+        assert!(peak_bytes() >= base + 2 * 50 * 50 * 4);
+    }
+
+    #[test]
+    fn clone_registers_its_own_buffer() {
+        let before = current_bytes();
+        let a = Tensor::zeros(10, 10);
+        let b = a.clone();
+        assert_eq!(current_bytes(), before + 2 * 10 * 10 * 4);
+        drop(a);
+        drop(b);
+        assert_eq!(current_bytes(), before);
+    }
+}

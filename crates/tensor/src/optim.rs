@@ -1,0 +1,271 @@
+//! Optimizers and learning-rate scheduling.
+//!
+//! The paper trains with a fixed learning rate of `4e-4` (§5.3) and, in
+//! Appendix E, adds a learning-rate scheduler for the accuracy comparison.
+//! All optimizers operate directly on a [`ParamStore`]; state (Adam moments,
+//! Adagrad accumulators) is keyed by parameter index and allocated lazily.
+
+use crate::{ParamStore, Tensor};
+
+/// A first-order optimizer over a [`ParamStore`].
+///
+/// Implementors read accumulated gradients and update parameter values in
+/// place; [`step`](Optimizer::step) does **not** zero gradients — call
+/// [`ParamStore::zero_grads`] per batch, as PyTorch does.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently in `store`.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedulers).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `p ← p − lr · g`.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::optim::{Optimizer, Sgd};
+/// use tensor::{ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let p = store.add_param("w", Tensor::full(1, 1, 1.0));
+/// store.grad_mut(p).set(0, 0, 0.5);
+/// Sgd::new(0.1).step(&mut store);
+/// assert!((store.value(p).get(0, 0) - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let lr = self.lr;
+        for (_, value, grad) in store.iter_mut() {
+            value.add_scaled(grad, -lr);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad: per-coordinate adaptive learning rates.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<Option<Tensor>>,
+}
+
+impl Adagrad {
+    /// Creates Adagrad with learning rate `lr` and stability epsilon `1e-10`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, eps: 1e-10, accum: Vec::new() }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, store: &mut ParamStore) {
+        let (lr, eps) = (self.lr, self.eps);
+        let n = store.len();
+        self.accum.resize_with(n, || None);
+        for (id, value, grad) in store.iter_mut() {
+            let acc = self.accum[id_index(id)]
+                .get_or_insert_with(|| Tensor::zeros(value.rows(), value.cols()));
+            let (vd, gd, ad) =
+                (value.as_mut_slice(), grad.as_slice(), acc.as_mut_slice());
+            for i in 0..vd.len() {
+                let g = gd[i];
+                let a = ad[i] + g * g;
+                ad[i] = a;
+                vd[i] -= lr * g / (a.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyperparameters `β₁=0.9, β₂=0.999`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let n = store.len();
+        self.moments.resize_with(n, || None);
+        for (id, value, grad) in store.iter_mut() {
+            let (m, v) = self.moments[id_index(id)].get_or_insert_with(|| {
+                (Tensor::zeros(value.rows(), value.cols()),
+                 Tensor::zeros(value.rows(), value.cols()))
+            });
+            let (vd, gd) = (value.as_mut_slice(), grad.as_slice());
+            let (md, sd) = (m.as_mut_slice(), v.as_mut_slice());
+            for i in 0..vd.len() {
+                let g = gd[i];
+                md[i] = b1 * md[i] + (1.0 - b1) * g;
+                sd[i] = b2 * sd[i] + (1.0 - b2) * g * g;
+                let mhat = md[i] / bias1;
+                let vhat = sd[i] / bias2;
+                vd[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+fn id_index(id: crate::ParamId) -> usize {
+    // ParamStore hands out ids densely, so the index doubles as a state key.
+    id.index()
+}
+
+/// Multiplicative step decay: every `step_size` epochs, `lr ← lr · gamma`
+/// (the Appendix E scheduler).
+#[derive(Debug, Clone)]
+pub struct StepLr {
+    base_lr: f32,
+    step_size: u32,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// Creates a scheduler decaying by `gamma` every `step_size` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_size == 0`.
+    pub fn new(base_lr: f32, step_size: u32, gamma: f32) -> Self {
+        assert!(step_size > 0, "step_size must be positive");
+        Self { base_lr, step_size, gamma }
+    }
+
+    /// Learning rate for a zero-based `epoch`.
+    pub fn lr_at(&self, epoch: u32) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: u32) {
+        opt.set_learning_rate(self.lr_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_store() -> (ParamStore, crate::ParamId) {
+        let mut s = ParamStore::new();
+        let p = s.add_param("x", Tensor::full(1, 1, 4.0));
+        (s, p)
+    }
+
+    /// Minimizes f(x) = x² with analytic gradient 2x.
+    fn run_steps(opt: &mut dyn Optimizer, store: &mut ParamStore, p: crate::ParamId, n: u32) {
+        for _ in 0..n {
+            store.zero_grads();
+            let x = store.value(p).get(0, 0);
+            store.grad_mut(p).set(0, 0, 2.0 * x);
+            opt.step(store);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let (mut s, p) = quadratic_store();
+        let mut opt = Sgd::new(0.1);
+        run_steps(&mut opt, &mut s, p, 100);
+        assert!(s.value(p).get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        let (mut s, p) = quadratic_store();
+        let mut opt = Adagrad::new(1.0);
+        run_steps(&mut opt, &mut s, p, 300);
+        assert!(s.value(p).get(0, 0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let (mut s, p) = quadratic_store();
+        let mut opt = Adam::new(0.2);
+        run_steps(&mut opt, &mut s, p, 300);
+        assert!(s.value(p).get(0, 0).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_lr_decays() {
+        let sched = StepLr::new(1.0, 10, 0.5);
+        assert_eq!(sched.lr_at(0), 1.0);
+        assert_eq!(sched.lr_at(9), 1.0);
+        assert_eq!(sched.lr_at(10), 0.5);
+        assert_eq!(sched.lr_at(25), 0.25);
+        let mut opt = Sgd::new(1.0);
+        sched.apply(&mut opt, 30);
+        assert!((opt.learning_rate() - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sgd_lr_is_settable() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Named wall-clock timers for training-phase attribution.
+//!
+//! The paper breaks training time into forward / backward / optimizer-step
+//! (Table 1, Figure 8) and attributes CPU time to individual functions
+//! (Figure 2). Every autograd op and trainer phase wraps itself in a
+//! [`scope`]; the accumulated totals regenerate those artifacts.
+//!
+//! # Examples
+//!
+//! ```
+//! tensor::profile::reset();
+//! {
+//!     let _t = tensor::profile::scope("my_phase");
+//!     std::thread::sleep(std::time::Duration::from_millis(1));
+//! }
+//! let report = tensor::profile::report();
+//! assert!(report.iter().any(|e| e.name == "my_phase" && e.calls == 1));
+//! ```
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Entry {
+    total: Duration,
+    calls: u64,
+}
+
+static REGISTRY: Mutex<Option<HashMap<&'static str, Entry>>> = Mutex::new(None);
+
+/// One row of a profiling [`report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// Scope name.
+    pub name: &'static str,
+    /// Accumulated wall-clock time.
+    pub total: Duration,
+    /// Number of times the scope was entered.
+    pub calls: u64,
+}
+
+/// RAII guard recording elapsed time into the named bucket on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts a named timing scope.
+///
+/// Names must be `'static` (string literals); nesting is allowed and each
+/// scope accumulates independently (no exclusive-time subtraction).
+pub fn scope(name: &'static str) -> ScopeGuard {
+    ScopeGuard { name, start: Instant::now() }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let mut reg = REGISTRY.lock();
+        let map = reg.get_or_insert_with(HashMap::new);
+        let e = map.entry(self.name).or_default();
+        e.total += elapsed;
+        e.calls += 1;
+    }
+}
+
+/// Returns accumulated totals, sorted by descending total time.
+pub fn report() -> Vec<ReportEntry> {
+    let reg = REGISTRY.lock();
+    let mut rows: Vec<ReportEntry> = reg
+        .as_ref()
+        .map(|m| {
+            m.iter()
+                .map(|(&name, e)| ReportEntry { name, total: e.total, calls: e.calls })
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort_by_key(|e| std::cmp::Reverse(e.total));
+    rows
+}
+
+/// Total time recorded under `name` (zero if never entered).
+pub fn total(name: &str) -> Duration {
+    let reg = REGISTRY.lock();
+    reg.as_ref()
+        .and_then(|m| m.get(name).map(|e| e.total))
+        .unwrap_or_default()
+}
+
+/// Clears all accumulated totals.
+pub fn reset() {
+    let mut reg = REGISTRY.lock();
+    *reg = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_calls() {
+        reset();
+        for _ in 0..3 {
+            let _t = scope("unit_test_scope");
+        }
+        let rows = report();
+        let row = rows.iter().find(|e| e.name == "unit_test_scope").unwrap();
+        assert_eq!(row.calls, 3);
+    }
+
+    #[test]
+    fn total_of_unknown_scope_is_zero() {
+        assert_eq!(total("never_entered_xyz"), Duration::ZERO);
+    }
+
+    #[test]
+    fn nested_scopes_both_record() {
+        reset();
+        {
+            let _a = scope("outer_scope_test");
+            let _b = scope("inner_scope_test");
+        }
+        assert!(report().iter().any(|e| e.name == "outer_scope_test"));
+        assert!(report().iter().any(|e| e.name == "inner_scope_test"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Parameter storage: the model's learnable tensors and their gradients.
+
+use crate::{Error, Result, Tensor};
+
+/// Opaque handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The dense index of this parameter within its store (stable for the
+    /// store's lifetime; optimizers key their state on it).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns a model's learnable tensors and their gradient accumulators.
+///
+/// Parameters live *outside* the autograd tape: per-batch [`crate::Graph`]s
+/// reference them by [`ParamId`] so the (potentially huge) embedding matrices
+/// are never copied into the graph. Gradients accumulate across
+/// [`crate::Graph::backward`] calls until [`ParamStore::zero_grads`].
+///
+/// # Examples
+///
+/// ```
+/// use tensor::{ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add_param("weights", Tensor::zeros(4, 2));
+/// assert_eq!(store.value(w).shape(), (4, 2));
+/// assert_eq!(store.lookup("weights"), Some(w));
+/// ```
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (parameter names are unique).
+    pub fn add_param(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate parameter name: {name}"
+        );
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.names.push(name);
+        self.values.push(value);
+        self.grads.push(grad);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Finds a parameter by name.
+    pub fn lookup(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Like [`lookup`](Self::lookup) but returns an error for missing names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownParam`] if no parameter has this name.
+    pub fn require(&self, name: &str) -> Result<ParamId> {
+        self.lookup(name).ok_or_else(|| Error::UnknownParam { name: name.to_string() })
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Borrows a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutably borrows a parameter's value (e.g. for normalization between
+    /// epochs, as TransE does).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Borrows a parameter's gradient accumulator.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutably borrows a parameter's gradient accumulator.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Simultaneously borrows value immutably and gradient mutably.
+    pub(crate) fn value_and_grad_mut(&mut self, id: ParamId) -> (&Tensor, &mut Tensor) {
+        (&self.values[id.0], &mut self.grads[id.0])
+    }
+
+    /// Iterates over `(id, value, grad)` triples mutably (optimizer hook).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor)> {
+        self.values
+            .iter_mut()
+            .zip(self.grads.iter_mut())
+            .enumerate()
+            .map(|(i, (v, g))| (ParamId(i), v, g))
+    }
+
+    /// Handles of all registered parameters, in registration order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        (0..self.values.len()).map(ParamId).collect()
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.zero_();
+        }
+    }
+
+    /// Total number of learnable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_and_access() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(2, 3));
+        let b = s.add_param("b", Tensor::zeros(1, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lookup("a"), Some(a));
+        assert_eq!(s.lookup("missing"), None);
+        assert!(s.require("missing").is_err());
+        assert_eq!(s.name(b), "b");
+        assert_eq!(s.num_scalars(), 7);
+        s.value_mut(a).set(0, 0, 1.0);
+        assert_eq!(s.value(a).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn grads_zeroable() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(2, 2));
+        s.grad_mut(a).set(1, 1, 5.0);
+        s.zero_grads();
+        assert_eq!(s.grad(a).get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.add_param("x", Tensor::zeros(1, 1));
+        s.add_param("x", Tensor::zeros(1, 1));
+    }
+}

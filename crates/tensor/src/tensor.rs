@@ -1,0 +1,331 @@
+//! The dense tensor type.
+
+use crate::memory;
+
+/// An owned, row-major `rows × cols` matrix of `f32` with tracked allocation.
+///
+/// `Tensor` is deliberately 2-D: every object in translation-based KGE
+/// training is a matrix (embedding tables, batches of expression rows,
+/// per-triple score columns). Column vectors are `m × 1` tensors.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+/// let b = a.map(|x| x * 2.0);
+/// assert_eq!(b.row(1), &[6.0, 8.0]);
+/// ```
+#[derive(Debug, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        memory::register((rows * cols * 4) as u64);
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        memory::register((rows * cols * 4) as u64);
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        memory::register((data.len() * 4) as u64);
+        Self { rows, cols, data }
+    }
+
+    /// Creates a tensor from fixed-size row arrays.
+    pub fn from_rows<const N: usize>(rows: &[[f32; N]]) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * N);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self::from_vec(rows.len(), N, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// A borrowed [`sparse::DenseView`] of this tensor.
+    pub fn view(&self) -> sparse::DenseView<'_> {
+        sparse::DenseView::new(self.rows, self.cols, &self.data)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let src = &self.data;
+        xparallel::parallel_for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                *d = f(src[offset + k]);
+            }
+        });
+        out
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let (a, b) = (&self.data, &other.data);
+        xparallel::parallel_for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                *d = f(a[offset + k], b[offset + k]);
+            }
+        });
+        out
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        let b = &other.data;
+        xparallel::parallel_for_mut(&mut self.data, 4096, |offset, chunk| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                *d += alpha * b[offset + k];
+            }
+        });
+    }
+
+    /// In-place fill with zeros.
+    pub fn zero_(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        xparallel::parallel_map_reduce(
+            self.data.len(),
+            8192,
+            0f64,
+            |r| self.data[r].iter().map(|&x| x as f64).sum::<f64>(),
+            |a, b| a + b,
+        ) as f32
+    }
+
+    /// Mean of all elements (`0.0` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        (xparallel::parallel_map_reduce(
+            self.data.len(),
+            8192,
+            0f64,
+            |r| self.data[r].iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>(),
+            |a, b| a + b,
+        ))
+        .sqrt() as f32
+    }
+
+    /// Normalizes each row to unit L2 norm in place (rows with norm below
+    /// `eps` are left untouched).
+    pub fn normalize_rows_(&mut self, eps: f32) {
+        let cols = self.cols;
+        xparallel::parallel_for_rows(&mut self.data, cols.max(1), 64, |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols.max(1)) {
+                let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > eps {
+                    let inv = 1.0 / norm;
+                    for x in row {
+                        *x *= inv;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Consumes the tensor, returning the buffer (deregisters memory).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        // The Drop impl will see an empty buffer, so deregister here.
+        memory::deregister((data.len() * 4) as u64);
+        data
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        memory::register((self.data.len() * 4) as u64);
+        Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        memory::deregister((self.data.len() * 4) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.len(), 12);
+        assert!(!t.is_empty());
+        let t = Tensor::full(2, 2, 7.0);
+        assert_eq!(t.as_slice(), &[7.0; 4]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_rows(&[[1.0, -2.0]]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.as_slice(), &[1.0, 2.0]);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(c.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::zeros(1, 3);
+        let b = Tensor::from_rows(&[[1.0, 2.0, 3.0]]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.frobenius_norm() - 30f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_normalization() {
+        let mut t = Tensor::from_rows(&[[3.0, 4.0], [0.0, 0.0]]);
+        t.normalize_rows_(1e-12);
+        assert!((t.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((t.get(0, 1) - 0.8).abs() < 1e-6);
+        assert_eq!(t.row(1), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let t = Tensor::zeros(0, 5);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_validates_shapes() {
+        let a = Tensor::zeros(1, 2);
+        let b = Tensor::zeros(2, 1);
+        let _ = a.zip_map(&b, |x, _| x);
+    }
+}

@@ -1,0 +1,486 @@
+//! Minimal persistent thread pool and data-parallel loop primitives.
+//!
+//! The SparseTransX paper relies on OpenMP-style parallel loops (via MKL and
+//! iSpLib) for its CPU SpMM kernels. This crate provides the Rust-native
+//! equivalent used throughout the reproduction: a small persistent
+//! [`ThreadPool`] plus [`parallel_for`] / [`parallel_map_reduce`] helpers that
+//! split an index range into contiguous chunks, one per worker.
+//!
+//! Design goals:
+//!
+//! * **No per-call thread spawn.** Kernels are invoked thousands of times per
+//!   epoch; workers are started once and parked on a channel.
+//! * **Borrowed data.** Loop bodies may capture `&`/`&mut`-derived state; the
+//!   pool blocks until every task finishes before returning, which makes the
+//!   internal lifetime erasure sound.
+//! * **Determinism.** Chunk boundaries depend only on `(len, num_threads)`,
+//!   and reductions combine partial results in chunk order, so results are
+//!   reproducible run-to-run for a fixed thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! let mut out = vec![0u64; 1024];
+//! xparallel::parallel_for_mut(&mut out, 64, |offset, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (offset + i) as u64 * 2;
+//!     }
+//! });
+//! assert_eq!(out[10], 20);
+//! ```
+
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+mod pool;
+pub use pool::ThreadPool;
+
+/// Environment variable consulted for the default worker count.
+pub const NUM_THREADS_ENV: &str = "SPTX_NUM_THREADS";
+
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
+static PARALLELISM_LIMIT: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Returns the process-wide shared pool, creating it on first use.
+///
+/// The pool size is, in order of precedence: the value passed to
+/// [`set_num_threads`] before first use, the `SPTX_NUM_THREADS` environment
+/// variable, or the number of available CPUs.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| {
+        let n = OVERRIDE_THREADS.load(Ordering::SeqCst);
+        let n = if n > 0 { n } else { default_num_threads() };
+        ThreadPool::new(n)
+    })
+}
+
+/// Sets the worker count used when the global pool is first created.
+///
+/// Has no effect if the global pool has already been instantiated; returns
+/// `false` in that case.
+pub fn set_num_threads(n: usize) -> bool {
+    OVERRIDE_THREADS.store(n.max(1), Ordering::SeqCst);
+    GLOBAL_POOL.get().is_none()
+}
+
+/// Number of workers in the global pool (forces pool creation).
+pub fn current_num_threads() -> usize {
+    global_pool().num_threads()
+}
+
+/// Caps how many chunks the `parallel_*` helpers may split work into,
+/// without tearing down the pool. `1` forces sequential execution.
+///
+/// The SparseTransX benchmarks use this to emulate the paper's single-core
+/// "CPU" and all-core "GPU" configurations within one process. Returns the
+/// previous limit.
+pub fn set_parallelism_limit(n: usize) -> usize {
+    PARALLELISM_LIMIT.swap(n.max(1), Ordering::SeqCst)
+}
+
+/// The current chunk-count cap (defaults to unlimited).
+pub fn parallelism_limit() -> usize {
+    PARALLELISM_LIMIT.load(Ordering::SeqCst)
+}
+
+/// Effective worker count: pool size clamped by the parallelism limit.
+pub fn effective_parallelism() -> usize {
+    global_pool().num_threads().min(parallelism_limit())
+}
+
+/// Runs `f` with the parallelism limit set to `n`, restoring it afterwards.
+pub fn with_parallelism<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = set_parallelism_limit(n);
+    let result = f();
+    set_parallelism_limit(prev);
+    result
+}
+
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var(NUM_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `max_chunks` contiguous ranges of at least
+/// `min_chunk` items each (except possibly the last).
+///
+/// Returns an empty vector when `len == 0`.
+pub fn chunk_ranges(len: usize, min_chunk: usize, max_chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_chunks = max_chunks.max(1);
+    let chunks = (len / min_chunk).clamp(1, max_chunks);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let extra = usize::from(i < rem);
+        let end = start + base + extra;
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `body(range)` over disjoint chunks of `0..len` on the global pool.
+///
+/// `min_chunk` bounds how small a chunk may get; short loops run inline on the
+/// caller thread without touching the pool.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any chunk body.
+pub fn parallel_for<F>(len: usize, min_chunk: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let pool = global_pool();
+    let ranges = chunk_ranges(len, min_chunk, effective_parallelism());
+    if ranges.len() == 1 {
+        body(0..len);
+        return;
+    }
+    pool.scope_run(&ranges, &body);
+}
+
+/// Runs `body(offset, chunk)` over disjoint mutable sub-slices of `data`.
+///
+/// This is the mutable-output workhorse used by the SpMM kernels: each worker
+/// owns an exclusive window of the output buffer, so no synchronization is
+/// needed inside the loop body.
+pub fn parallel_for_mut<T, F>(data: &mut [T], min_chunk: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let pool = global_pool();
+    let ranges = chunk_ranges(len, min_chunk, effective_parallelism());
+    if ranges.len() == 1 {
+        body(0, data);
+        return;
+    }
+    // Slice the buffer into disjoint windows up front; the borrow checker
+    // verifies disjointness through `split_at_mut`.
+    let mut windows: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed = 0;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.end - consumed);
+        windows.push((consumed, head));
+        consumed = r.end;
+        rest = tail;
+    }
+    let windows: Vec<Mutex<Option<(usize, &mut [T])>>> =
+        windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
+        for i in r {
+            let (offset, chunk) = windows[i].lock().take().expect("window taken twice");
+            body(offset, chunk);
+        }
+    });
+}
+
+/// Index ranges `i..i+1` for dispatching one pre-built work item per task.
+fn singleton_ranges(n: usize) -> Vec<Range<usize>> {
+    (0..n).map(|i| i..i + 1).collect()
+}
+
+/// Runs `body(first_row, rows_chunk)` over row-aligned mutable windows of a
+/// row-major buffer.
+///
+/// `data.len()` must be a multiple of `stride` (the row width); chunk
+/// boundaries always fall on row boundaries, which is what the SpMM kernels
+/// need to hand each worker an exclusive set of output rows.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or `data.len() % stride != 0`.
+pub fn parallel_for_rows<T, F>(data: &mut [T], stride: usize, min_rows: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(data.len() % stride, 0, "buffer not a whole number of rows");
+    let nrows = data.len() / stride;
+    if nrows == 0 {
+        return;
+    }
+    let pool = global_pool();
+    let ranges = chunk_ranges(nrows, min_rows.max(1), effective_parallelism());
+    if ranges.len() == 1 {
+        body(0, data);
+        return;
+    }
+    let mut windows: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed_rows = 0;
+    for r in &ranges {
+        let take = (r.end - consumed_rows) * stride;
+        let (head, tail) = rest.split_at_mut(take);
+        windows.push((consumed_rows, head));
+        consumed_rows = r.end;
+        rest = tail;
+    }
+    let windows: Vec<Mutex<Option<(usize, &mut [T])>>> =
+        windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
+        for i in r {
+            let (first_row, chunk) = windows[i].lock().take().expect("window taken twice");
+            body(first_row, chunk);
+        }
+    });
+}
+
+/// Maps chunks of `0..len` to partial values and folds them in chunk order.
+///
+/// `map(range)` produces one partial per chunk; `reduce` combines partials
+/// left-to-right starting from `identity`, so floating-point reductions are
+/// deterministic for a fixed thread count.
+pub fn parallel_map_reduce<T, M, R>(len: usize, min_chunk: usize, identity: T, map: M, reduce: R) -> T
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    if len == 0 {
+        return identity;
+    }
+    let pool = global_pool();
+    let ranges = chunk_ranges(len, min_chunk, effective_parallelism());
+    if ranges.len() == 1 {
+        return reduce(identity, map(0..len));
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    let ranges_for_run = ranges.clone();
+    pool.scope_run_indexed(&ranges_for_run, &|i, r| {
+        *slots[i].lock() = Some(map(r));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let part = slot.into_inner().expect("missing reduction partial");
+        acc = reduce(acc, part);
+    }
+    acc
+}
+
+/// A latch that lets one thread wait for `n` completions.
+pub(crate) struct WaitGroup {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+    panicked: Mutex<Option<String>>,
+}
+
+impl WaitGroup {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            remaining: Mutex::new(n),
+            cond: Condvar::new(),
+            panicked: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn done(&self) {
+        let mut rem = self.remaining.lock();
+        *rem -= 1;
+        if *rem == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    pub(crate) fn record_panic(&self, msg: String) {
+        let mut p = self.panicked.lock();
+        if p.is_none() {
+            *p = Some(msg);
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut rem = self.remaining.lock();
+        while *rem > 0 {
+            self.cond.wait(&mut rem);
+        }
+        drop(rem);
+        if let Some(msg) = self.panicked.lock().take() {
+            panic!("worker task panicked: {msg}");
+        }
+    }
+}
+
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+pub(crate) fn run_catching(wg: &WaitGroup, f: impl FnOnce()) {
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Err(e) = result {
+        let msg = e
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| e.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        wg.record_panic(msg);
+    }
+    wg.done();
+}
+
+pub(crate) fn spawn_worker(rx: crossbeam::channel::Receiver<Job>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("xparallel-worker".into())
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                job();
+            }
+        })
+        .expect("failed to spawn worker thread")
+}
+
+pub(crate) fn make_channel() -> (Sender<Job>, crossbeam::channel::Receiver<Job>) {
+    unbounded()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for len in [0usize, 1, 7, 64, 1000, 1001] {
+            for min_chunk in [1usize, 8, 100] {
+                for max_chunks in [1usize, 3, 16] {
+                    let ranges = chunk_ranges(len, min_chunk, max_chunks);
+                    let total: usize = ranges.iter().map(|r| r.len()).sum();
+                    assert_eq!(total, len, "len={len} mc={min_chunk} xc={max_chunks}");
+                    let mut cursor = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, cursor);
+                        assert!(!r.is_empty());
+                        cursor = r.end;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_respect_max_chunks() {
+        let ranges = chunk_ranges(100, 1, 4);
+        assert_eq!(ranges.len(), 4);
+        let ranges = chunk_ranges(3, 10, 4);
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn parallel_for_sums() {
+        let acc = AtomicU64::new(0);
+        parallel_for(10_000, 16, |r| {
+            let local: u64 = r.map(|i| i as u64).sum();
+            acc.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10_000u64 * 9_999 / 2);
+    }
+
+    #[test]
+    fn parallel_for_mut_writes_all() {
+        let mut data = vec![0usize; 4096];
+        parallel_for_mut(&mut data, 32, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_is_row_aligned() {
+        let stride = 7;
+        let nrows = 1000;
+        let mut data = vec![usize::MAX; stride * nrows];
+        parallel_for_rows(&mut data, stride, 4, |first_row, chunk| {
+            assert_eq!(chunk.len() % stride, 0);
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = first_row + k / stride;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / stride);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn parallel_for_rows_validates_stride() {
+        let mut data = vec![0u8; 10];
+        parallel_for_rows(&mut data, 3, 1, |_, _| {});
+    }
+
+    #[test]
+    fn map_reduce_is_deterministic() {
+        let a = parallel_map_reduce(100_000, 64, 0f64, |r| r.map(|i| i as f64).sum(), |a, b| a + b);
+        let b = parallel_map_reduce(100_000, 64, 0f64, |r| r.map(|i| i as f64).sum(), |a, b| a + b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        parallel_for(0, 1, |_| panic!("should not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_for_mut(&mut empty, 1, |_, _| panic!("should not run"));
+        let v = parallel_map_reduce(0, 1, 42u32, |_| panic!("should not run"), |a, _b| a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn parallelism_limit_forces_sequential() {
+        let before = parallelism_limit();
+        with_parallelism(1, || {
+            assert_eq!(effective_parallelism(), 1);
+            // Work still completes correctly.
+            let mut data = vec![0usize; 1000];
+            parallel_for_mut(&mut data, 1, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+        });
+        assert_eq!(parallelism_limit(), before);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(1000, 1, |r| {
+                if r.contains(&500) {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! `sptx` — command-line trainer for SparseTransX models.
+//!
+//! See `sptx help` for usage.
+
+use sptransx_repro::cli;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = cli::parse_args(&raw).and_then(|args| cli::run(&args));
+    match result {
+        Ok(message) => println!("{message}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

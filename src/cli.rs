@@ -1,0 +1,412 @@
+//! Command-line interface logic for the `sptx` binary.
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic KG to TSV files
+//!   (`--entities`, `--relations`, `--triples`, `--out <dir>`).
+//! * `train` — train a model on a TSV file and save embeddings
+//!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`).
+//! * `eval` — link prediction of saved embeddings against a test TSV.
+//! * `stats` — print dataset statistics (degrees, relation classes).
+//!
+//! Parsing is deliberately dependency-free (`--key value` pairs); this
+//! module holds the testable core, `src/bin/sptx.rs` is a thin shell.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use kg::eval::EvalConfig;
+use kg::stream::EmbeddingStore;
+use kg::{load_tsv, write_tsv, Dataset, Vocab};
+use sptransx::{
+    KgeModel, Norm, SamplerKind, SpDistMult, SpTorusE, SpTransE, SpTransH, SpTransR, TrainConfig,
+    Trainer,
+};
+
+/// Parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// `--key value` options (keys without the dashes).
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (missing command, unknown flag, unparsable value).
+    Usage(String),
+    /// Underlying library failure.
+    Library(Box<dyn std::error::Error>),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Library(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<kg::Error> for CliError {
+    fn from(e: kg::Error) -> Self {
+        CliError::Library(Box::new(e))
+    }
+}
+
+impl From<sptransx::Error> for CliError {
+    fn from(e: sptransx::Error) -> Self {
+        CliError::Library(Box::new(e))
+    }
+}
+
+/// Splits raw arguments (without argv\[0\]) into a subcommand and options.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when no subcommand is present, a flag lacks a
+/// value, or a positional argument appears after the subcommand.
+pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
+    let mut iter = raw.iter();
+    let command = iter
+        .next()
+        .ok_or_else(|| CliError::Usage("expected a subcommand (generate|train|eval|stats)".into()))?
+        .clone();
+    let mut options = HashMap::new();
+    while let Some(key) = iter.next() {
+        let Some(stripped) = key.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected positional argument {key:?}")));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("flag --{stripped} needs a value")))?;
+        options.insert(stripped.to_string(), value.clone());
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// A string option with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if missing.
+    pub fn required(&self, key: &str) -> Result<String, CliError> {
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("could not parse --{key} value {v:?}"))),
+        }
+    }
+}
+
+/// The `generate` subcommand: synthesize a KG and write train/valid/test TSVs.
+///
+/// # Errors
+///
+/// Propagates I/O and usage errors.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let entities: usize = args.parse_or("entities", 1_000)?;
+    let relations: usize = args.parse_or("relations", 10)?;
+    let triples: usize = args.parse_or("triples", entities * 5)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = PathBuf::from(args.str_or("out", "kg-out"));
+    std::fs::create_dir_all(&out).map_err(kg::Error::from)?;
+
+    let ds = kg::synthetic::SyntheticKgBuilder::new(entities, relations)
+        .triples(triples)
+        .seed(seed)
+        .build();
+    let vocab = numeric_vocab(entities, relations);
+    for (name, store) in
+        [("train.tsv", &ds.train), ("valid.tsv", &ds.valid), ("test.tsv", &ds.test)]
+    {
+        let file = std::fs::File::create(out.join(name)).map_err(kg::Error::from)?;
+        write_tsv(file, store, &vocab)?;
+    }
+    Ok(format!(
+        "wrote {} train / {} valid / {} test triples to {}",
+        ds.train.len(),
+        ds.valid.len(),
+        ds.test.len(),
+        out.display()
+    ))
+}
+
+/// The `train` subcommand: load a TSV, train, save embeddings + report.
+///
+/// # Errors
+///
+/// Propagates I/O, parse and training errors.
+pub fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let train_path = args.required("train")?;
+    let model_name = args.str_or("model", "transe");
+    let config = config_from_args(args)?;
+    let out = PathBuf::from(args.str_or("out", "embeddings.bin"));
+
+    let (ds, _vocab) = load_dataset(Path::new(&train_path), args)?;
+    let (summary, emb) = train_dispatch(&model_name, &ds, &config)?;
+    if let Some((rows, cols, data)) = emb {
+        EmbeddingStore::write(&out, rows, cols, |r, dst| {
+            dst.copy_from_slice(&data[r * cols..(r + 1) * cols]);
+        })?;
+    }
+    Ok(format!("{summary}\nembeddings saved to {}", out.display()))
+}
+
+/// The `stats` subcommand.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let path = args.required("train")?;
+    let (ds, _) = load_dataset(Path::new(&path), args)?;
+    let stats = kg::stats::GraphStats::compute(&ds.train, ds.num_entities);
+    Ok(format!(
+        "triples: {}\nactive entities: {}\nactive relations: {}\nmean degree: {:.2}\n\
+         max degree: {}\ntop-1% degree share: {:.1}%\nrelation classes (1-1/1-N/N-1/N-N): {:?}",
+        stats.triples,
+        stats.active_entities,
+        stats.active_relations,
+        stats.mean_degree,
+        stats.max_degree,
+        100.0 * stats.top1pct_degree_share,
+        stats.class_counts
+    ))
+}
+
+fn numeric_vocab(entities: usize, relations: usize) -> Vocab {
+    let mut vocab = Vocab::new();
+    for e in 0..entities {
+        vocab.intern_entity(&format!("e{e}"));
+    }
+    for r in 0..relations {
+        vocab.intern_relation(&format!("r{r}"));
+    }
+    vocab
+}
+
+fn load_dataset(train: &Path, args: &Args) -> Result<(Dataset, Vocab), CliError> {
+    let mut vocab = Vocab::new();
+    let file = std::fs::File::open(train).map_err(kg::Error::from)?;
+    let store = load_tsv(file, &mut vocab)?;
+    let valid_frac: f64 = args.parse_or("valid-frac", 0.0)?;
+    let test_frac: f64 = args.parse_or("test-frac", 0.1)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let ds = Dataset::from_single_store(
+        train.display().to_string(),
+        vocab.num_entities(),
+        vocab.num_relations(),
+        store,
+        valid_frac,
+        test_frac,
+        seed,
+    )?;
+    Ok((ds, vocab))
+}
+
+fn config_from_args(args: &Args) -> Result<TrainConfig, CliError> {
+    let norm = match args.str_or("norm", "l2").as_str() {
+        "l1" => Norm::L1,
+        "l2" => Norm::L2,
+        other => return Err(CliError::Usage(format!("unknown --norm {other:?} (l1|l2)"))),
+    };
+    let sampler = match args.str_or("sampler", "uniform").as_str() {
+        "uniform" => SamplerKind::Uniform,
+        "bernoulli" => SamplerKind::Bernoulli,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --sampler {other:?} (uniform|bernoulli)"
+            )))
+        }
+    };
+    Ok(TrainConfig {
+        epochs: args.parse_or("epochs", 50)?,
+        batch_size: args.parse_or("batch-size", 1024)?,
+        dim: args.parse_or("dim", 64)?,
+        rel_dim: args.parse_or("rel-dim", 32)?,
+        lr: args.parse_or("lr", 0.1)?,
+        margin: args.parse_or("margin", 0.5)?,
+        norm,
+        sampler,
+        seed: args.parse_or("seed", 42)?,
+        lr_schedule: None,
+    })
+}
+
+type EmbeddingDump = Option<(usize, usize, Vec<f32>)>;
+
+fn train_dispatch(
+    model: &str,
+    ds: &Dataset,
+    config: &TrainConfig,
+) -> Result<(String, EmbeddingDump), CliError> {
+    macro_rules! run {
+        ($ctor:expr) => {{
+            let model = $ctor?;
+            let mut trainer = Trainer::new(model, ds, config)?;
+            let report = trainer.run()?;
+            let eval = trainer.evaluate(ds, &EvalConfig { max_triples: Some(500), ..Default::default() });
+            let m = trainer.model();
+            let emb_id = m.store().lookup("embeddings");
+            let emb = emb_id.map(|id| {
+                let t = m.store().value(id);
+                (t.rows(), t.cols(), t.as_slice().to_vec())
+            });
+            let summary = format!(
+                "{}: {} epochs, loss {:.4} -> {:.4}, wall {:.2}s, Hits@10 {:.3}, MRR {:.3}",
+                KgeModel::name(m),
+                report.epoch_losses.len(),
+                report.epoch_losses.first().copied().unwrap_or(0.0),
+                report.epoch_losses.last().copied().unwrap_or(0.0),
+                report.wall.as_secs_f64(),
+                eval.hits(10).unwrap_or(0.0),
+                eval.mrr,
+            );
+            Ok((summary, emb))
+        }};
+    }
+    match model {
+        "transe" => run!(SpTransE::from_config(ds, config)),
+        "toruse" => run!(SpTorusE::from_config(ds, config)),
+        "transr" => run!(SpTransR::from_config(ds, config)),
+        "transh" => run!(SpTransH::from_config(ds, config)),
+        "distmult" => run!(SpDistMult::from_config(ds, config)),
+        other => Err(CliError::Usage(format!(
+            "unknown --model {other:?} (transe|toruse|transr|transh|distmult)"
+        ))),
+    }
+}
+
+/// Dispatches a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates all subcommand errors.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "train" => cmd_train(args),
+        "stats" => cmd_stats(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+sptx — SparseTransX knowledge-graph embedding trainer
+
+USAGE:
+  sptx generate --entities N --relations R --triples M --out DIR
+  sptx train    --train FILE.tsv [--model transe|toruse|transr|transh|distmult]
+                [--epochs E] [--dim D] [--lr LR] [--margin M] [--norm l1|l2]
+                [--sampler uniform|bernoulli] [--out embeddings.bin]
+  sptx stats    --train FILE.tsv
+  sptx help";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_and_flags() {
+        let args = parse_args(&strs(&["train", "--epochs", "5", "--lr", "0.1"])).unwrap();
+        assert_eq!(args.command, "train");
+        assert_eq!(args.parse_or("epochs", 0usize).unwrap(), 5);
+        assert!((args.parse_or("lr", 0.0f32).unwrap() - 0.1).abs() < 1e-6);
+        assert_eq!(args.parse_or("dim", 64usize).unwrap(), 64);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&strs(&["train", "positional"])).is_err());
+        assert!(parse_args(&strs(&["train", "--epochs"])).is_err());
+        let args = parse_args(&strs(&["train", "--epochs", "abc"])).unwrap();
+        assert!(args.parse_or("epochs", 0usize).is_err());
+        assert!(args.required("missing").is_err());
+    }
+
+    #[test]
+    fn generate_then_stats_then_train() {
+        let dir = std::env::temp_dir().join("sptx-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+
+        let gen = parse_args(&strs(&[
+            "generate", "--entities", "80", "--relations", "4", "--triples", "500", "--out", &out,
+        ]))
+        .unwrap();
+        let msg = run(&gen).unwrap();
+        assert!(msg.contains("train"), "{msg}");
+
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let stats = parse_args(&strs(&["stats", "--train", &train_file])).unwrap();
+        let msg = run(&stats).unwrap();
+        assert!(msg.contains("mean degree"), "{msg}");
+
+        let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
+        let train = parse_args(&strs(&[
+            "train", "--train", &train_file, "--epochs", "3", "--dim", "8", "--batch-size",
+            "64", "--out", &emb_out,
+        ]))
+        .unwrap();
+        let msg = run(&train).unwrap();
+        assert!(msg.contains("SpTransE"), "{msg}");
+        assert!(dir.join("emb.bin").exists());
+    }
+
+    #[test]
+    fn unknown_subcommand_and_model() {
+        let args = parse_args(&strs(&["frobnicate"])).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+
+        let dir = std::env::temp_dir().join("sptx-cli-test2");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate", "--entities", "30", "--relations", "2", "--triples", "100", "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let bad = parse_args(&strs(&["train", "--train", &train_file, "--model", "nope"]))
+            .unwrap();
+        assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let args = parse_args(&strs(&["help"])).unwrap();
+        assert_eq!(run(&args).unwrap(), USAGE);
+    }
+}
