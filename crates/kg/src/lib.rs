@@ -12,6 +12,10 @@
 //! entity popularity and a realistic mix of relation cardinalities — the
 //! properties that drive both training cost and ranking difficulty.
 //!
+//! **Place in the workspace:** depends only on `xparallel` (parallel
+//! evaluation); `sptransx` consumes its datasets, batch plans, and samplers,
+//! and the bench harness its synthetic dataset shapes.
+//!
 //! # Examples
 //!
 //! ```

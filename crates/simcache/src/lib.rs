@@ -11,7 +11,11 @@
 //! * [`Cache`] — one set-associative LRU level.
 //! * [`Hierarchy`] — an inclusive two-level (L1 + L2) stack.
 //! * [`trace`] — address-stream generators mirroring the kernels in
-//!   `sptx-sparse` and `sptx-tensor`.
+//!   `sparse` and `tensor`.
+//!
+//! **Place in the workspace:** a leaf analysis crate over `sparse` (whose
+//! matrices drive the traces); only the bench harness (`table7`) depends on
+//! it.
 //!
 //! # Examples
 //!

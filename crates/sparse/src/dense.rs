@@ -1,8 +1,8 @@
 //! Row-major dense matrices used as SpMM operands.
 //!
-//! The autograd crate (`sptx-tensor`) has its own tensor type; these are the
+//! The autograd crate (`tensor`) has its own tensor type; these are the
 //! minimal owned/borrowed dense-matrix views the sparse kernels operate on so
-//! that `sptx-sparse` stays dependency-free in that direction.
+//! that `sparse` stays dependency-free in that direction.
 
 use serde::{Deserialize, Serialize};
 

@@ -12,6 +12,10 @@
 //! matrix** ([`incidence`]), whose rows hold exactly two (`h − t`) or three
 //! (`h + r − t`) nonzeros drawn from `{−1, +1}`.
 //!
+//! **Place in the workspace:** sits directly on `xparallel`; consumed by
+//! `tensor` (the SpMM autograd op), `simcache` (kernel traces), and
+//! `sptransx` (incidence construction).
+//!
 //! # Examples
 //!
 //! ```

@@ -21,6 +21,10 @@
 //! and FLOP counts the paper tabulates. [`distributed`] adds the Appendix F
 //! data-parallel analog.
 //!
+//! **Place in the workspace:** the top of the model stack — it combines
+//! `kg` (data), `sparse` (incidence matrices), and `tensor` (autograd);
+//! the bench harness and the `sptransx-repro` facade sit above it.
+//!
 //! # Examples
 //!
 //! ```

@@ -21,6 +21,10 @@
 //!   forward/backward/step breakdowns (Table 1, Figure 8) and the
 //!   per-function attribution of Figure 2.
 //!
+//! **Place in the workspace:** builds on `sparse` (SpMM kernels) and
+//! `xparallel` (elementwise parallelism); `sptransx` drives every model's
+//! forward/backward through this tape.
+//!
 //! # Examples
 //!
 //! Differentiate a TransE-style score through the tape:

@@ -17,6 +17,10 @@
 //!   and reductions combine partial results in chunk order, so results are
 //!   reproducible run-to-run for a fixed thread count.
 //!
+//! **Place in the workspace:** the bottom of the dependency graph — this
+//! crate depends on no other workspace crate, and every kernel in `sparse`,
+//! `tensor`, and `kg` runs on its global pool.
+//!
 //! # Examples
 //!
 //! ```
@@ -194,7 +198,7 @@ where
         consumed = r.end;
         rest = tail;
     }
-    let windows: Vec<Mutex<Option<(usize, &mut [T])>>> =
+    let windows: Vec<WindowSlot<T>> =
         windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
     pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
         for i in r {
@@ -208,6 +212,9 @@ where
 fn singleton_ranges(n: usize) -> Vec<Range<usize>> {
     (0..n).map(|i| i..i + 1).collect()
 }
+
+/// One-shot handoff slot carrying a worker's `(offset, window)` pair.
+type WindowSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// Runs `body(first_row, rows_chunk)` over row-aligned mutable windows of a
 /// row-major buffer.
@@ -246,7 +253,7 @@ where
         consumed_rows = r.end;
         rest = tail;
     }
-    let windows: Vec<Mutex<Option<(usize, &mut [T])>>> =
+    let windows: Vec<WindowSlot<T>> =
         windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
     pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
         for i in r {

@@ -167,7 +167,7 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.num_threads(), 1);
-        pool.scope_run(&[0..4], &|r| assert_eq!(r, 0..4));
+        pool.scope_run(std::slice::from_ref(&(0..4)), &|r| assert_eq!(r, 0..4));
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //!   (`--entities`, `--relations`, `--triples`, `--out <dir>`).
 //! * `train` — train a model on a TSV file and save embeddings
 //!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`).
-//! * `eval` — link prediction of saved embeddings against a test TSV.
 //! * `stats` — print dataset statistics (degrees, relation classes).
 //!
 //! Parsing is deliberately dependency-free (`--key value` pairs); this
@@ -74,7 +73,7 @@ pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
     let mut iter = raw.iter();
     let command = iter
         .next()
-        .ok_or_else(|| CliError::Usage("expected a subcommand (generate|train|eval|stats)".into()))?
+        .ok_or_else(|| CliError::Usage("expected a subcommand (generate|train|stats)".into()))?
         .clone();
     let mut options = HashMap::new();
     while let Some(key) = iter.next() {

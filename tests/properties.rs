@@ -8,10 +8,12 @@ use sparse::spmm::{csr_spmm, spmm_reference};
 use sparse::{CooMatrix, DenseMatrix};
 use tensor::{ParamStore, Tensor};
 
+/// Generated batch: `(n_entities, n_relations, triples, embeddings, dim)`.
+type TripleBatch = (usize, usize, Vec<(u32, u32, u32)>, Vec<f32>, usize);
+
 /// Strategy: a batch of valid (h, r, t) triples with h != t over small
 /// entity/relation universes, plus an embedding matrix.
-fn triples_and_embeddings(
-) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, u32)>, Vec<f32>, usize)> {
+fn triples_and_embeddings() -> impl Strategy<Value = TripleBatch> {
     (2usize..30, 1usize..6, 1usize..40, 1usize..12).prop_flat_map(|(n, r, m, d)| {
         let triple = (0..n as u32, 0..r as u32, 0..n as u32)
             .prop_map(move |(h, rel, t)| {

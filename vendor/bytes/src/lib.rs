@@ -1,0 +1,182 @@
+//! Minimal offline shim for the subset of the `bytes` crate this workspace
+//! uses: [`BytesMut`] as a growable byte buffer with little-endian `put_*`
+//! writers, and the [`Buf`] reader trait for advancing `&[u8]` cursors.
+//!
+//! The container building this repository has no access to crates.io, so the
+//! workspace vendors tiny API-compatible stand-ins for its external
+//! dependencies (see `vendor/README.md`).
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Clears the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write primitive values to the end of a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian byte order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian byte order.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read primitive values from the front of a byte cursor, advancing it.
+pub trait Buf {
+    /// Bytes remaining in the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out of the cursor, advancing past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u64`, advancing 8 bytes.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`, advancing 4 bytes.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`, advancing 4 bytes.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`, advancing 8 bytes.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"MAGIC!!!");
+        buf.put_u64_le(42);
+        buf.put_f32_le(1.5);
+        let mut cursor: &[u8] = &buf;
+        let mut magic = [0u8; 8];
+        cursor.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"MAGIC!!!");
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u64_le(1);
+        assert_eq!(buf.len(), 8);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal offline shim for the subset of the `crossbeam` API this workspace
+//! uses: unbounded MPSC channels and scoped threads.
+//!
+//! The container building this repository has no access to crates.io, so the
+//! workspace vendors tiny API-compatible stand-ins for its external
+//! dependencies (see `vendor/README.md`). Channels delegate to
+//! `std::sync::mpsc`; scoped threads delegate to `std::thread::scope`.
+
+/// Multi-producer single-consumer channels (`crossbeam::channel` subset).
+pub mod channel {
+    /// The sending half of an unbounded channel.
+    pub use std::sync::mpsc::Sender;
+
+    /// The receiving half of an unbounded channel.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (`crossbeam::thread` subset).
+pub mod thread {
+    /// A scope handle passed to the closure of [`scope`]; spawned threads may
+    /// borrow from the enclosing stack frame.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope handle so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all threads are joined
+    /// before this returns. Unlike `std::thread::scope`, the crossbeam API
+    /// reports child panics as an `Err` rather than propagating them, but the
+    /// only caller in this workspace `.expect()`s the result either way, so
+    /// this shim lets std propagate the panic and always returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|scope| {
+                // Nested spawn through the handle the closure receives.
+                scope.spawn(|_| data.len()).join().unwrap() as u64
+            });
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Minimal offline shim for the subset of the `rand` 0.8 API this workspace
+//! uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods `gen_range` / `gen` / `gen_bool`, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The container building this repository has no access to crates.io, so the
+//! workspace vendors tiny API-compatible stand-ins for its external
+//! dependencies (see `vendor/README.md`). The generator is SplitMix64 — fast,
+//! 64-bit equidistributed, and entirely deterministic from the seed, which is
+//! what the reproduction's tests and synthetic-dataset builders need. Streams
+//! differ from upstream `StdRng` (ChaCha12), so seeds produce different
+//! values than the real crate; every consumer in this workspace only relies
+//! on determinism, not on specific streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word in the stream.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset: construction from a `u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing extension methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self.as_core())
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.as_core())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        f64::sample(self.as_core()) < p
+    }
+
+    #[doc(hidden)]
+    fn as_core(&mut self) -> &mut dyn RngCore;
+}
+
+impl<R: RngCore> Rng for R {
+    fn as_core(&mut self) -> &mut dyn RngCore {
+        self
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                // Span fits in u128 for every integer type we support; the
+                // modulo bias is < span / 2^64, negligible for this
+                // workspace's test/data-generation workloads.
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                // Sample at the target precision (not via a wider cast) and
+                // clamp: `lo + u * (hi - lo)` can round up to `hi` when `u`
+                // is within one ulp of 1, which would violate the half-open
+                // contract.
+                let u = <$t as Standard>::sample(rng);
+                let v = lo + u * (hi - lo);
+                if v >= hi { hi.next_down().max(lo) } else { v }
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let u = <$t as Standard>::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Standard-distribution sampling used by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix the seed so small sequential seeds (0, 1, 2, …) do not
+            // produce correlated early outputs.
+            let mut rng = Self { state: seed ^ 0x5D58_8B65_6C07_8965 };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Slice extensions (`rand::seq` subset).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(0..=4usize);
+            assert!(i <= 4);
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(5));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal offline shim for the `serde` API surface this workspace uses.
+//!
+//! The workspace annotates a handful of config/data types with
+//! `#[derive(Serialize, Deserialize)]` but never serializes them (there is no
+//! `serde_json`/`bincode` in the dependency tree and no generic bounds on the
+//! traits). This shim therefore provides empty marker traits plus no-op
+//! derives so those annotations compile. If a future PR needs real
+//! (de)serialization, replace `vendor/serde{,_derive}` with the actual
+//! crates.io packages (see `vendor/README.md`).
+
+/// Marker stand-in for `serde::Serialize`; no methods, no impls required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; no methods, no impls required.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the vendored `serde` shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` annotations —
+//! no code ever calls serialization methods or uses the traits as bounds — so
+//! these derives simply accept the item and emit nothing. If a future PR
+//! starts serializing for real, replace `vendor/serde{,_derive}` with the
+//! actual crates.io packages (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// Accepts a `#[derive(Serialize)]` annotation and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts a `#[derive(Deserialize)]` annotation and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
