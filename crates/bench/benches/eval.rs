@@ -1,0 +1,130 @@
+//! Ranking-throughput micro-benchmark: link-prediction evaluation before and
+//! after the batched, pool-parallel engine.
+//!
+//! Three arms, measured across worker counts on a ≥10k-entity synthetic KG:
+//!
+//! * `legacy` — a faithful copy of the pre-engine evaluation loop: one
+//!   heap-allocated `Vec` per query, sequential ranking, and one known-set
+//!   hash probe **per candidate** for filtering. This is the baseline the
+//!   engine replaces (it ignores the thread knob entirely).
+//! * `scalar-adapter` — scalar `TripleScorer` scoring through the new engine
+//!   via `ScalarBatch` (per-query allocation remains; ranking is chunked,
+//!   filter-list-based and pool-parallel).
+//! * `batched` — native `BatchScorer` scoring: per-chunk query-incidence
+//!   SpMM into reused buffers plus the pool-parallel ranking pass.
+//!
+//! Throughput is reported in ranking queries per second (2 queries — tail +
+//! head — per test triple). Note: the thread sweep (`t1`..`t8`) only
+//! differentiates on a machine with that many physical cores; on a
+//! single-core container the engine arms collapse to one schedule and only
+//! the allocation/filtering savings over `legacy` remain visible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kg::eval::{evaluate, evaluate_batched, EvalConfig, TripleScorer};
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{Triple, TripleSet, TripleStore};
+use sptransx::{SpTransE, TrainConfig};
+
+const NUM_ENTITIES: usize = 10_000;
+const EVAL_TRIPLES: usize = 64;
+
+/// The pre-engine evaluation loop (scalar scoring, sequential ranking,
+/// per-candidate hash filtering), preserved verbatim as the benchmark
+/// baseline.
+fn legacy_evaluate(
+    scorer: &dyn TripleScorer,
+    test: &TripleStore,
+    known: &TripleSet,
+    config: &EvalConfig,
+) -> f64 {
+    let limit = config.max_triples.unwrap_or(test.len()).min(test.len());
+    let mut rank_sum = 0.0f64;
+    for i in 0..limit {
+        let t = test.get(i);
+        let scores = scorer.score_tails(t.head, t.rel);
+        rank_sum += legacy_rank(&scores, t.tail as usize, |cand| {
+            config.filtered
+                && cand != t.tail as usize
+                && known.contains(&Triple::new(t.head, t.rel, cand as u32))
+        });
+        let scores = scorer.score_heads(t.rel, t.tail);
+        rank_sum += legacy_rank(&scores, t.head as usize, |cand| {
+            config.filtered
+                && cand != t.head as usize
+                && known.contains(&Triple::new(cand as u32, t.rel, t.tail))
+        });
+    }
+    rank_sum
+}
+
+fn legacy_rank(scores: &[f32], target: usize, filtered: impl Fn(usize) -> bool) -> f64 {
+    let target_score = scores[target];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for (cand, &s) in scores.iter().enumerate() {
+        if cand == target || filtered(cand) {
+            continue;
+        }
+        if s < target_score {
+            better += 1;
+        } else if s == target_score {
+            ties += 1;
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+fn bench_ranking_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_prediction_eval");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    let ds = SyntheticKgBuilder::new(NUM_ENTITIES, 20)
+        .triples(NUM_ENTITIES * 4)
+        .test_frac(0.01)
+        .seed(0x5EED)
+        .build();
+    let known = ds.all_known();
+    let cfg = TrainConfig { dim: 32, ..Default::default() };
+    // Untrained weights: evaluation cost does not depend on embedding values.
+    let model = SpTransE::from_config(&ds, &cfg).expect("model");
+    let eval = EvalConfig { max_triples: Some(EVAL_TRIPLES), ..Default::default() };
+
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(2 * EVAL_TRIPLES as u64));
+        group.bench_with_input(
+            BenchmarkId::new("legacy", format!("t{threads}")),
+            &threads,
+            |b, &t| {
+                xparallel::with_parallelism(t, || {
+                    b.iter(|| legacy_evaluate(&model, &ds.test, &known, &eval))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar-adapter", format!("t{threads}")),
+            &threads,
+            |b, &t| {
+                xparallel::with_parallelism(t, || {
+                    b.iter(|| evaluate(&model, &ds.test, &known, &eval))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("t{threads}")),
+            &threads,
+            |b, &t| {
+                xparallel::with_parallelism(t, || {
+                    b.iter(|| evaluate_batched(&model, &ds.test, &known, &eval))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking_throughput);
+criterion_main!(benches);

@@ -49,7 +49,7 @@ fn main() {
     println!("\nExpected shape: monotone-increasing then saturating curves.");
 }
 
-fn hits<M: KgeModel + kg::eval::TripleScorer>(
+fn hits<M: KgeModel + kg::eval::BatchScorer>(
     model: M,
     ds: &kg::Dataset,
     cfg: &TrainConfig,
@@ -57,5 +57,5 @@ fn hits<M: KgeModel + kg::eval::TripleScorer>(
 ) -> f32 {
     let mut trainer = Trainer::new(model, ds, cfg).expect("trainer");
     trainer.run().expect("train");
-    trainer.evaluate(ds, eval_cfg).hits(10).unwrap_or(0.0)
+    trainer.evaluate_batched(ds, eval_cfg).hits(10).unwrap_or(0.0)
 }

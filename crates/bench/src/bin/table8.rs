@@ -63,7 +63,7 @@ fn main() {
     println!("accuracy-neutral (paper reports equal or slightly better Hits@10).");
 }
 
-fn run<M: KgeModel + kg::eval::TripleScorer>(
+fn run<M: KgeModel + kg::eval::BatchScorer>(
     model: M,
     ds: &kg::Dataset,
     cfg: &TrainConfig,
@@ -71,7 +71,7 @@ fn run<M: KgeModel + kg::eval::TripleScorer>(
 ) -> f32 {
     let mut t = Trainer::new(model, ds, cfg).expect("trainer");
     t.run().expect("train");
-    t.evaluate(ds, eval_cfg).hits(10).unwrap_or(0.0)
+    t.evaluate_batched(ds, eval_cfg).hits(10).unwrap_or(0.0)
 }
 
 fn stats(

@@ -219,6 +219,11 @@ impl TripleSet {
         self.set.contains(t)
     }
 
+    /// Iterates the distinct triples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.set.iter().copied()
+    }
+
     /// Number of distinct triples.
     pub fn len(&self) -> usize {
         self.set.len()

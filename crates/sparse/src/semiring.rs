@@ -177,18 +177,41 @@ pub fn semiring_spmm<S: Semiring>(
     b_rows: usize,
     b_cols: usize,
 ) -> Vec<S::Scalar> {
+    let mut out: Vec<S::Scalar> = vec![S::Scalar::default(); a.rows() * b_cols];
+    semiring_spmm_into::<S>(a, b, b_rows, b_cols, &mut out);
+    out
+}
+
+/// Like [`semiring_spmm`] but writes into a caller-provided buffer
+/// (overwritten) instead of allocating the output.
+///
+/// This is the batched-evaluation workhorse: ranking engines score chunk
+/// after chunk of queries through the same kernel and reuse one scratch
+/// buffer across all of them.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b_rows`, `b.len() != b_rows * b_cols`, or
+/// `out.len() != a.rows() * b_cols`.
+pub fn semiring_spmm_into<S: Semiring>(
+    a: &CsrMatrix,
+    b: &[S::Scalar],
+    b_rows: usize,
+    b_cols: usize,
+    out: &mut [S::Scalar],
+) {
     assert_eq!(a.cols(), b_rows, "semiring spmm shape mismatch");
     assert_eq!(b.len(), b_rows * b_cols, "dense operand has wrong length");
+    assert_eq!(out.len(), a.rows() * b_cols, "output buffer has wrong length");
     metrics::record_spmm_call();
     metrics::add_flops(2 * a.nnz() as u64 * b_cols as u64);
-    let mut out: Vec<S::Scalar> = vec![S::Scalar::default(); a.rows() * b_cols];
     if b_cols == 0 || a.rows() == 0 {
-        return out;
+        return;
     }
     let indptr = a.indptr();
     let indices = a.indices();
     let values = a.values();
-    xparallel::parallel_for_rows(&mut out, b_cols, 16, |first_row, chunk| {
+    xparallel::parallel_for_rows(out, b_cols, 16, |first_row, chunk| {
         let nrows = chunk.len() / b_cols;
         for local in 0..nrows {
             let i = first_row + local;
@@ -204,7 +227,6 @@ pub fn semiring_spmm<S: Semiring>(
             }
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -232,6 +254,27 @@ mod tests {
         for (x, y) in got.iter().zip(want.as_slice()) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn into_variant_overwrites_and_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = hrt(6, 2, &[0, 3, 5], &[0, 1, 0], &[1, 2, 4], TailSign::Positive).unwrap();
+        let b: Vec<f32> = (0..8 * 5).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let want = semiring_spmm::<TimesTimes>(&a, &b, 8, 5);
+        // Dirty buffer: the into-variant must fully overwrite it.
+        let mut out = vec![123.0f32; 3 * 5];
+        semiring_spmm_into::<TimesTimes>(&a, &b, 8, 5, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer has wrong length")]
+    fn into_variant_validates_output_length() {
+        let a = hrt(3, 1, &[0], &[0], &[1], TailSign::Positive).unwrap();
+        let b = vec![0.0f32; 4 * 2];
+        let mut out = vec![0.0f32; 3];
+        semiring_spmm_into::<TimesTimes>(&a, &b, 4, 2, &mut out);
     }
 
     #[test]

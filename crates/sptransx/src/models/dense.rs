@@ -21,8 +21,50 @@ use tensor::{init, Graph, ParamId, ParamStore, Tensor, Var};
 
 use crate::model::{normalize_leading_rows, KgeModel, Norm, TrainConfig};
 use crate::models::{build_dense_caches, DenseCache};
-use crate::scorer::distances_to_rows;
+use crate::scorer::{
+    distances_to_rows, gathered_translational_scores_into, hyperplane_scores_into,
+    projected_scores_into, QueryDir,
+};
 use crate::Result;
+
+/// Implements [`kg::eval::BatchScorer`] for a dense TransE-style baseline by
+/// gathering query vectors from the split entity/relation tables and running
+/// the shared pool-parallel distance pass.
+macro_rules! impl_gathered_batch_scorer {
+    ($ty:ident) => {
+        impl kg::eval::BatchScorer for $ty {
+            fn num_entities(&self) -> usize {
+                self.num_entities
+            }
+
+            fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+                gathered_translational_scores_into(
+                    self.store.value(self.ent).as_slice(),
+                    self.store.value(self.rel).as_slice(),
+                    self.num_entities,
+                    self.dim,
+                    self.norm,
+                    queries,
+                    QueryDir::Tails,
+                    out,
+                );
+            }
+
+            fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+                gathered_translational_scores_into(
+                    self.store.value(self.ent).as_slice(),
+                    self.store.value(self.rel).as_slice(),
+                    self.num_entities,
+                    self.dim,
+                    self.norm,
+                    queries,
+                    QueryDir::Heads,
+                    out,
+                );
+            }
+        }
+    };
+}
 
 /// Builds the stacked `(N+R) × d` init used by the sparse models, then
 /// splits it into separate entity/relation tensors so dense and sparse
@@ -173,6 +215,8 @@ impl TripleScorer for DenseTransE {
     }
 }
 
+impl_gathered_batch_scorer!(DenseTransE);
+
 // ---------------------------------------------------------------------------
 // Dense TorusE
 // ---------------------------------------------------------------------------
@@ -272,6 +316,8 @@ impl TripleScorer for DenseTorusE {
         self.num_entities
     }
 }
+
+impl_gathered_batch_scorer!(DenseTorusE);
 
 // ---------------------------------------------------------------------------
 // Dense TransR
@@ -403,6 +449,42 @@ impl TripleScorer for DenseTransR {
     }
     fn num_entities(&self) -> usize {
         self.num_entities
+    }
+}
+
+impl kg::eval::BatchScorer for DenseTransR {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        projected_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.rel).as_slice(),
+            self.store.value(self.mats).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.rel_dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        projected_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.rel).as_slice(),
+            self.store.value(self.mats).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.rel_dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
     }
 }
 
@@ -540,6 +622,40 @@ impl TripleScorer for DenseTransH {
     }
     fn num_entities(&self) -> usize {
         self.num_entities
+    }
+}
+
+impl kg::eval::BatchScorer for DenseTransH {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        hyperplane_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.normals).as_slice(),
+            self.store.value(self.translations).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        hyperplane_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.normals).as_slice(),
+            self.store.value(self.translations).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
     }
 }
 

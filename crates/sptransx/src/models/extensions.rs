@@ -92,6 +92,47 @@ impl KgeModel for SpTransC {
     }
 }
 
+impl kg::eval::BatchScorer for SpTransC {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        crate::scorer::translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            Norm::L2,
+            queries,
+            crate::scorer::QueryDir::Tails,
+            out,
+        );
+        // Squared distances preserve the L2 ranking (matches the scalar map).
+        for v in out.iter_mut() {
+            *v *= *v;
+        }
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        crate::scorer::translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            Norm::L2,
+            queries,
+            crate::scorer::QueryDir::Heads,
+            out,
+        );
+        for v in out.iter_mut() {
+            *v *= *v;
+        }
+    }
+}
+
 impl TripleScorer for SpTransC {
     fn score_tails(&self, head: u32, rel: u32) -> Vec<f32> {
         let emb = self.store.value(self.emb);
@@ -254,6 +295,52 @@ impl KgeModel for SpTransM {
     }
     fn end_epoch(&mut self) {
         normalize_leading_rows(&mut self.store, self.emb, self.num_entities);
+    }
+}
+
+impl kg::eval::BatchScorer for SpTransM {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        crate::scorer::translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            crate::scorer::QueryDir::Tails,
+            out,
+        );
+        for (row, &(_, rel)) in out.chunks_exact_mut(self.num_entities.max(1)).zip(queries) {
+            let w = self.relation_weight(rel);
+            for v in row {
+                *v *= w;
+            }
+        }
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        crate::scorer::translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            crate::scorer::QueryDir::Heads,
+            out,
+        );
+        for (row, &(rel, _)) in out.chunks_exact_mut(self.num_entities.max(1)).zip(queries) {
+            let w = self.relation_weight(rel);
+            for v in row {
+                *v *= w;
+            }
+        }
     }
 }
 

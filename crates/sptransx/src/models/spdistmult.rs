@@ -145,6 +145,36 @@ impl TripleScorer for SpDistMult {
     }
 }
 
+impl kg::eval::BatchScorer for SpDistMult {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        crate::scorer::distmult_scores_into(
+            self.store.value(self.emb).as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            queries,
+            crate::scorer::QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        crate::scorer::distmult_scores_into(
+            self.store.value(self.emb).as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            queries,
+            crate::scorer::QueryDir::Heads,
+            out,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,54 @@ impl TripleScorer for SpRotatE {
     }
 }
 
+impl kg::eval::BatchScorer for SpRotatE {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        use crate::scorer::{for_each_score, stacked_query_rows_semiring, QueryDir};
+        let (n, half) = (self.num_entities, self.half_dim);
+        let emb =
+            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        // q = h ∘ r per query via the training RotateTriple semiring kernel,
+        // then score(t) = Σⱼ |qⱼ − tⱼ| exactly as the scalar path.
+        let q = stacked_query_rows_semiring::<sparse::semiring::RotateTriple>(
+            &emb,
+            n,
+            self.num_relations,
+            half,
+            queries,
+            QueryDir::Tails,
+        );
+        for_each_score(n, 0, out, |qi, cand, _| {
+            let qr = &q[qi * half..(qi + 1) * half];
+            let t = &emb[cand * half..(cand + 1) * half];
+            qr.iter().zip(t).map(|(&a, &b)| (a - b).abs()).sum::<f32>()
+        });
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        use crate::scorer::for_each_score;
+        let (n, half) = (self.num_entities, self.half_dim);
+        let emb =
+            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        // The rotation applies to the candidate head, so each element keeps
+        // the scalar `|h ∘ r − t|` expression.
+        for_each_score(n, 0, out, |qi, cand, _| {
+            let (rel, tail) = queries[qi];
+            let h = &emb[cand * half..(cand + 1) * half];
+            let r = &emb[(n + rel as usize) * half..(n + rel as usize + 1) * half];
+            let t = &emb[tail as usize * half..(tail as usize + 1) * half];
+            h.iter()
+                .zip(r)
+                .zip(t)
+                .map(|((&a, &b), &c)| (a * b - c).abs())
+                .sum::<f32>()
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,14 +4,14 @@
 //! single `hrt` SpMM) but measures it with a wraparound (torus) metric over
 //! the fractional parts of the embeddings, and applies no norm constraints.
 
-use kg::eval::TripleScorer;
+use kg::eval::{BatchScorer, TripleScorer};
 use kg::{BatchPlan, Dataset};
 use sparse::incidence::TailSign;
 use tensor::{init, Graph, ParamId, ParamStore, Var};
 
 use crate::model::{KgeModel, Norm, TrainConfig};
 use crate::models::{build_hrt_caches, HrtCache};
-use crate::scorer::distances_to_rows;
+use crate::scorer::{distances_to_rows, translational_scores_into, QueryDir};
 use crate::Result;
 
 /// The SpTransX TorusE model.
@@ -140,6 +140,40 @@ impl TripleScorer for SpTorusE {
 
     fn num_entities(&self) -> usize {
         self.num_entities
+    }
+}
+
+impl BatchScorer for SpTorusE {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
     }
 }
 

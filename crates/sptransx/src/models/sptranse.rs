@@ -5,14 +5,14 @@
 //! batch's `h + r − t` expressions as a single SpMM with the `hrt` incidence
 //! matrix (§4.2.2); the backward pass is one SpMM with the cached transpose.
 
-use kg::eval::TripleScorer;
+use kg::eval::{BatchScorer, TripleScorer};
 use kg::{BatchPlan, Dataset};
 use sparse::incidence::TailSign;
 use tensor::{Graph, ParamId, ParamStore, Var};
 
 use crate::model::{normalize_leading_rows, KgeModel, Norm, TrainConfig};
 use crate::models::{build_hrt_caches, HrtCache};
-use crate::scorer::distances_to_rows;
+use crate::scorer::{distances_to_rows, translational_scores_into, QueryDir};
 use crate::Result;
 
 /// The SpTransX TransE model.
@@ -145,6 +145,40 @@ impl TripleScorer for SpTransE {
 
     fn num_entities(&self) -> usize {
         self.num_entities
+    }
+}
+
+impl BatchScorer for SpTransE {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        let emb = self.store.value(self.emb);
+        translational_scores_into(
+            emb.as_slice(),
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
     }
 }
 

@@ -13,12 +13,13 @@
 //! expression reuse is why the paper reports ~11× lower GPU memory for
 //! TransH (§6.2.2).
 
-use kg::eval::TripleScorer;
+use kg::eval::{BatchScorer, TripleScorer};
 use kg::{BatchPlan, Dataset};
 use tensor::{init, Graph, ParamId, ParamStore, Var};
 
 use crate::model::{normalize_leading_rows, KgeModel, Norm, TrainConfig};
 use crate::models::{build_ht_caches, HtCache};
+use crate::scorer::{hyperplane_scores_into, QueryDir};
 use crate::Result;
 
 /// The SpTransX TransH model.
@@ -176,6 +177,40 @@ impl TripleScorer for SpTransH {
 
     fn num_entities(&self) -> usize {
         self.num_entities
+    }
+}
+
+impl BatchScorer for SpTransH {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        hyperplane_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.normals).as_slice(),
+            self.store.value(self.translations).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        hyperplane_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.normals).as_slice(),
+            self.store.value(self.translations).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
     }
 }
 

@@ -189,6 +189,42 @@ impl TripleScorer for SpTransR {
     }
 }
 
+impl kg::eval::BatchScorer for SpTransR {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        crate::scorer::projected_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.rel).as_slice(),
+            self.store.value(self.mats).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.rel_dim,
+            self.norm,
+            queries,
+            crate::scorer::QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        crate::scorer::projected_scores_into(
+            self.store.value(self.ent).as_slice(),
+            self.store.value(self.rel).as_slice(),
+            self.store.value(self.mats).as_slice(),
+            self.num_entities,
+            self.dim,
+            self.rel_dim,
+            self.norm,
+            queries,
+            crate::scorer::QueryDir::Heads,
+            out,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

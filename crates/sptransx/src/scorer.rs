@@ -1,10 +1,30 @@
 //! Evaluation scoring helpers and the complex-embedding scorers
 //! (ComplEx / RotatE, paper Appendix D).
+//!
+//! The second half of this module is the **batched evaluation engine**: the
+//! shared kernels behind every model's [`kg::eval::BatchScorer`]
+//! implementation. A chunk of ranking queries is turned into a 2-nonzero
+//! query incidence matrix, pushed through the same `sparse::spmm` /
+//! `sparse::semiring` kernels used in training to materialize the query
+//! vectors, and then scored against every candidate entity with one
+//! pool-parallel pass over the `(chunk × num_entities)` output buffer —
+//! replacing one heap-allocated `Vec` and one kernel dispatch *per query*
+//! with one of each *per chunk*. (The standalone ComplEx/RotatE scorers use
+//! a per-query *candidates* incidence instead — see
+//! `candidate_semiring_scores_into` for the cost trade-off.)
+//!
+//! Every helper reproduces its scalar counterpart's arithmetic
+//! operation-for-operation, so batched and scalar evaluation produce
+//! bit-identical score buffers (property-tested in
+//! `tests/batch_eval_properties.rs`).
 
-use kg::eval::TripleScorer;
-use sparse::semiring::{semiring_spmm, ComplexTriple, RotateTriple};
+use kg::eval::{BatchScorer, TripleScorer};
+use sparse::semiring::{
+    semiring_spmm, semiring_spmm_into, ComplexTriple, RotateTriple, Semiring, TimesTimes,
+};
 use sparse::incidence::{hrt, TailSign};
-use sparse::Complex32;
+use sparse::spmm::csr_spmm_into;
+use sparse::{Complex32, CooMatrix, CsrMatrix, DenseView};
 
 use crate::model::Norm;
 
@@ -27,6 +47,357 @@ pub(crate) fn distances_to_rows(
         }
     });
     out
+}
+
+// ---------------------------------------------------------------------------
+// Batched evaluation kernels (shared by every BatchScorer implementation)
+// ---------------------------------------------------------------------------
+
+/// Direction of a batch of ranking queries, fixing how `(u32, u32)` pairs are
+/// interpreted: tail queries are `(head, rel)`, head queries are `(rel, tail)`
+/// (matching the scalar `score_tails` / `score_heads` argument orders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryDir {
+    /// Predict tails: query entity is the head, relation enters with `+1`
+    /// (`q = h + r`).
+    Tails,
+    /// Predict heads: query entity is the tail, relation enters with `−1`
+    /// (`q = t − r`).
+    Heads,
+}
+
+impl QueryDir {
+    /// `(entity, relation)` of one raw query pair under this direction.
+    #[inline]
+    pub(crate) fn split(self, q: (u32, u32)) -> (u32, u32) {
+        match self {
+            QueryDir::Tails => (q.0, q.1),
+            QueryDir::Heads => (q.1, q.0),
+        }
+    }
+}
+
+/// Builds the `chunk × (N + R)` query incidence matrix over the stacked
+/// `[entities; relations]` embedding layout: row `i` holds `+1` at the query
+/// entity and `rel_coeff` at `N + rel` — the evaluation-time analog of the
+/// training `hrt` incidence, with the unknown candidate column left open.
+pub(crate) fn stacked_query_incidence(
+    num_entities: usize,
+    num_relations: usize,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    rel_coeff: f32,
+) -> CsrMatrix {
+    let m = queries.len();
+    let mut coo = CooMatrix::with_capacity(m, num_entities + num_relations, 2 * m);
+    for (i, &q) in queries.iter().enumerate() {
+        let (ent, rel) = dir.split(q);
+        assert!(
+            (ent as usize) < num_entities && (rel as usize) < num_relations,
+            "query ({ent}, {rel}) out of range for {num_entities} entities / {num_relations} relations"
+        );
+        coo.push_unchecked(i, ent as usize, 1.0);
+        coo.push_unchecked(i, num_entities + rel as usize, rel_coeff);
+    }
+    coo.to_csr()
+}
+
+/// Materializes a chunk's translational query vectors `q = h + r` (tails) or
+/// `q = t − r` (heads) with the training [`csr_spmm_into`] kernel over the
+/// stacked `(N + R) × d` embedding matrix.
+pub(crate) fn stacked_query_rows(
+    emb: &[f32],
+    num_entities: usize,
+    num_relations: usize,
+    d: usize,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+) -> Vec<f32> {
+    let rel_coeff = match dir {
+        QueryDir::Tails => 1.0,
+        QueryDir::Heads => -1.0,
+    };
+    let a = stacked_query_incidence(num_entities, num_relations, queries, dir, rel_coeff);
+    let mut q = vec![0f32; queries.len() * d];
+    csr_spmm_into(&a, DenseView::new(num_entities + num_relations, d, emb), &mut q);
+    q
+}
+
+/// Like [`stacked_query_rows`] but through a product semiring
+/// ([`semiring_spmm_into`]): row `i` becomes `ent_i ⊙ rel_i` under `S`
+/// (DistMult's `h ⊙ r`, ComplEx/RotatE's complex `h ∘ r`).
+pub(crate) fn stacked_query_rows_semiring<S: Semiring>(
+    emb: &[S::Scalar],
+    num_entities: usize,
+    num_relations: usize,
+    d: usize,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+) -> Vec<S::Scalar> {
+    let a = stacked_query_incidence(num_entities, num_relations, queries, dir, 1.0);
+    let mut q = vec![S::Scalar::default(); queries.len() * d];
+    semiring_spmm_into::<S>(&a, emb, num_entities + num_relations, d, &mut q);
+    q
+}
+
+/// Scores every `(query, candidate)` element of the `chunk × n` buffer in
+/// parallel on the global pool: `out[qi * n + cand] = f(qi, cand, scratch)`.
+///
+/// `scratch` is a per-worker `f32` buffer of length `scratch_len` for models
+/// whose candidate transform needs temporary storage (TransH/TransR
+/// projections) — allocated once per worker chunk, not per element.
+pub(crate) fn for_each_score<F>(n: usize, scratch_len: usize, out: &mut [f32], f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) -> f32 + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % n, 0);
+    xparallel::parallel_for_mut(out, 256, |offset, chunk| {
+        let mut scratch = vec![0f32; scratch_len];
+        // Track (query, candidate) incrementally — a div/mod per element
+        // costs more than the cheap per-element score kernels.
+        let mut qi = offset / n;
+        let mut cand = offset % n;
+        for dst in chunk.iter_mut() {
+            *dst = f(qi, cand, &mut scratch);
+            cand += 1;
+            if cand == n {
+                cand = 0;
+                qi += 1;
+            }
+        }
+    });
+}
+
+/// Batched counterpart of [`distances_to_rows`]: fills
+/// `out[qi * n + cand] = norm.distance(queries[qi], emb[cand])` for the first
+/// `n` rows of `emb`, parallel over the whole chunk buffer.
+pub(crate) fn batched_distances_into(
+    queries: &[f32],
+    d: usize,
+    emb: &[f32],
+    n: usize,
+    norm: Norm,
+    out: &mut [f32],
+) {
+    debug_assert!(emb.len() >= n * d);
+    if n == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % n, 0);
+    // Element-granular split (a worker window may start mid-row), but the
+    // inner loop walks whole per-query runs so the query row is sliced once
+    // per run instead of once per candidate.
+    xparallel::parallel_for_mut(out, 256, |offset, chunk| {
+        let mut idx = offset;
+        let mut remaining = chunk;
+        while !remaining.is_empty() {
+            let (qi, cand0) = (idx / n, idx % n);
+            let run = (n - cand0).min(remaining.len());
+            let (cur, rest) = remaining.split_at_mut(run);
+            let q = &queries[qi * d..(qi + 1) * d];
+            let mut e = cand0 * d;
+            for dst in cur {
+                *dst = norm.distance(q, &emb[e..e + d]);
+                e += d;
+            }
+            idx += run;
+            remaining = rest;
+        }
+    });
+}
+
+/// Batched scoring for the stacked translational models (TransE, TorusE and
+/// friends): query vectors via one SpMM, then pool-parallel distances.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn translational_scores_into(
+    emb: &[f32],
+    num_entities: usize,
+    num_relations: usize,
+    d: usize,
+    norm: Norm,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    out: &mut [f32],
+) {
+    let q = stacked_query_rows(emb, num_entities, num_relations, d, queries, dir);
+    batched_distances_into(&q, d, emb, num_entities, norm, out);
+}
+
+/// Batched scoring for split-parameter translational baselines (dense TransE
+/// / TorusE): queries gathered directly from separate entity/relation tables,
+/// same parallel distance pass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gathered_translational_scores_into(
+    ent: &[f32],
+    rel: &[f32],
+    num_entities: usize,
+    d: usize,
+    norm: Norm,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    out: &mut [f32],
+) {
+    let mut q = vec![0f32; queries.len() * d];
+    for (row, &raw) in q.chunks_exact_mut(d.max(1)).zip(queries) {
+        let (e, r) = dir.split(raw);
+        let e_row = &ent[e as usize * d..(e as usize + 1) * d];
+        let r_row = &rel[r as usize * d..(r as usize + 1) * d];
+        match dir {
+            QueryDir::Tails => {
+                for ((dst, a), b) in row.iter_mut().zip(e_row).zip(r_row) {
+                    *dst = a + b;
+                }
+            }
+            QueryDir::Heads => {
+                for ((dst, a), b) in row.iter_mut().zip(e_row).zip(r_row) {
+                    *dst = a - b;
+                }
+            }
+        }
+    }
+    batched_distances_into(&q, d, ent, num_entities, norm, out);
+}
+
+/// Batched DistMult scoring: `q = h ⊙ r` (or `t ⊙ r`) via the
+/// [`TimesTimes`] semiring kernel, then `out = −⟨q, e⟩` per candidate.
+pub(crate) fn distmult_scores_into(
+    emb: &[f32],
+    num_entities: usize,
+    num_relations: usize,
+    d: usize,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    out: &mut [f32],
+) {
+    let q = stacked_query_rows_semiring::<TimesTimes>(
+        emb,
+        num_entities,
+        num_relations,
+        d,
+        queries,
+        dir,
+    );
+    for_each_score(num_entities, 0, out, |qi, cand, _| {
+        let qr = &q[qi * d..(qi + 1) * d];
+        -qr.iter().zip(&emb[cand * d..(cand + 1) * d]).map(|(a, b)| a * b).sum::<f32>()
+    });
+}
+
+/// Batched TransH-family scoring (shared by the sparse and dense variants —
+/// identical parameter layout): per-query hyperplane query vectors up front,
+/// then pool-parallel candidate projection + distance.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hyperplane_scores_into(
+    ent: &[f32],
+    normals: &[f32],
+    translations: &[f32],
+    num_entities: usize,
+    d: usize,
+    norm: Norm,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    out: &mut [f32],
+) {
+    let m = queries.len();
+    let mut qv = vec![0f32; m * d];
+    let mut rels = vec![0usize; m];
+    for (i, &raw) in queries.iter().enumerate() {
+        let (e, r) = dir.split(raw);
+        let (e, r) = (e as usize, r as usize);
+        rels[i] = r;
+        let x = &ent[e * d..(e + 1) * d];
+        let w = &normals[r * d..(r + 1) * d];
+        let dr = &translations[r * d..(r + 1) * d];
+        let dot: f32 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+        let row = &mut qv[i * d..(i + 1) * d];
+        match dir {
+            QueryDir::Tails => {
+                for (((dst, xi), wi), di) in row.iter_mut().zip(x).zip(w).zip(dr) {
+                    *dst = (xi - dot * wi) + di;
+                }
+            }
+            QueryDir::Heads => {
+                for (((dst, xi), wi), di) in row.iter_mut().zip(x).zip(w).zip(dr) {
+                    *dst = (xi - dot * wi) - di;
+                }
+            }
+        }
+    }
+    for_each_score(num_entities, d, out, |qi, cand, scratch| {
+        let r = rels[qi];
+        let w = &normals[r * d..(r + 1) * d];
+        let x = &ent[cand * d..(cand + 1) * d];
+        let dot: f32 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+        for ((s, xi), wi) in scratch.iter_mut().zip(x).zip(w) {
+            *s = xi - dot * wi;
+        }
+        let q = &qv[qi * d..(qi + 1) * d];
+        // Argument order mirrors the scalar scorers exactly.
+        match dir {
+            QueryDir::Tails => norm.distance(q, scratch),
+            QueryDir::Heads => norm.distance(scratch, q),
+        }
+    })
+}
+
+/// Batched TransR-family scoring (shared by the sparse and dense variants):
+/// per-query projected query vectors, then pool-parallel candidate
+/// projection + distance in the `rel_dim`-dimensional relation space.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn projected_scores_into(
+    ent: &[f32],
+    rel: &[f32],
+    mats: &[f32],
+    num_entities: usize,
+    d: usize,
+    k: usize,
+    norm: Norm,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    out: &mut [f32],
+) {
+    let project = |r: usize, vec: &[f32], dst: &mut [f32]| {
+        let mat = &mats[r * k * d..(r + 1) * k * d];
+        for (o, s) in dst.iter_mut().enumerate() {
+            *s = mat[o * d..(o + 1) * d].iter().zip(vec).map(|(m, v)| m * v).sum();
+        }
+    };
+    let m = queries.len();
+    let mut qv = vec![0f32; m * k];
+    let mut rels = vec![0usize; m];
+    let mut proj = vec![0f32; k];
+    for (i, &raw) in queries.iter().enumerate() {
+        let (e, r) = dir.split(raw);
+        let (e, r) = (e as usize, r as usize);
+        rels[i] = r;
+        project(r, &ent[e * d..(e + 1) * d], &mut proj);
+        let r_row = &rel[r * k..(r + 1) * k];
+        let row = &mut qv[i * k..(i + 1) * k];
+        match dir {
+            QueryDir::Tails => {
+                for ((dst, a), b) in row.iter_mut().zip(&proj).zip(r_row) {
+                    *dst = a + b;
+                }
+            }
+            QueryDir::Heads => {
+                for ((dst, a), b) in row.iter_mut().zip(&proj).zip(r_row) {
+                    *dst = a - b;
+                }
+            }
+        }
+    }
+    for_each_score(num_entities, k, out, |qi, cand, scratch| {
+        let r = rels[qi];
+        project(r, &ent[cand * d..(cand + 1) * d], scratch);
+        let q = &qv[qi * k..(qi + 1) * k];
+        match dir {
+            QueryDir::Tails => norm.distance(q, scratch),
+            QueryDir::Heads => norm.distance(scratch, q),
+        }
+    })
 }
 
 /// Link-prediction scorer over **complex** embeddings with the ComplEx score
@@ -125,6 +496,83 @@ impl TripleScorer for ComplExScorer {
     }
 }
 
+/// Batched semiring scoring over a **candidates incidence**: for each query
+/// one `N × half_dim` [`semiring_spmm_into`] dispatch (every candidate is one
+/// `hrt` row) replaces `N` single-row dispatches, reusing one scratch buffer
+/// for the whole chunk; `reduce` renders each semiring output row into a
+/// score.
+///
+/// Unlike the query-incidence kernels above, this path still builds one
+/// `3N`-nonzero incidence matrix **per query** — an `O(N)` build amortized
+/// against the `O(N · half_dim)` SpMM it feeds, kept because hand-assembling
+/// the CSR (with its duplicate-collapse and column-sort semantics) would risk
+/// the bit-identity the incidence builder guarantees.
+#[allow(clippy::too_many_arguments)]
+fn candidate_semiring_scores_into<S: Semiring<Scalar = Complex32>>(
+    emb: &[Complex32],
+    num_entities: usize,
+    num_relations: usize,
+    half_dim: usize,
+    queries: &[(u32, u32)],
+    dir: QueryDir,
+    reduce: impl Fn(&[Complex32]) -> f32,
+    out: &mut [f32],
+) {
+    let n = num_entities;
+    assert_eq!(out.len(), queries.len() * n, "score buffer has wrong length");
+    let candidates: Vec<u32> = (0..n as u32).collect();
+    let mut scratch = vec![Complex32::default(); n * half_dim];
+    // Index buffers reused across the chunk — only the fill values change.
+    let mut fixed = vec![0u32; n];
+    let mut rels = vec![0u32; n];
+    for (row, &raw) in out.chunks_exact_mut(n.max(1)).zip(queries) {
+        let (ent, rel) = dir.split(raw);
+        fixed.fill(ent);
+        rels.fill(rel);
+        let a = match dir {
+            QueryDir::Tails => hrt(n, num_relations, &fixed, &rels, &candidates, TailSign::Negative),
+            QueryDir::Heads => hrt(n, num_relations, &candidates, &rels, &fixed, TailSign::Negative),
+        }
+        .expect("validated indices");
+        semiring_spmm_into::<S>(&a, emb, n + num_relations, half_dim, &mut scratch);
+        for (t, dst) in row.iter_mut().enumerate() {
+            *dst = reduce(&scratch[t * half_dim..(t + 1) * half_dim]);
+        }
+    }
+}
+
+impl BatchScorer for ComplExScorer {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        candidate_semiring_scores_into::<ComplexTriple>(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.half_dim,
+            queries,
+            QueryDir::Tails,
+            |row| -row.iter().map(|z| z.re).sum::<f32>(),
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        candidate_semiring_scores_into::<ComplexTriple>(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.half_dim,
+            queries,
+            QueryDir::Heads,
+            |row| -row.iter().map(|z| z.re).sum::<f32>(),
+            out,
+        );
+    }
+}
+
 /// Link-prediction scorer with the RotatE score `‖h ∘ r − t‖` over complex
 /// embeddings (distance — lower is better), computed with the Appendix D
 /// rotate semiring.
@@ -203,6 +651,38 @@ impl TripleScorer for RotatEScorer {
     }
 }
 
+impl BatchScorer for RotatEScorer {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        candidate_semiring_scores_into::<RotateTriple>(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.half_dim,
+            queries,
+            QueryDir::Tails,
+            |row| row.iter().map(|z| z.abs()).sum::<f32>(),
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        candidate_semiring_scores_into::<RotateTriple>(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.half_dim,
+            queries,
+            QueryDir::Heads,
+            |row| row.iter().map(|z| z.abs()).sum::<f32>(),
+            out,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +718,61 @@ mod tests {
         let t = Complex32::new(2.0, -1.0);
         let want = (h * r * t.conj()).re;
         assert!((s.similarity(0, 0, 1) - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batched_complex_scorers_match_scalar_bitwise() {
+        // 5 entities + 2 relations, complex dim 3: pseudo-random values.
+        let (n, r, half) = (5usize, 2usize, 3usize);
+        let emb: Vec<f32> = (0..(n + r) * half * 2)
+            .map(|i| ((i * 2654435761usize) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        let tail_q = [(0u32, 0u32), (4, 1), (2, 0)]; // (head, rel)
+        let head_q = [(0u32, 0u32), (1, 4), (0, 2)]; // (rel, tail)
+
+        let s = ComplExScorer::new(emb.clone(), n, r, half).unwrap();
+        let mut out = vec![0f32; tail_q.len() * n];
+        s.score_tails_into(&tail_q, &mut out);
+        for (i, &(h, rel)) in tail_q.iter().enumerate() {
+            assert_eq!(&out[i * n..(i + 1) * n], s.score_tails(h, rel).as_slice());
+        }
+        s.score_heads_into(&head_q, &mut out);
+        for (i, &(rel, t)) in head_q.iter().enumerate() {
+            assert_eq!(&out[i * n..(i + 1) * n], s.score_heads(rel, t).as_slice());
+        }
+
+        let s = RotatEScorer::new(emb, n, r, half).unwrap();
+        s.score_tails_into(&tail_q, &mut out);
+        for (i, &(h, rel)) in tail_q.iter().enumerate() {
+            assert_eq!(&out[i * n..(i + 1) * n], s.score_tails(h, rel).as_slice());
+        }
+        s.score_heads_into(&head_q, &mut out);
+        for (i, &(rel, t)) in head_q.iter().enumerate() {
+            assert_eq!(&out[i * n..(i + 1) * n], s.score_heads(rel, t).as_slice());
+        }
+    }
+
+    #[test]
+    fn query_incidence_has_two_sorted_nonzeros_per_row() {
+        let a = stacked_query_incidence(10, 3, &[(4, 2), (9, 0)], QueryDir::Tails, 1.0);
+        assert_eq!((a.rows(), a.cols()), (2, 13));
+        assert_eq!(a.row(0).collect::<Vec<_>>(), vec![(4, 1.0), (12, 1.0)]);
+        assert_eq!(a.row(1).collect::<Vec<_>>(), vec![(9, 1.0), (10, 1.0)]);
+        // Head queries are (rel, tail) with a −1 relation coefficient.
+        let a = stacked_query_incidence(10, 3, &[(2, 4)], QueryDir::Heads, -1.0);
+        assert_eq!(a.row(0).collect::<Vec<_>>(), vec![(4, 1.0), (12, -1.0)]);
+    }
+
+    #[test]
+    fn batched_distances_match_distances_to_rows() {
+        let emb: Vec<f32> = (0..7 * 4).map(|i| (i as f32 * 0.37).sin()).collect();
+        let queries: Vec<f32> = (0..2 * 4).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut out = vec![0f32; 2 * 6];
+        batched_distances_into(&queries, 4, &emb, 6, Norm::L2, &mut out);
+        for qi in 0..2 {
+            let want = distances_to_rows(&emb, 6, 4, &queries[qi * 4..(qi + 1) * 4], Norm::L2);
+            assert_eq!(&out[qi * 6..(qi + 1) * 6], want.as_slice());
+        }
     }
 
     #[test]

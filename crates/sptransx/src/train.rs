@@ -2,7 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use kg::eval::{evaluate, EvalConfig, LinkPredictionReport, TripleScorer};
+use kg::eval::{
+    evaluate, evaluate_batched, BatchScorer, EvalConfig, LinkPredictionReport, TripleScorer,
+};
 use kg::{BatchPlan, BernoulliSampler, Dataset, UniformSampler};
 use tensor::optim::{Optimizer, Sgd, StepLr};
 use tensor::{memory, Graph};
@@ -188,12 +190,28 @@ impl<M: KgeModel> Trainer<M> {
         })
     }
 
-    /// Runs filtered link-prediction evaluation (requires a scoring model).
+    /// Runs filtered link-prediction evaluation through the scalar
+    /// per-query path (requires a scoring model).
+    ///
+    /// Prefer [`Trainer::evaluate_batched`] — all built-in models implement
+    /// [`BatchScorer`] natively; this entry point is kept for custom models
+    /// that only implement the scalar [`TripleScorer`].
     pub fn evaluate(&self, dataset: &Dataset, eval: &EvalConfig) -> LinkPredictionReport
     where
         M: TripleScorer,
     {
         evaluate(&self.model, &dataset.test, &dataset.all_known(), eval)
+    }
+
+    /// Runs filtered link-prediction evaluation through the batched,
+    /// pool-parallel engine: chunked scoring into reused buffers plus
+    /// parallel ranking, producing bit-identical metrics to
+    /// [`Trainer::evaluate`] (see `kg::eval`).
+    pub fn evaluate_batched(&self, dataset: &Dataset, eval: &EvalConfig) -> LinkPredictionReport
+    where
+        M: BatchScorer,
+    {
+        evaluate_batched(&self.model, &dataset.test, &dataset.all_known(), eval)
     }
 
     /// Borrows the model.
@@ -319,5 +337,17 @@ mod tests {
         for h in &report.hits_at {
             assert!((0.0..=1.0).contains(h));
         }
+    }
+
+    #[test]
+    fn batched_evaluation_matches_scalar_after_training() {
+        let ds = dataset();
+        let cfg = fast_config();
+        let mut t = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+        t.run().unwrap();
+        let eval = EvalConfig::default();
+        // Bit-identical: both paths share the ranking engine, and the native
+        // BatchScorer reproduces the scalar arithmetic exactly.
+        assert_eq!(t.evaluate(&ds, &eval), t.evaluate_batched(&ds, &eval));
     }
 }

@@ -268,7 +268,16 @@ fn train_dispatch(
             let model = $ctor?;
             let mut trainer = Trainer::new(model, ds, config)?;
             let report = trainer.run()?;
-            let eval = trainer.evaluate(ds, &EvalConfig { max_triples: Some(500), ..Default::default() });
+            // Batched, pool-parallel engine; strided subsampling avoids the
+            // dataset-order bias of a plain prefix truncation.
+            let eval = trainer.evaluate_batched(
+                ds,
+                &EvalConfig {
+                    max_triples: Some(500),
+                    sample: kg::eval::SampleStrategy::Strided,
+                    ..Default::default()
+                },
+            );
             let m = trainer.model();
             let emb_id = m.store().lookup("embeddings");
             let emb = emb_id.map(|id| {
