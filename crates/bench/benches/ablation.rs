@@ -97,5 +97,10 @@ fn bench_transpose_caching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fastpath_ablation, bench_thread_scaling, bench_transpose_caching);
+criterion_group!(
+    benches,
+    bench_fastpath_ablation,
+    bench_thread_scaling,
+    bench_transpose_caching
+);
 criterion_main!(benches);

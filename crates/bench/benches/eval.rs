@@ -88,10 +88,16 @@ fn bench_ranking_throughput(c: &mut Criterion) {
         .seed(0x5EED)
         .build();
     let known = ds.all_known();
-    let cfg = TrainConfig { dim: 32, ..Default::default() };
+    let cfg = TrainConfig {
+        dim: 32,
+        ..Default::default()
+    };
     // Untrained weights: evaluation cost does not depend on embedding values.
     let model = SpTransE::from_config(&ds, &cfg).expect("model");
-    let eval = EvalConfig { max_triples: Some(EVAL_TRIPLES), ..Default::default() };
+    let eval = EvalConfig {
+        max_triples: Some(EVAL_TRIPLES),
+        ..Default::default()
+    };
 
     for &threads in &[1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements(2 * EVAL_TRIPLES as u64));

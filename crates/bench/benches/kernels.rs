@@ -60,12 +60,16 @@ fn bench_forward(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for &(m, d) in &[(4096usize, 128usize), (16384, 64)] {
         let s = setup(20_000, 200, m, d, 7);
-        group.bench_with_input(BenchmarkId::new("spmm", format!("m{m}_d{d}")), &s, |b, s| {
-            b.iter(|| {
-                let mut g = Graph::new();
-                g.spmm(&s.store, s.emb, s.pair.clone())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("spmm", format!("m{m}_d{d}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    g.spmm(&s.store, s.emb, s.pair.clone())
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("gather_add_sub", format!("m{m}_d{d}")),
             &s,
@@ -104,8 +108,7 @@ fn bench_backward(c: &mut Criterion) {
             &s,
             |b, s| {
                 b.iter(|| {
-                    let mut grad =
-                        Tensor::zeros(s.store.value(s.emb).rows(), s.d);
+                    let mut grad = Tensor::zeros(s.store.value(s.emb).rows(), s.d);
                     // Three scatters (h, r, t), as three gathers in forward.
                     scatter_add_rows(&mut grad, &s.gather_idx[..s.m], &s.upstream);
                     scatter_add_rows(&mut grad, &s.gather_idx[s.m..2 * s.m], &s.upstream);

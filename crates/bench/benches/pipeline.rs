@@ -6,11 +6,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kg::synthetic::SyntheticKgBuilder;
 use kg::{BatchPlan, NegativeSampler, UniformSampler};
-use sptx_bench::harness::{bench_config, ModelKind, Variant};
 use sptransx::{
     DenseTorusE, DenseTransE, DenseTransH, DenseTransR, KgeModel, SpTorusE, SpTransE, SpTransH,
     SpTransR,
 };
+use sptx_bench::harness::{bench_config, ModelKind, Variant};
 use tensor::optim::{Optimizer, Sgd};
 use tensor::Graph;
 
@@ -24,7 +24,10 @@ fn training_step<M: KgeModel>(model: &mut M, opt: &mut Sgd) {
 }
 
 fn bench_training_step(c: &mut Criterion) {
-    let ds = SyntheticKgBuilder::new(10_000, 100).triples(50_000).seed(3).build();
+    let ds = SyntheticKgBuilder::new(10_000, 100)
+        .triples(50_000)
+        .seed(3)
+        .build();
     let sampler = UniformSampler::new(ds.num_entities);
     let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 4096, 5);
     let cfg = bench_config(64, 16, 4096, 1);
@@ -40,9 +43,10 @@ fn bench_training_step(c: &mut Criterion) {
             let mut de = $de::from_config(&ds, &cfg).unwrap();
             de.attach_plan(&plan).unwrap();
             let mut opt = Sgd::new(cfg.lr);
-            group.bench_function(BenchmarkId::new($kind.name(), Variant::Sparse.name()), |b| {
-                b.iter(|| training_step(&mut sp, &mut opt))
-            });
+            group.bench_function(
+                BenchmarkId::new($kind.name(), Variant::Sparse.name()),
+                |b| b.iter(|| training_step(&mut sp, &mut opt)),
+            );
             group.bench_function(BenchmarkId::new($kind.name(), Variant::Dense.name()), |b| {
                 b.iter(|| training_step(&mut de, &mut opt))
             });
@@ -56,7 +60,10 @@ fn bench_training_step(c: &mut Criterion) {
 }
 
 fn bench_data_pipeline(c: &mut Criterion) {
-    let ds = SyntheticKgBuilder::new(10_000, 100).triples(50_000).seed(4).build();
+    let ds = SyntheticKgBuilder::new(10_000, 100)
+        .triples(50_000)
+        .seed(4)
+        .build();
     let known = ds.all_known();
     let sampler = UniformSampler::new(ds.num_entities);
 

@@ -44,9 +44,11 @@ fn bench_semirings(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("plus_times(TransE)", d), &(), |b, ()| {
         b.iter(|| semiring_spmm::<PlusTimes>(&signed, &real, rows, d))
     });
-    group.bench_with_input(BenchmarkId::new("times_times(DistMult)", d), &(), |b, ()| {
-        b.iter(|| semiring_spmm::<TimesTimes>(&unsigned, &real, rows, d))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("times_times(DistMult)", d),
+        &(),
+        |b, ()| b.iter(|| semiring_spmm::<TimesTimes>(&unsigned, &real, rows, d)),
+    );
     group.bench_with_input(BenchmarkId::new("complex(ComplEx)", d), &(), |b, ()| {
         b.iter(|| semiring_spmm::<ComplexTriple>(&signed, &cplx, rows, d))
     });

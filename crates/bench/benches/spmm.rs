@@ -27,7 +27,11 @@ fn incidence(n_ent: usize, n_rel: usize, m: usize, seed: u64) -> CsrMatrix {
 
 fn dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    DenseMatrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    DenseMatrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 fn bench_incidence_spmm(c: &mut Criterion) {
@@ -65,7 +69,8 @@ fn bench_general_vs_coo(c: &mut Criterion) {
     let mut coo = CooMatrix::new(rows, cols);
     for r in 0..rows {
         for _ in 0..8 {
-            coo.push(r, rng.gen_range(0..cols), rng.gen_range(-1.0..1.0)).unwrap();
+            coo.push(r, rng.gen_range(0..cols), rng.gen_range(-1.0..1.0))
+                .unwrap();
         }
     }
     let csr = coo.to_csr();
@@ -81,5 +86,10 @@ fn bench_transpose_build(c: &mut Criterion) {
     c.bench_function("incidence_transpose", |bench| bench.iter(|| a.transpose()));
 }
 
-criterion_group!(benches, bench_incidence_spmm, bench_general_vs_coo, bench_transpose_build);
+criterion_group!(
+    benches,
+    bench_incidence_spmm,
+    bench_general_vs_coo,
+    bench_transpose_build
+);
 criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! attributes wall-clock time to the named autograd-op scopes.
 
 use kg::synthetic::PaperDatasetSpec;
-use sptx_bench::harness::{bench_config, epochs_from_env, print_table, scale_from_env, run_model, ModelKind, Variant};
+use sptx_bench::harness::{
+    bench_config, epochs_from_env, print_table, run_model, scale_from_env, ModelKind, Variant,
+};
 use tensor::profile;
 
 fn main() {
@@ -40,7 +42,11 @@ fn main() {
                 rows.push(vec!["<none>".into(), "-".into(), "0".into()]);
             }
             print_table(
-                &format!("{} ({}) — top ops by share of training time", kind.name(), ds_name),
+                &format!(
+                    "{} ({}) — top ops by share of training time",
+                    kind.name(),
+                    ds_name
+                ),
                 &["Function (op scope)", "Share", "Calls"],
                 &rows,
             );

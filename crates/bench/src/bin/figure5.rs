@@ -6,8 +6,8 @@
 
 use kg::eval::EvalConfig;
 use kg::synthetic::PaperDatasetSpec;
-use sptx_bench::harness::{epochs_from_env, print_table, scale_from_env};
 use sptransx::{KgeModel, SpTorusE, SpTransE, SpTransH, SpTransR, TrainConfig, Trainer};
+use sptx_bench::harness::{epochs_from_env, print_table, scale_from_env};
 
 fn main() {
     let scale = scale_from_env();
@@ -15,7 +15,10 @@ fn main() {
     println!("# Figure 5 — Hits@10 vs embedding size (FB15K stand-in, scale 1/{scale})");
     let spec = PaperDatasetSpec::by_name("FB15K").expect("known dataset");
     let ds = spec.generate(scale, 0x5EED);
-    let eval_cfg = EvalConfig { max_triples: Some(200), ..Default::default() };
+    let eval_cfg = EvalConfig {
+        max_triples: Some(200),
+        ..Default::default()
+    };
 
     let dims = [4usize, 8, 16, 32, 64, 128];
     let mut rows = Vec::new();
@@ -29,10 +32,30 @@ fn main() {
             ..Default::default()
         };
         eprintln!("[figure5] dim={dim} ...");
-        let h_e = hits(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg, &eval_cfg);
-        let h_r = hits(SpTransR::from_config(&ds, &cfg).unwrap(), &ds, &cfg, &eval_cfg);
-        let h_h = hits(SpTransH::from_config(&ds, &cfg).unwrap(), &ds, &cfg, &eval_cfg);
-        let h_t = hits(SpTorusE::from_config(&ds, &cfg).unwrap(), &ds, &cfg, &eval_cfg);
+        let h_e = hits(
+            SpTransE::from_config(&ds, &cfg).unwrap(),
+            &ds,
+            &cfg,
+            &eval_cfg,
+        );
+        let h_r = hits(
+            SpTransR::from_config(&ds, &cfg).unwrap(),
+            &ds,
+            &cfg,
+            &eval_cfg,
+        );
+        let h_h = hits(
+            SpTransH::from_config(&ds, &cfg).unwrap(),
+            &ds,
+            &cfg,
+            &eval_cfg,
+        );
+        let h_t = hits(
+            SpTorusE::from_config(&ds, &cfg).unwrap(),
+            &ds,
+            &cfg,
+            &eval_cfg,
+        );
         rows.push(vec![
             dim.to_string(),
             format!("{h_e:.3}"),
@@ -57,5 +80,8 @@ fn hits<M: KgeModel + kg::eval::BatchScorer>(
 ) -> f32 {
     let mut trainer = Trainer::new(model, ds, cfg).expect("trainer");
     trainer.run().expect("train");
-    trainer.evaluate_batched(ds, eval_cfg).hits(10).unwrap_or(0.0)
+    trainer
+        .evaluate_batched(ds, eval_cfg)
+        .hits(10)
+        .unwrap_or(0.0)
 }

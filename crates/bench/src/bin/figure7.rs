@@ -7,8 +7,8 @@
 //! bound); factors are consistent across small and large datasets.
 
 use sptx_bench::harness::{
-    bench_config, epochs_from_env, factor, paper_datasets, print_table, run_model,
-    scale_from_env, secs, ModelKind, Variant,
+    bench_config, epochs_from_env, factor, paper_datasets, print_table, run_model, scale_from_env,
+    secs, ModelKind, Variant,
 };
 
 fn main() {
@@ -17,8 +17,10 @@ fn main() {
     println!("# Figure 7 — total training time (scale 1/{scale}, {epochs} epochs)");
     let datasets = paper_datasets(scale);
 
-    for (mode_name, limit) in [("(a) CPU — 1 thread", 1usize), ("(b) GPU analog — all cores", usize::MAX)]
-    {
+    for (mode_name, limit) in [
+        ("(a) CPU — 1 thread", 1usize),
+        ("(b) GPU analog — all cores", usize::MAX),
+    ] {
         xparallel::with_parallelism(limit, || {
             for kind in ModelKind::ALL {
                 // Table 4 dimensions, scaled: TransE/TorusE run wide, TransR/
@@ -43,7 +45,12 @@ fn main() {
                 }
                 print_table(
                     &format!("{mode_name} — {}", kind.name()),
-                    &["Dataset", "SpTransX (s)", "Baseline (s)", "Baseline slowdown"],
+                    &[
+                        "Dataset",
+                        "SpTransX (s)",
+                        "Baseline (s)",
+                        "Baseline slowdown",
+                    ],
                     &rows,
                 );
             }

@@ -4,16 +4,18 @@
 //! Paper claims to check: SpTransX improves forward time everywhere and
 //! backward time for all models; step time is roughly model-independent.
 
+use sptransx::Breakdown;
 use sptx_bench::harness::{
     bench_config, epochs_from_env, paper_datasets, print_table, run_model, scale_from_env, secs,
     ModelKind, Variant,
 };
-use sptransx::Breakdown;
 
 fn main() {
     let scale = scale_from_env();
     let epochs = epochs_from_env();
-    println!("# Figure 8 — phase breakdown averaged over datasets (scale 1/{scale}, {epochs} epochs)");
+    println!(
+        "# Figure 8 — phase breakdown averaged over datasets (scale 1/{scale}, {epochs} epochs)"
+    );
     let datasets = paper_datasets(scale);
     let n = datasets.len() as u32;
 
@@ -28,7 +30,12 @@ fn main() {
         for variant in [Variant::Sparse, Variant::Dense] {
             let mut sum = Breakdown::default();
             for (spec, ds) in &datasets {
-                eprintln!("[figure8] {} {} {} ...", kind.name(), variant.name(), spec.name);
+                eprintln!(
+                    "[figure8] {} {} {} ...",
+                    kind.name(),
+                    variant.name(),
+                    spec.name
+                );
                 sum = sum + run_model(kind, variant, ds, &cfg).breakdown;
             }
             rows.push(vec![

@@ -7,8 +7,10 @@
 //! the curves coincide up to float association.)
 
 use kg::synthetic::PaperDatasetSpec;
-use sptx_bench::harness::{epochs_from_env, print_table, run_model, scale_from_env, ModelKind, Variant};
 use sptx_bench::harness::bench_config;
+use sptx_bench::harness::{
+    epochs_from_env, print_table, run_model, scale_from_env, ModelKind, Variant,
+};
 
 fn main() {
     let scale = scale_from_env();
@@ -28,9 +30,7 @@ fn main() {
             .iter()
             .zip(&de.epoch_losses)
             .enumerate()
-            .map(|(e, (a, b))| {
-                vec![e.to_string(), format!("{a:.5}"), format!("{b:.5}")]
-            })
+            .map(|(e, (a, b))| vec![e.to_string(), format!("{a:.5}"), format!("{b:.5}")])
             .collect();
         print_table(
             &format!("{} — margin loss per epoch", kind.name()),

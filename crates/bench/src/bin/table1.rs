@@ -5,11 +5,11 @@
 //! Paper claim to check: the sparse approach cuts forward and especially
 //! backward time by 2–5×, while optimizer-step time is unchanged.
 
+use sptransx::Breakdown;
 use sptx_bench::harness::{
     bench_config, epochs_from_env, paper_datasets, print_table, scale_from_env, secs, ModelKind,
     Variant,
 };
-use sptransx::Breakdown;
 
 fn main() {
     let scale = scale_from_env();
@@ -18,15 +18,16 @@ fn main() {
     let datasets = paper_datasets(scale);
     let cfg = bench_config(64, 32, 4096, epochs);
 
-    for (mode_name, limit) in [("CPU (1 thread)", 1usize), ("GPU analog (all cores)", usize::MAX)]
-    {
+    for (mode_name, limit) in [
+        ("CPU (1 thread)", 1usize),
+        ("GPU analog (all cores)", usize::MAX),
+    ] {
         let (sparse_sum, dense_sum) = xparallel::with_parallelism(limit, || {
             let mut sparse_sum = Breakdown::default();
             let mut dense_sum = Breakdown::default();
             for (spec, ds) in &datasets {
                 eprintln!("[table1/{mode_name}] {} ...", spec.name);
-                sparse_sum =
-                    sparse_sum + run(ModelKind::TransE, Variant::Sparse, ds, &cfg);
+                sparse_sum = sparse_sum + run(ModelKind::TransE, Variant::Sparse, ds, &cfg);
                 dense_sum = dense_sum + run(ModelKind::TransE, Variant::Dense, ds, &cfg);
             }
             (sparse_sum, dense_sum)
@@ -43,7 +44,11 @@ fn main() {
                 secs(sparse_sum.backward / n),
                 secs(dense_sum.backward / n),
             ],
-            vec!["Step".to_string(), secs(sparse_sum.step / n), secs(dense_sum.step / n)],
+            vec![
+                "Step".to_string(),
+                secs(sparse_sum.step / n),
+                secs(dense_sum.step / n),
+            ],
         ];
         print_table(
             &format!("{mode_name} — mean seconds per dataset"),

@@ -28,7 +28,12 @@ fn main() {
         let mut mem = [0u64; 2];
         for (vi, variant) in [Variant::Sparse, Variant::Dense].into_iter().enumerate() {
             for (spec, ds) in &datasets {
-                eprintln!("[table5] {} {} {} ...", kind.name(), variant.name(), spec.name);
+                eprintln!(
+                    "[table5] {} {} {} ...",
+                    kind.name(),
+                    variant.name(),
+                    spec.name
+                );
                 mem[vi] += run_model(kind, variant, ds, &cfg).peak_memory_bytes;
             }
             mem[vi] /= n;

@@ -7,8 +7,8 @@
 //! adds, and the rearranged formulations avoid duplicated projections.
 
 use sptx_bench::harness::{
-    bench_config, epochs_from_env, factor, paper_datasets, print_table, run_model,
-    scale_from_env, ModelKind, Variant,
+    bench_config, epochs_from_env, factor, paper_datasets, print_table, run_model, scale_from_env,
+    ModelKind, Variant,
 };
 
 fn main() {
@@ -29,7 +29,12 @@ fn main() {
         let mut flops = [0u64; 2];
         for (vi, variant) in [Variant::Sparse, Variant::Dense].into_iter().enumerate() {
             for (spec, ds) in &datasets {
-                eprintln!("[table6] {} {} {} ...", kind.name(), variant.name(), spec.name);
+                eprintln!(
+                    "[table6] {} {} {} ...",
+                    kind.name(),
+                    variant.name(),
+                    spec.name
+                );
                 flops[vi] += run_model(kind, variant, ds, &cfg).flops;
             }
             flops[vi] /= n;

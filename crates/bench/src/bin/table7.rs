@@ -52,7 +52,11 @@ fn main() {
     ]);
     print_table(
         &format!("L1+L2 overall miss rate, batch {batch}, dim {dim}"),
-        &["Dataset", "SpMM pipeline (SpTransX)", "Gather/scatter pipeline (baseline)"],
+        &[
+            "Dataset",
+            "SpMM pipeline (SpTransX)",
+            "Gather/scatter pipeline (baseline)",
+        ],
         &rows,
     );
     println!("\nExpected shape: SpMM pipeline ≤ gather/scatter pipeline on average");

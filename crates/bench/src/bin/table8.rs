@@ -7,21 +7,27 @@
 
 use kg::eval::EvalConfig;
 use kg::synthetic::PaperDatasetSpec;
-use sptx_bench::harness::{epochs_from_env, print_table, scale_from_env};
 use sptransx::{
     DenseTorusE, DenseTransE, DenseTransH, DenseTransR, KgeModel, SpTorusE, SpTransE, SpTransH,
     SpTransR, TrainConfig, Trainer,
 };
+use sptx_bench::harness::{epochs_from_env, print_table, scale_from_env};
 
 const SEEDS: [u64; 9] = [11, 22, 33, 44, 55, 66, 77, 88, 99];
 
 fn main() {
     let scale = scale_from_env();
     let epochs = epochs_from_env().max(10);
-    println!("# Table 8 — Hits@10 over {} seeds (WN18 stand-in, scale 1/{scale})", SEEDS.len());
+    println!(
+        "# Table 8 — Hits@10 over {} seeds (WN18 stand-in, scale 1/{scale})",
+        SEEDS.len()
+    );
     let spec = PaperDatasetSpec::by_name("WN18").expect("known dataset");
     let ds = spec.generate(scale, 0x88);
-    let eval_cfg = EvalConfig { max_triples: Some(150), ..Default::default() };
+    let eval_cfg = EvalConfig {
+        max_triples: Some(150),
+        ..Default::default()
+    };
 
     let base = TrainConfig {
         epochs,
@@ -85,7 +91,10 @@ fn stats(
     let mut values = Vec::with_capacity(SEEDS.len());
     for &seed in &SEEDS {
         eprintln!("[table8] {model}/{variant} seed {seed} ...");
-        let cfg = TrainConfig { seed, ..base.clone() };
+        let cfg = TrainConfig {
+            seed,
+            ..base.clone()
+        };
         values.push(f64::from(f(ds, &cfg)));
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;

@@ -6,9 +6,9 @@
 //! check: wall-clock time falls as workers are added (communication is not
 //! yet the bottleneck at this scale).
 
-use sptx_bench::harness::{covid_dataset, epochs_from_env, print_table, scale_from_env, secs};
 use sptransx::distributed::train_data_parallel;
 use sptransx::{SpTransE, TrainConfig};
+use sptx_bench::harness::{covid_dataset, epochs_from_env, print_table, scale_from_env, secs};
 
 fn main() {
     let scale = scale_from_env();
@@ -41,8 +41,7 @@ fn main() {
         // Each worker thread runs its replica single-threaded so that worker
         // count, not kernel parallelism, is the variable being swept.
         let report = xparallel::with_parallelism(1, || {
-            train_data_parallel(&ds, &cfg, w, SpTransE::from_config)
-                .expect("distributed training")
+            train_data_parallel(&ds, &cfg, w, SpTransE::from_config).expect("distributed training")
         });
         let t = report.wall.as_secs_f64();
         let speedup = baseline.get_or_insert(t);

@@ -53,8 +53,12 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// All four, in the paper's column order.
-    pub const ALL: [ModelKind; 4] =
-        [ModelKind::TransE, ModelKind::TransR, ModelKind::TransH, ModelKind::TorusE];
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::TransE,
+        ModelKind::TransR,
+        ModelKind::TransH,
+        ModelKind::TorusE,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -98,14 +102,30 @@ pub fn run_model(
     config: &TrainConfig,
 ) -> TrainReport {
     match (kind, variant) {
-        (ModelKind::TransE, Variant::Sparse) => train(SpTransE::from_config(dataset, config), dataset, config),
-        (ModelKind::TransE, Variant::Dense) => train(DenseTransE::from_config(dataset, config), dataset, config),
-        (ModelKind::TransR, Variant::Sparse) => train(SpTransR::from_config(dataset, config), dataset, config),
-        (ModelKind::TransR, Variant::Dense) => train(DenseTransR::from_config(dataset, config), dataset, config),
-        (ModelKind::TransH, Variant::Sparse) => train(SpTransH::from_config(dataset, config), dataset, config),
-        (ModelKind::TransH, Variant::Dense) => train(DenseTransH::from_config(dataset, config), dataset, config),
-        (ModelKind::TorusE, Variant::Sparse) => train(SpTorusE::from_config(dataset, config), dataset, config),
-        (ModelKind::TorusE, Variant::Dense) => train(DenseTorusE::from_config(dataset, config), dataset, config),
+        (ModelKind::TransE, Variant::Sparse) => {
+            train(SpTransE::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TransE, Variant::Dense) => {
+            train(DenseTransE::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TransR, Variant::Sparse) => {
+            train(SpTransR::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TransR, Variant::Dense) => {
+            train(DenseTransR::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TransH, Variant::Sparse) => {
+            train(SpTransH::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TransH, Variant::Dense) => {
+            train(DenseTransH::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TorusE, Variant::Sparse) => {
+            train(SpTorusE::from_config(dataset, config), dataset, config)
+        }
+        (ModelKind::TorusE, Variant::Dense) => {
+            train(DenseTorusE::from_config(dataset, config), dataset, config)
+        }
     }
 }
 
@@ -157,8 +177,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line: Vec<String> =
-        header.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    let line: Vec<String> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
     println!("| {} |", line.join(" | "));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));

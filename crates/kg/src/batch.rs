@@ -77,7 +77,10 @@ impl BatchPlan {
             batches.push(Batch { pos, neg });
             start = end;
         }
-        Self { batches, batch_size }
+        Self {
+            batches,
+            batch_size,
+        }
     }
 
     /// Number of batches.
@@ -121,10 +124,16 @@ impl BatchPlan {
         let ranges = xparallel::chunk_ranges(self.batches.len(), 1, n);
         let mut out: Vec<BatchPlan> = ranges
             .into_iter()
-            .map(|r| BatchPlan { batches: self.batches[r].to_vec(), batch_size: self.batch_size })
+            .map(|r| BatchPlan {
+                batches: self.batches[r].to_vec(),
+                batch_size: self.batch_size,
+            })
             .collect();
         while out.len() < n {
-            out.push(BatchPlan { batches: Vec::new(), batch_size: self.batch_size });
+            out.push(BatchPlan {
+                batches: Vec::new(),
+                batch_size: self.batch_size,
+            });
         }
         out
     }

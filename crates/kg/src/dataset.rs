@@ -50,7 +50,14 @@ impl Dataset {
         train.validate(num_entities, num_relations)?;
         valid.validate(num_entities, num_relations)?;
         test.validate(num_entities, num_relations)?;
-        Ok(Self { name: name.into(), num_entities, num_relations, train, valid, test })
+        Ok(Self {
+            name: name.into(),
+            num_entities,
+            num_relations,
+            train,
+            valid,
+            test,
+        })
     }
 
     /// Total triples across all splits.
@@ -78,7 +85,10 @@ impl Dataset {
         test_frac: f64,
         seed: u64,
     ) -> Result<Self> {
-        assert!(valid_frac >= 0.0 && test_frac >= 0.0, "fractions must be non-negative");
+        assert!(
+            valid_frac >= 0.0 && test_frac >= 0.0,
+            "fractions must be non-negative"
+        );
         assert!(valid_frac + test_frac < 1.0, "train split would be empty");
         let shuffled = all.shuffled(seed);
         let n = shuffled.len();
@@ -97,7 +107,9 @@ mod tests {
     use crate::Triple;
 
     fn store(n: u32) -> TripleStore {
-        (0..n).map(|i| Triple::new(i % 5, i % 2, (i + 1) % 5)).collect()
+        (0..n)
+            .map(|i| Triple::new(i % 5, i % 2, (i + 1) % 5))
+            .collect()
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl<S: TripleScorer + ?Sized> BatchScorer for ScalarBatch<'_, S> {
 
     fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         let n = self.0.num_entities();
-        assert_eq!(out.len(), queries.len() * n, "score buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            queries.len() * n,
+            "score buffer has wrong length"
+        );
         for (row, &(head, rel)) in out.chunks_exact_mut(n.max(1)).zip(queries) {
             row.copy_from_slice(&self.0.score_tails(head, rel));
         }
@@ -105,7 +109,11 @@ impl<S: TripleScorer + ?Sized> BatchScorer for ScalarBatch<'_, S> {
 
     fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         let n = self.0.num_entities();
-        assert_eq!(out.len(), queries.len() * n, "score buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            queries.len() * n,
+            "score buffer has wrong length"
+        );
         for (row, &(rel, tail)) in out.chunks_exact_mut(n.max(1)).zip(queries) {
             row.copy_from_slice(&self.0.score_heads(rel, tail));
         }
@@ -131,7 +139,10 @@ pub struct LinkPredictionReport {
 impl LinkPredictionReport {
     /// The Hits@K value for cutoff `k`, if it was requested.
     pub fn hits(&self, k: usize) -> Option<f32> {
-        self.ks.iter().position(|&x| x == k).map(|i| self.hits_at[i])
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .map(|i| self.hits_at[i])
     }
 }
 
@@ -315,10 +326,20 @@ pub fn evaluate_batched(
     let mut acc = Accum::new(config.ks.len());
     for ids in indices.chunks(chunk) {
         let m = ids.len();
-        let tail_q: Vec<(u32, u32)> =
-            ids.iter().map(|&i| { let t = test.get(i); (t.head, t.rel) }).collect();
-        let head_q: Vec<(u32, u32)> =
-            ids.iter().map(|&i| { let t = test.get(i); (t.rel, t.tail) }).collect();
+        let tail_q: Vec<(u32, u32)> = ids
+            .iter()
+            .map(|&i| {
+                let t = test.get(i);
+                (t.head, t.rel)
+            })
+            .collect();
+        let head_q: Vec<(u32, u32)> = ids
+            .iter()
+            .map(|&i| {
+                let t = test.get(i);
+                (t.rel, t.tail)
+            })
+            .collect();
         scorer.score_tails_into(&tail_q, &mut tail_scores[..m * n]);
         scorer.score_heads_into(&head_q, &mut head_scores[..m * n]);
 
@@ -332,15 +353,25 @@ pub fn evaluate_batched(
                 let mut local = Accum::new(config.ks.len());
                 for i in range {
                     let t = test.get(ids[i]);
-                    let tail_filter =
-                        known_tails.get(&(t.head, t.rel)).unwrap_or(&empty).as_slice();
-                    let rank =
-                        rank_of(&tail_scores[i * n..(i + 1) * n], t.tail as usize, tail_filter);
+                    let tail_filter = known_tails
+                        .get(&(t.head, t.rel))
+                        .unwrap_or(&empty)
+                        .as_slice();
+                    let rank = rank_of(
+                        &tail_scores[i * n..(i + 1) * n],
+                        t.tail as usize,
+                        tail_filter,
+                    );
                     local.record(&config.ks, rank);
-                    let head_filter =
-                        known_heads.get(&(t.rel, t.tail)).unwrap_or(&empty).as_slice();
-                    let rank =
-                        rank_of(&head_scores[i * n..(i + 1) * n], t.head as usize, head_filter);
+                    let head_filter = known_heads
+                        .get(&(t.rel, t.tail))
+                        .unwrap_or(&empty)
+                        .as_slice();
+                    let rank = rank_of(
+                        &head_scores[i * n..(i + 1) * n],
+                        t.head as usize,
+                        head_filter,
+                    );
                     local.record(&config.ks, rank);
                 }
                 local
@@ -362,7 +393,12 @@ struct Accum {
 
 impl Accum {
     fn new(num_ks: usize) -> Self {
-        Self { hits: vec![0; num_ks], rr_sum: 0.0, rank_sum: 0.0, queries: 0 }
+        Self {
+            hits: vec![0; num_ks],
+            rr_sum: 0.0,
+            rank_sum: 0.0,
+            queries: 0,
+        }
     }
 
     fn record(&mut self, ks: &[usize], rank: f64) {
@@ -481,7 +517,10 @@ mod tests {
         let (test, known) = single_test_triple();
         // Entity 2 has the lowest distance; entity 0 (head query truth) does too... use
         // distinct scores so both queries rank exactly.
-        let scorer = FixedScorer { n: 4, scores: vec![0.0, 3.0, 0.1, 2.0] };
+        let scorer = FixedScorer {
+            n: 4,
+            scores: vec![0.0, 3.0, 0.1, 2.0],
+        };
         // tail query: truth = 2 (score 0.1): entity 0 scores better -> rank 2.
         // head query: truth = 0 (score 0.0): rank 1.
         let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
@@ -500,12 +539,18 @@ mod tests {
         let mut known = TripleSet::from_stores([&test]);
         known.insert(Triple::new(1, 0, 0)); // known competitor as tail
         known.insert(Triple::new(0, 0, 2)); // known competitor as head
-        let scorer = FixedScorer { n: 3, scores: vec![0.0, 0.5, 1.0] };
+        let scorer = FixedScorer {
+            n: 3,
+            scores: vec![0.0, 0.5, 1.0],
+        };
         let raw = evaluate(
             &scorer,
             &test,
             &known,
-            &EvalConfig { filtered: false, ..Default::default() },
+            &EvalConfig {
+                filtered: false,
+                ..Default::default()
+            },
         );
         let filt = evaluate(&scorer, &test, &known, &EvalConfig::default());
         assert!(filt.mrr > raw.mrr);
@@ -517,7 +562,10 @@ mod tests {
     #[test]
     fn ties_count_half() {
         let (test, known) = single_test_triple();
-        let scorer = FixedScorer { n: 3, scores: vec![1.0, 1.0, 1.0] };
+        let scorer = FixedScorer {
+            n: 3,
+            scores: vec![1.0, 1.0, 1.0],
+        };
         let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
         // Two ties -> rank 1 + 2/2 = 2 for both queries.
         assert!((r.mean_rank - 2.0).abs() < 1e-6);
@@ -552,27 +600,42 @@ mod tests {
 
     #[test]
     fn max_triples_caps_work() {
-        let test: TripleStore =
-            (0..10).map(|i| Triple::new(i, 0, (i + 1) % 10)).collect();
+        let test: TripleStore = (0..10).map(|i| Triple::new(i, 0, (i + 1) % 10)).collect();
         let known = TripleSet::from_stores([&test]);
-        let scorer = FixedScorer { n: 10, scores: (0..10).map(|i| i as f32).collect() };
+        let scorer = FixedScorer {
+            n: 10,
+            scores: (0..10).map(|i| i as f32).collect(),
+        };
         let r = evaluate(
             &scorer,
             &test,
             &known,
-            &EvalConfig { max_triples: Some(3), ..Default::default() },
+            &EvalConfig {
+                max_triples: Some(3),
+                ..Default::default()
+            },
         );
         assert_eq!(r.queries, 6);
     }
 
     #[test]
     fn sample_strategies_select_expected_indices() {
-        let cfg = |sample| EvalConfig { max_triples: Some(4), sample, ..Default::default() };
+        let cfg = |sample| EvalConfig {
+            max_triples: Some(4),
+            sample,
+            ..Default::default()
+        };
         // No truncation: every strategy yields the identity.
-        let full = EvalConfig { sample: SampleStrategy::Seeded(7), ..Default::default() };
+        let full = EvalConfig {
+            sample: SampleStrategy::Seeded(7),
+            ..Default::default()
+        };
         assert_eq!(full.selected_indices(3), vec![0, 1, 2]);
 
-        assert_eq!(cfg(SampleStrategy::Prefix).selected_indices(10), vec![0, 1, 2, 3]);
+        assert_eq!(
+            cfg(SampleStrategy::Prefix).selected_indices(10),
+            vec![0, 1, 2, 3]
+        );
         // Stride spreads over the whole store instead of taking a prefix.
         let strided = cfg(SampleStrategy::Strided).selected_indices(10);
         assert_eq!(strided, vec![0, 2, 5, 7]);
@@ -581,7 +644,10 @@ mod tests {
         let b = cfg(SampleStrategy::Seeded(9)).selected_indices(100);
         assert_eq!(a, b, "seeded sampling is deterministic");
         assert_eq!(a.len(), 4);
-        assert!(a.windows(2).all(|w| w[0] < w[1]), "distinct and sorted: {a:?}");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "distinct and sorted: {a:?}"
+        );
         assert!(a.iter().all(|&i| i < 100));
         let c = cfg(SampleStrategy::Seeded(10)).selected_indices(100);
         assert_ne!(a, c, "different seeds draw different subsets");
@@ -603,22 +669,32 @@ mod tests {
 
     #[test]
     fn batched_adapter_matches_scalar_for_all_chunk_sizes() {
-        let test: TripleStore =
-            (0..17).map(|i| Triple::new(i % 5, i % 3, (i + 1) % 5)).collect();
+        let test: TripleStore = (0..17)
+            .map(|i| Triple::new(i % 5, i % 3, (i + 1) % 5))
+            .collect();
         let known = TripleSet::from_stores([&test]);
-        let scorer = FixedScorer { n: 5, scores: vec![0.3, 0.1, 4.0, 0.1, 2.0] };
+        let scorer = FixedScorer {
+            n: 5,
+            scores: vec![0.3, 0.1, 4.0, 0.1, 2.0],
+        };
         let baseline = evaluate(
             &scorer,
             &test,
             &known,
-            &EvalConfig { chunk_size: 1, ..Default::default() },
+            &EvalConfig {
+                chunk_size: 1,
+                ..Default::default()
+            },
         );
         for chunk_size in [2usize, 3, 16, 64] {
             let r = evaluate(
                 &scorer,
                 &test,
                 &known,
-                &EvalConfig { chunk_size, ..Default::default() },
+                &EvalConfig {
+                    chunk_size,
+                    ..Default::default()
+                },
             );
             assert_eq!(r, baseline, "chunk_size {chunk_size}");
         }
@@ -628,7 +704,10 @@ mod tests {
     fn empty_test_store_reports_zero_queries() {
         let test = TripleStore::new();
         let known = TripleSet::new();
-        let scorer = FixedScorer { n: 3, scores: vec![0.0, 1.0, 2.0] };
+        let scorer = FixedScorer {
+            n: 3,
+            scores: vec![0.0, 1.0, 2.0],
+        };
         let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
         assert_eq!(r.queries, 0);
         assert_eq!(r.mrr, 0.0);
@@ -637,7 +716,10 @@ mod tests {
     #[test]
     fn hits_lookup_missing_k() {
         let (test, known) = single_test_triple();
-        let scorer = FixedScorer { n: 3, scores: vec![0.0, 1.0, 2.0] };
+        let scorer = FixedScorer {
+            n: 3,
+            scores: vec![0.0, 1.0, 2.0],
+        };
         let r = evaluate(&scorer, &test, &known, &EvalConfig::default());
         assert_eq!(r.hits(7), None);
     }

@@ -143,12 +143,18 @@ pub fn load_tsv<R: Read>(reader: R, vocab: &mut Vocab) -> Result<TripleStore> {
 /// Returns [`Error::Io`] on write failure.
 pub fn write_tsv<W: Write>(mut writer: W, store: &TripleStore, vocab: &Vocab) -> Result<()> {
     for t in store.iter() {
-        let h = vocab.entity(t.head).map(str::to_string).unwrap_or_else(|| t.head.to_string());
+        let h = vocab
+            .entity(t.head)
+            .map(str::to_string)
+            .unwrap_or_else(|| t.head.to_string());
         let r = vocab
             .relation(t.rel)
             .map(str::to_string)
             .unwrap_or_else(|| t.rel.to_string());
-        let tl = vocab.entity(t.tail).map(str::to_string).unwrap_or_else(|| t.tail.to_string());
+        let tl = vocab
+            .entity(t.tail)
+            .map(str::to_string)
+            .unwrap_or_else(|| t.tail.to_string());
         writeln!(writer, "{h}\t{r}\t{tl}")?;
     }
     Ok(())

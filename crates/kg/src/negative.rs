@@ -108,7 +108,13 @@ impl NegativeSampler for UniformSampler {
         let mut out = TripleStore::with_capacity(positives.len());
         for t in positives.iter() {
             let corrupt_head = rng.gen_bool(0.5);
-            out.push(corrupt_one(t, corrupt_head, self.num_entities, known, &mut rng));
+            out.push(corrupt_one(
+                t,
+                corrupt_head,
+                self.num_entities,
+                known,
+                &mut rng,
+            ));
         }
         out
     }
@@ -157,7 +163,10 @@ impl BernoulliSampler {
             let hpt = hs as f64 / hn.max(1) as f64;
             head_prob.insert(*rel, tph / (tph + hpt));
         }
-        Self { num_entities, head_prob }
+        Self {
+            num_entities,
+            head_prob,
+        }
     }
 
     /// The fitted probability of corrupting the head for `rel` (0.5 for
@@ -173,7 +182,13 @@ impl NegativeSampler for BernoulliSampler {
         let mut out = TripleStore::with_capacity(positives.len());
         for t in positives.iter() {
             let corrupt_head = rng.gen_bool(self.head_probability(t.rel));
-            out.push(corrupt_one(t, corrupt_head, self.num_entities, known, &mut rng));
+            out.push(corrupt_one(
+                t,
+                corrupt_head,
+                self.num_entities,
+                known,
+                &mut rng,
+            ));
         }
         out
     }
@@ -197,7 +212,10 @@ mod tests {
             assert!(!known.contains(&n), "negative {i} collides");
             let p = pos.get(i);
             assert_eq!(n.rel, p.rel, "relation must be preserved");
-            assert!(n.head == p.head || n.tail == p.tail, "only one side corrupted");
+            assert!(
+                n.head == p.head || n.tail == p.tail,
+                "only one side corrupted"
+            );
         }
     }
 

@@ -221,13 +221,19 @@ mod tests {
         let path = temp_path("oob.bin");
         EmbeddingStore::write(&path, 4, 2, |_, out| out.fill(0.0)).unwrap();
         let mut store = EmbeddingStore::open(&path).unwrap();
-        assert!(matches!(store.read_rows(3, 2), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            store.read_rows(3, 2),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn bad_magic_rejected() {
         let path = temp_path("bad_magic.bin");
         std::fs::write(&path, b"NOTMAGIC________________").unwrap();
-        assert!(matches!(EmbeddingStore::open(&path), Err(Error::Parse { .. })));
+        assert!(matches!(
+            EmbeddingStore::open(&path),
+            Err(Error::Parse { .. })
+        ));
     }
 }

@@ -64,7 +64,10 @@ impl ZipfSampler {
     /// Draws one index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -187,36 +190,41 @@ impl SyntheticKgBuilder {
         let mut attempts = 0;
         // Per-relation anchor entities give 1-N / N-1 relations their shape:
         // a small pool on the "one" side.
-        let anchors: Vec<u32> =
-            (0..self.num_relations).map(|_| rng.gen_range(0..self.num_entities as u32)).collect();
+        let anchors: Vec<u32> = (0..self.num_relations)
+            .map(|_| rng.gen_range(0..self.num_entities as u32))
+            .collect();
         while store.len() < self.num_triples && attempts < max_attempts {
             attempts += 1;
             let r = rel_sampler.sample(&mut rng) as u32;
             let (h, t) = match cardinality[r as usize] {
                 Cardinality::OneToOne => {
                     let h = head_sampler.sample(&mut rng) as u32;
-                    let t = ((head_sampler.sample(&mut rng) + tail_offset)
-                        % self.num_entities) as u32;
+                    let t =
+                        ((head_sampler.sample(&mut rng) + tail_offset) % self.num_entities) as u32;
                     (h, t)
                 }
                 Cardinality::OneToMany => {
                     // Few heads (anchor neighborhood), many tails.
-                    let h = (anchors[r as usize] as usize + rng.gen_range(0..8).min(self.num_entities - 1))
-                        as u32 % self.num_entities as u32;
-                    let t = ((head_sampler.sample(&mut rng) + tail_offset)
-                        % self.num_entities) as u32;
+                    let h = (anchors[r as usize] as usize
+                        + rng.gen_range(0..8).min(self.num_entities - 1))
+                        as u32
+                        % self.num_entities as u32;
+                    let t =
+                        ((head_sampler.sample(&mut rng) + tail_offset) % self.num_entities) as u32;
                     (h, t)
                 }
                 Cardinality::ManyToOne => {
                     let h = head_sampler.sample(&mut rng) as u32;
-                    let t = (anchors[r as usize] as usize + rng.gen_range(0..8).min(self.num_entities - 1))
-                        as u32 % self.num_entities as u32;
+                    let t = (anchors[r as usize] as usize
+                        + rng.gen_range(0..8).min(self.num_entities - 1))
+                        as u32
+                        % self.num_entities as u32;
                     (h, t)
                 }
                 Cardinality::ManyToMany => {
                     let h = head_sampler.sample(&mut rng) as u32;
-                    let t = ((head_sampler.sample(&mut rng) + tail_offset)
-                        % self.num_entities) as u32;
+                    let t =
+                        ((head_sampler.sample(&mut rng) + tail_offset) % self.num_entities) as u32;
                     (h, t)
                 }
             };
@@ -256,18 +264,57 @@ pub struct PaperDatasetSpec {
 
 /// The seven benchmark datasets of paper Table 3.
 pub const PAPER_DATASETS: [PaperDatasetSpec; 7] = [
-    PaperDatasetSpec { name: "FB15K", entities: 14_951, relations: 1_345, triples: 483_142 },
-    PaperDatasetSpec { name: "FB15K237", entities: 14_541, relations: 237, triples: 272_115 },
-    PaperDatasetSpec { name: "WN18", entities: 40_943, relations: 18, triples: 141_442 },
-    PaperDatasetSpec { name: "WN18RR", entities: 40_943, relations: 11, triples: 86_835 },
-    PaperDatasetSpec { name: "FB13", entities: 67_399, relations: 15_342, triples: 316_232 },
-    PaperDatasetSpec { name: "YAGO3-10", entities: 123_182, relations: 37, triples: 1_079_040 },
-    PaperDatasetSpec { name: "BioKG", entities: 93_773, relations: 51, triples: 4_762_678 },
+    PaperDatasetSpec {
+        name: "FB15K",
+        entities: 14_951,
+        relations: 1_345,
+        triples: 483_142,
+    },
+    PaperDatasetSpec {
+        name: "FB15K237",
+        entities: 14_541,
+        relations: 237,
+        triples: 272_115,
+    },
+    PaperDatasetSpec {
+        name: "WN18",
+        entities: 40_943,
+        relations: 18,
+        triples: 141_442,
+    },
+    PaperDatasetSpec {
+        name: "WN18RR",
+        entities: 40_943,
+        relations: 11,
+        triples: 86_835,
+    },
+    PaperDatasetSpec {
+        name: "FB13",
+        entities: 67_399,
+        relations: 15_342,
+        triples: 316_232,
+    },
+    PaperDatasetSpec {
+        name: "YAGO3-10",
+        entities: 123_182,
+        relations: 37,
+        triples: 1_079_040,
+    },
+    PaperDatasetSpec {
+        name: "BioKG",
+        entities: 93_773,
+        relations: 51,
+        triples: 4_762_678,
+    },
 ];
 
 /// The COVID-19 graph of Appendix F (Table 9).
-pub const COVID19_SPEC: PaperDatasetSpec =
-    PaperDatasetSpec { name: "COVID-19", entities: 60_820, relations: 62, triples: 1_032_939 };
+pub const COVID19_SPEC: PaperDatasetSpec = PaperDatasetSpec {
+    name: "COVID-19",
+    entities: 60_820,
+    relations: 62,
+    triples: 1_032_939,
+};
 
 impl PaperDatasetSpec {
     /// Looks a spec up by (case-insensitive) name.
@@ -339,7 +386,10 @@ mod tests {
 
     #[test]
     fn builder_produces_requested_shape() {
-        let ds = SyntheticKgBuilder::new(200, 10).triples(1000).seed(3).build();
+        let ds = SyntheticKgBuilder::new(200, 10)
+            .triples(1000)
+            .seed(3)
+            .build();
         assert_eq!(ds.num_entities, 200);
         assert_eq!(ds.num_relations, 10);
         assert_eq!(ds.total_triples(), 1000);

@@ -240,9 +240,13 @@ mod tests {
     use super::*;
 
     fn sample_store() -> TripleStore {
-        [Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(2, 0, 0)]
-            .into_iter()
-            .collect()
+        [
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(2, 0, 0),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -261,8 +265,14 @@ mod tests {
     fn validation_catches_bad_indices() {
         let s = sample_store();
         assert!(s.validate(3, 2).is_ok());
-        assert!(matches!(s.validate(2, 2), Err(Error::IndexOutOfBounds { .. })));
-        assert!(matches!(s.validate(3, 1), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            s.validate(2, 2),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.validate(3, 1),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -49,13 +49,21 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A 32 KiB, 8-way, 64-byte-line L1d (typical x86 core).
     pub fn l1d() -> Self {
-        Self { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 }
+        Self {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
     }
 
     /// A 512 KiB, 8-way, 64-byte-line private L2 (Zen 3, the paper's EPYC
     /// 7763 test CPU).
     pub fn l2() -> Self {
-        Self { size_bytes: 512 * 1024, line_bytes: 64, ways: 8 }
+        Self {
+            size_bytes: 512 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
     }
 
     fn num_sets(&self) -> usize {
@@ -115,10 +123,20 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sizes or ways, or a line
     /// larger than the capacity).
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes > 0 && config.ways > 0, "degenerate cache geometry");
-        assert!(config.size_bytes >= config.line_bytes * config.ways, "capacity below one set");
+        assert!(
+            config.line_bytes > 0 && config.ways > 0,
+            "degenerate cache geometry"
+        );
+        assert!(
+            config.size_bytes >= config.line_bytes * config.ways,
+            "capacity below one set"
+        );
         let sets = vec![Vec::with_capacity(config.ways); config.num_sets()];
-        Self { config, sets, stats: CacheStats::default() }
+        Self {
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configured geometry.
@@ -184,7 +202,10 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Builds the default L1+L2 stack modeled on the paper's test CPU.
     pub fn epyc_like() -> Self {
-        Self { l1: Cache::new(CacheConfig::l1d()), l2: Cache::new(CacheConfig::l2()) }
+        Self {
+            l1: Cache::new(CacheConfig::l1d()),
+            l2: Cache::new(CacheConfig::l2()),
+        }
     }
 
     /// Accesses one address through the hierarchy.
@@ -231,7 +252,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -302,6 +327,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn zero_ways_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 0 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 0,
+        });
     }
 }

@@ -123,7 +123,10 @@ pub fn compare_kernels(incidence: &CsrMatrix, dim: usize) -> KernelComparison {
     replay_csr_spmm_transpose(&mut sp, &a_t, dim);
     let spmm = sp.overall_miss_rate();
 
-    KernelComparison { gather_scatter_miss_rate: gather_scatter, spmm_miss_rate: spmm }
+    KernelComparison {
+        gather_scatter_miss_rate: gather_scatter,
+        spmm_miss_rate: spmm,
+    }
 }
 
 #[cfg(test)]

@@ -217,7 +217,13 @@ impl CooMatrix {
             }
             out_indptr[r + 1] = out_indices.len() as u32;
         }
-        CsrMatrix::from_raw_parts_unchecked(self.rows, self.cols, out_indptr, out_indices, out_values)
+        CsrMatrix::from_raw_parts_unchecked(
+            self.rows,
+            self.cols,
+            out_indptr,
+            out_indices,
+            out_values,
+        )
     }
 
     /// Returns the transpose as a new COO matrix (cheap index swap).
@@ -259,7 +265,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed_in_csr() {
-        let m = CooMatrix::from_triplets(2, 3, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 2, -1.0)]).unwrap();
+        let m =
+            CooMatrix::from_triplets(2, 3, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 2, -1.0)]).unwrap();
         let csr = m.to_csr();
         let row0: Vec<_> = csr.row(0).collect();
         assert_eq!(row0, vec![(1, 3.5)]);

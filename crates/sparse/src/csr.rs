@@ -69,7 +69,9 @@ impl CsrMatrix {
         }
         for w in indptr.windows(2) {
             if w[1] < w[0] {
-                return Err(Error::structure("indptr must be non-decreasing".to_string()));
+                return Err(Error::structure(
+                    "indptr must be non-decreasing".to_string(),
+                ));
             }
         }
         for r in 0..rows {
@@ -90,7 +92,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from arrays assumed valid (debug-asserted).
@@ -103,7 +111,13 @@ impl CsrMatrix {
     ) -> Self {
         debug_assert_eq!(indptr.len(), rows + 1);
         debug_assert_eq!(indices.len(), values.len());
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -239,7 +253,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 3, -1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 2, 4.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 3, -1.0),
+                (1, 1, 2.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+            ],
         )
         .unwrap()
         .to_csr()
@@ -270,15 +290,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_unsorted_columns() {
-        let err = CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0])
-            .unwrap_err();
+        let err =
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, Error::InvalidStructure { .. }));
     }
 
     #[test]
     fn validation_rejects_out_of_bounds_column() {
-        let err =
-            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
         assert!(matches!(err, Error::InvalidStructure { .. }));
     }
 

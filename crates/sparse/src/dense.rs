@@ -27,7 +27,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from an existing row-major buffer.
@@ -51,7 +55,11 @@ impl DenseMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols: N, data }
+        Self {
+            rows: rows.len(),
+            cols: N,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -119,7 +127,11 @@ impl DenseMatrix {
 
     /// Borrowed view of the whole matrix.
     pub fn view(&self) -> DenseView<'_> {
-        DenseView { rows: self.rows, cols: self.cols, data: &self.data }
+        DenseView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
     }
 }
 

@@ -35,7 +35,12 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::IndexOutOfBounds { row, col, rows, cols } => write!(
+            Error::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
             ),
@@ -49,11 +54,15 @@ impl std::error::Error for Error {}
 
 impl Error {
     pub(crate) fn shape(context: impl Into<String>) -> Self {
-        Error::ShapeMismatch { context: context.into() }
+        Error::ShapeMismatch {
+            context: context.into(),
+        }
     }
 
     pub(crate) fn structure(context: impl Into<String>) -> Self {
-        Error::InvalidStructure { context: context.into() }
+        Error::InvalidStructure {
+            context: context.into(),
+        }
     }
 }
 
@@ -63,7 +72,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::IndexOutOfBounds { row: 5, col: 7, rows: 2, cols: 3 };
+        let e = Error::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            rows: 2,
+            cols: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains("(5, 7)"));
         assert!(msg.contains("2x3"));

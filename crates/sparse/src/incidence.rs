@@ -130,7 +130,12 @@ pub fn hrt(
 
 fn check_entity(idx: usize, num_entities: usize, row: usize) -> Result<()> {
     if idx >= num_entities {
-        Err(Error::IndexOutOfBounds { row, col: idx, rows: 0, cols: num_entities })
+        Err(Error::IndexOutOfBounds {
+            row,
+            col: idx,
+            rows: 0,
+            cols: num_entities,
+        })
     } else {
         Ok(())
     }
@@ -223,13 +228,22 @@ mod tests {
 
     #[test]
     fn bounds_are_validated() {
-        assert!(matches!(ht(3, &[3], &[0]), Err(Error::IndexOutOfBounds { .. })));
-        assert!(matches!(ht(3, &[0], &[9]), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            ht(3, &[3], &[0]),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            ht(3, &[0], &[9]),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
         assert!(matches!(
             hrt(3, 2, &[0], &[2], &[1], TailSign::Negative),
             Err(Error::IndexOutOfBounds { .. })
         ));
-        assert!(matches!(ht(3, &[0, 1], &[0]), Err(Error::ShapeMismatch { .. })));
+        assert!(matches!(
+            ht(3, &[0, 1], &[0]),
+            Err(Error::ShapeMismatch { .. })
+        ));
         assert!(matches!(
             hrt(3, 2, &[0], &[0, 1], &[1], TailSign::Negative),
             Err(Error::ShapeMismatch { .. })

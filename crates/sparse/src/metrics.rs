@@ -73,7 +73,11 @@ pub struct Snapshot {
 
 /// Takes a snapshot of the current counters.
 pub fn snapshot() -> Snapshot {
-    Snapshot { flops: flops(), spmm_calls: spmm_calls(), bytes_touched: bytes_touched() }
+    Snapshot {
+        flops: flops(),
+        spmm_calls: spmm_calls(),
+        bytes_touched: bytes_touched(),
+    }
 }
 
 impl std::ops::Sub for Snapshot {

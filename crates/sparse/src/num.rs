@@ -41,7 +41,10 @@ impl Complex32 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`.
@@ -70,7 +73,10 @@ impl Complex32 {
     ///
     /// Panics if `slice.len()` is odd.
     pub fn slice_from_interleaved(slice: &[f32]) -> Vec<Complex32> {
-        assert!(slice.len().is_multiple_of(2), "interleaved complex slice must have even length");
+        assert!(
+            slice.len().is_multiple_of(2),
+            "interleaved complex slice must have even length"
+        );
         slice
             .chunks_exact(2)
             .map(|p| Complex32::new(p[0], p[1]))
@@ -82,7 +88,10 @@ impl std::ops::Add for Complex32 {
     type Output = Complex32;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -90,7 +99,10 @@ impl std::ops::Sub for Complex32 {
     type Output = Complex32;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -109,7 +121,10 @@ impl std::ops::Neg for Complex32 {
     type Output = Complex32;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

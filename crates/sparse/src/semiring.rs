@@ -202,7 +202,11 @@ pub fn semiring_spmm_into<S: Semiring>(
 ) {
     assert_eq!(a.cols(), b_rows, "semiring spmm shape mismatch");
     assert_eq!(b.len(), b_rows * b_cols, "dense operand has wrong length");
-    assert_eq!(out.len(), a.rows() * b_cols, "output buffer has wrong length");
+    assert_eq!(
+        out.len(),
+        a.rows() * b_cols,
+        "output buffer has wrong length"
+    );
     metrics::record_spmm_call();
     metrics::add_flops(2 * a.nnz() as u64 * b_cols as u64);
     if b_cols == 0 || a.rows() == 0 {
@@ -243,8 +247,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut coo = CooMatrix::new(20, 15);
         for _ in 0..60 {
-            coo.push(rng.gen_range(0..20), rng.gen_range(0..15), rng.gen_range(-1.0..1.0))
-                .unwrap();
+            coo.push(
+                rng.gen_range(0..20),
+                rng.gen_range(0..15),
+                rng.gen_range(-1.0..1.0),
+            )
+            .unwrap();
         }
         let a = coo.to_csr();
         let bdata: Vec<f32> = (0..15 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect();

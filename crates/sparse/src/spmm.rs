@@ -78,7 +78,9 @@ pub fn csr_spmm_into(a: &CsrMatrix, b: DenseView<'_>, out: &mut [f32]) {
         2 * a.nnz() as u64 * n as u64
     };
     metrics::add_flops(flops);
-    metrics::add_bytes((a.nnz() as u64 * (4 + 4)) + (a.nnz() as u64 * n as u64 * 4) + (out.len() as u64 * 4));
+    metrics::add_bytes(
+        (a.nnz() as u64 * (4 + 4)) + (a.nnz() as u64 * n as u64 * 4) + (out.len() as u64 * 4),
+    );
     if n == 0 || a.rows() == 0 {
         return;
     }
@@ -355,9 +357,13 @@ mod tests {
     #[test]
     fn csr_matches_reference_random() {
         let mut rng = StdRng::seed_from_u64(42);
-        for (rows, cols, n, per_row) in
-            [(1, 1, 1, 1), (10, 8, 4, 3), (100, 50, 17, 6), (64, 64, 64, 2), (200, 30, 5, 10)]
-        {
+        for (rows, cols, n, per_row) in [
+            (1, 1, 1, 1),
+            (10, 8, 4, 3),
+            (100, 50, 17, 6),
+            (64, 64, 64, 2),
+            (200, 30, 5, 10),
+        ] {
             let a = random_csr(&mut rng, rows, cols, per_row);
             let b = random_dense(&mut rng, cols, n);
             let got = csr_spmm(&a, &b);
@@ -432,8 +438,12 @@ mod tests {
         let coo = {
             let mut m = CooMatrix::new(50, 30);
             for _ in 0..200 {
-                m.push(rng.gen_range(0..50), rng.gen_range(0..30), rng.gen_range(-1.0..1.0))
-                    .unwrap();
+                m.push(
+                    rng.gen_range(0..50),
+                    rng.gen_range(0..30),
+                    rng.gen_range(-1.0..1.0),
+                )
+                .unwrap();
             }
             m
         };

@@ -76,7 +76,13 @@ where
     let workers = workers.max(1);
     let known = dataset.all_known();
     let sampler = UniformSampler::new(dataset.num_entities.max(2));
-    let plan = BatchPlan::build(&dataset.train, &known, &sampler, config.batch_size, config.seed);
+    let plan = BatchPlan::build(
+        &dataset.train,
+        &known,
+        &sampler,
+        config.batch_size,
+        config.seed,
+    );
     let shards = plan.shard(workers);
     let steps_per_epoch = shards.iter().map(BatchPlan::num_batches).max().unwrap_or(0);
 
@@ -119,7 +125,10 @@ where
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
             .expect("worker scope panicked");
 
@@ -141,10 +150,19 @@ where
         for m in replicas.iter_mut() {
             m.end_epoch();
         }
-        epoch_losses.push(if loss_count == 0 { 0.0 } else { (loss_sum / loss_count as f64) as f32 });
+        epoch_losses.push(if loss_count == 0 {
+            0.0
+        } else {
+            (loss_sum / loss_count as f64) as f32
+        });
     }
 
-    Ok(DistributedReport { workers, epoch_losses, wall: started.elapsed(), steps })
+    Ok(DistributedReport {
+        workers,
+        epoch_losses,
+        wall: started.elapsed(),
+        steps,
+    })
 }
 
 /// Averages gradients across replicas and broadcasts the result, so every
@@ -183,7 +201,13 @@ mod tests {
     }
 
     fn config() -> TrainConfig {
-        TrainConfig { epochs: 3, batch_size: 64, dim: 8, lr: 0.05, ..Default::default() }
+        TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            dim: 8,
+            lr: 0.05,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -215,7 +239,13 @@ mod tests {
     #[test]
     fn more_workers_than_batches_is_safe() {
         let ds = SyntheticKgBuilder::new(30, 2).triples(80).seed(41).build();
-        let cfg = TrainConfig { epochs: 1, batch_size: 64, dim: 4, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 64,
+            dim: 4,
+            lr: 0.05,
+            ..Default::default()
+        };
         let r = train_data_parallel(&ds, &cfg, 8, SpTransE::from_config).unwrap();
         assert_eq!(r.workers, 8);
     }

@@ -116,6 +116,8 @@ impl From<kg::Error> for Error {
 
 impl Error {
     pub(crate) fn config(context: impl Into<String>) -> Self {
-        Error::Config { context: context.into() }
+        Error::Config {
+            context: context.into(),
+        }
     }
 }

@@ -135,7 +135,9 @@ impl TrainConfig {
             return Err(crate::Error::config("batch_size must be positive"));
         }
         if self.dim == 0 || self.rel_dim == 0 {
-            return Err(crate::Error::config("embedding dimensions must be positive"));
+            return Err(crate::Error::config(
+                "embedding dimensions must be positive",
+            ));
         }
         if self.lr.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(crate::Error::config("learning rate must be positive"));
@@ -228,13 +230,25 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TrainConfig::default().validate().is_ok());
-        let bad = TrainConfig { epochs: 0, ..Default::default() };
+        let bad = TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = TrainConfig { lr: 0.0, ..Default::default() };
+        let bad = TrainConfig {
+            lr: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = TrainConfig { margin: -1.0, ..Default::default() };
+        let bad = TrainConfig {
+            margin: -1.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = TrainConfig { dim: 0, ..Default::default() };
+        let bad = TrainConfig {
+            dim: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
     }
 

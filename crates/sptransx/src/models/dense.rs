@@ -69,7 +69,13 @@ macro_rules! impl_gathered_batch_scorer {
 /// Builds the stacked `(N+R) × d` init used by the sparse models, then
 /// splits it into separate entity/relation tensors so dense and sparse
 /// variants start from bit-identical parameters.
-fn split_stacked_init(n: usize, r: usize, d: usize, seed: u64, normalize: bool) -> (Tensor, Tensor) {
+fn split_stacked_init(
+    n: usize,
+    r: usize,
+    d: usize,
+    seed: u64,
+    normalize: bool,
+) -> (Tensor, Tensor) {
     let stacked = if normalize {
         crate::models::stacked_transe_init(n, r, d, seed)
     } else {
@@ -138,16 +144,18 @@ impl DenseTransE {
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", ent_t);
         let rel = store.add_param("relations", rel_t);
-        Ok(Self { store, ent, rel, num_entities: n, dim: d, norm: config.norm, batches: Vec::new() })
+        Ok(Self {
+            store,
+            ent,
+            rel,
+            num_entities: n,
+            dim: d,
+            norm: config.norm,
+            batches: Vec::new(),
+        })
     }
 
-    fn side(
-        &self,
-        g: &mut Graph,
-        heads: &[u32],
-        rels: &[u32],
-        tails: &[u32],
-    ) -> Var {
+    fn side(&self, g: &mut Graph, heads: &[u32], rels: &[u32], tails: &[u32]) -> Var {
         let h = g.gather(&self.store, self.ent, heads.to_vec());
         let r = g.gather(&self.store, self.rel, rels.to_vec());
         let t = g.gather(&self.store, self.ent, tails.to_vec());
@@ -197,7 +205,13 @@ impl TripleScorer for DenseTransE {
             .zip(r.row(rel as usize))
             .map(|(a, b)| a + b)
             .collect();
-        distances_to_rows(ent.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            ent.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
     fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
         let ent = self.store.value(self.ent);
@@ -208,7 +222,13 @@ impl TripleScorer for DenseTransE {
             .zip(r.row(rel as usize))
             .map(|(a, b)| a - b)
             .collect();
-        distances_to_rows(ent.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            ent.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
     fn num_entities(&self) -> usize {
         self.num_entities
@@ -250,7 +270,15 @@ impl DenseTorusE {
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", ent_t);
         let rel = store.add_param("relations", rel_t);
-        Ok(Self { store, ent, rel, num_entities: n, dim: d, norm, batches: Vec::new() })
+        Ok(Self {
+            store,
+            ent,
+            rel,
+            num_entities: n,
+            dim: d,
+            norm,
+            batches: Vec::new(),
+        })
     }
 }
 
@@ -299,7 +327,13 @@ impl TripleScorer for DenseTorusE {
             .zip(r.row(rel as usize))
             .map(|(a, b)| a + b)
             .collect();
-        distances_to_rows(ent.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            ent.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
     fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
         let ent = self.store.value(self.ent);
@@ -310,7 +344,13 @@ impl TripleScorer for DenseTorusE {
             .zip(r.row(rel as usize))
             .map(|(a, b)| a - b)
             .collect();
-        distances_to_rows(ent.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            ent.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
     fn num_entities(&self) -> usize {
         self.num_entities
@@ -350,7 +390,10 @@ impl DenseTransR {
         let (d, k) = (config.dim, config.rel_dim);
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", init::xavier_normalized(n, d, config.seed));
-        let rel = store.add_param("relations", init::xavier_translational(r, k, config.seed + 1));
+        let rel = store.add_param(
+            "relations",
+            init::xavier_translational(r, k, config.seed + 1),
+        );
         let mats = store.add_param("projections", init::stacked_identity(r, k, d));
         Ok(Self {
             store,
@@ -417,7 +460,13 @@ impl DenseTransR {
         let mat = mats.row(rel);
         let (k, d) = (self.rel_dim, self.dim);
         (0..k)
-            .map(|o| mat[o * d..(o + 1) * d].iter().zip(vec).map(|(m, v)| m * v).sum())
+            .map(|o| {
+                mat[o * d..(o + 1) * d]
+                    .iter()
+                    .zip(vec)
+                    .map(|(m, v)| m * v)
+                    .sum()
+            })
             .collect()
     }
 }
@@ -427,7 +476,11 @@ impl TripleScorer for DenseTransR {
         let ent = self.store.value(self.ent);
         let r_emb = self.store.value(self.rel);
         let ph = self.project(rel as usize, ent.row(head as usize));
-        let query: Vec<f32> = ph.iter().zip(r_emb.row(rel as usize)).map(|(a, b)| a + b).collect();
+        let query: Vec<f32> = ph
+            .iter()
+            .zip(r_emb.row(rel as usize))
+            .map(|(a, b)| a + b)
+            .collect();
         (0..self.num_entities)
             .map(|t| {
                 let pt = self.project(rel as usize, ent.row(t));
@@ -439,7 +492,11 @@ impl TripleScorer for DenseTransR {
         let ent = self.store.value(self.ent);
         let r_emb = self.store.value(self.rel);
         let pt = self.project(rel as usize, ent.row(tail as usize));
-        let query: Vec<f32> = pt.iter().zip(r_emb.row(rel as usize)).map(|(a, b)| a - b).collect();
+        let query: Vec<f32> = pt
+            .iter()
+            .zip(r_emb.row(rel as usize))
+            .map(|(a, b)| a - b)
+            .collect();
         (0..self.num_entities)
             .map(|h| {
                 let ph = self.project(rel as usize, ent.row(h));
@@ -520,8 +577,10 @@ impl DenseTransH {
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", init::xavier_normalized(n, d, config.seed));
         let normals = store.add_param("normals", init::xavier_normalized(r, d, config.seed + 1));
-        let translations =
-            store.add_param("translations", init::xavier_translational(r, d, config.seed + 2));
+        let translations = store.add_param(
+            "translations",
+            init::xavier_translational(r, d, config.seed + 2),
+        );
         Ok(Self {
             store,
             ent,
@@ -676,7 +735,12 @@ mod tests {
     }
 
     fn config() -> TrainConfig {
-        TrainConfig { dim: 8, rel_dim: 8, batch_size: 64, ..Default::default() }
+        TrainConfig {
+            dim: 8,
+            rel_dim: 8,
+            batch_size: 64,
+            ..Default::default()
+        }
     }
 
     /// The load-bearing equivalence: dense and sparse variants must produce
@@ -723,8 +787,12 @@ mod tests {
 
         // Sparse: one stacked grad (N+R, d); dense: split grads.
         let stacked = sparse_m.store().grad(sparse_m.embedding_param());
-        let dent = dense_m.store().grad(dense_m.store().lookup("entities").unwrap());
-        let drel = dense_m.store().grad(dense_m.store().lookup("relations").unwrap());
+        let dent = dense_m
+            .store()
+            .grad(dense_m.store().lookup("entities").unwrap());
+        let drel = dense_m
+            .store()
+            .grad(dense_m.store().lookup("relations").unwrap());
         let n = ds.num_entities;
         for i in 0..n {
             for (a, b) in stacked.row(i).iter().zip(dent.row(i)) {
@@ -808,6 +876,11 @@ mod tests {
         sparse_m.score_batch(&mut g1, 0);
         let mut g2 = Graph::new();
         dense_m.score_batch(&mut g2, 0);
-        assert!(g2.len() > g1.len(), "dense {} <= sparse {}", g2.len(), g1.len());
+        assert!(
+            g2.len() > g1.len(),
+            "dense {} <= sparse {}",
+            g2.len(),
+            g1.len()
+        );
     }
 }

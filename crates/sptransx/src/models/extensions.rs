@@ -45,9 +45,18 @@ impl SpTransC {
         config.validate()?;
         let (n, r, d) = (dataset.num_entities, dataset.num_relations, config.dim);
         let mut store = ParamStore::new();
-        let emb = store
-            .add_param("embeddings", crate::models::stacked_transe_init(n, r, d, config.seed));
-        Ok(Self { store, emb, num_entities: n, num_relations: r, dim: d, batches: Vec::new() })
+        let emb = store.add_param(
+            "embeddings",
+            crate::models::stacked_transe_init(n, r, d, config.seed),
+        );
+        Ok(Self {
+            store,
+            emb,
+            num_entities: n,
+            num_relations: r,
+            dim: d,
+            batches: Vec::new(),
+        })
     }
 
     /// Embedding dimension.
@@ -72,8 +81,12 @@ impl KgeModel for SpTransC {
         &mut self.store
     }
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         Ok(())
     }
     fn num_batches(&self) -> usize {
@@ -140,20 +153,32 @@ impl TripleScorer for SpTransC {
         let r = emb.row(self.num_entities + rel as usize);
         let query: Vec<f32> = h.iter().zip(r).map(|(a, b)| a + b).collect();
         // Squared distances preserve the L2 ranking.
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, Norm::L2)
-            .into_iter()
-            .map(|d| d * d)
-            .collect()
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            Norm::L2,
+        )
+        .into_iter()
+        .map(|d| d * d)
+        .collect()
     }
     fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
         let emb = self.store.value(self.emb);
         let t = emb.row(tail as usize);
         let r = emb.row(self.num_entities + rel as usize);
         let query: Vec<f32> = t.iter().zip(r).map(|(a, b)| a - b).collect();
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, Norm::L2)
-            .into_iter()
-            .map(|d| d * d)
-            .collect()
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            Norm::L2,
+        )
+        .into_iter()
+        .map(|d| d * d)
+        .collect()
     }
     fn num_entities(&self) -> usize {
         self.num_entities
@@ -188,8 +213,10 @@ impl SpTransM {
         config.validate()?;
         let (n, r, d) = (dataset.num_entities, dataset.num_relations, config.dim);
         let mut store = ParamStore::new();
-        let emb = store
-            .add_param("embeddings", crate::models::stacked_transe_init(n, r, d, config.seed));
+        let emb = store.add_param(
+            "embeddings",
+            crate::models::stacked_transe_init(n, r, d, config.seed),
+        );
         let rel_weights = relation_weights(&dataset.train, r);
         Ok(Self {
             store,
@@ -263,13 +290,27 @@ impl KgeModel for SpTransM {
         &mut self.store
     }
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         self.batch_weights = plan
             .iter()
             .map(|b| {
-                let pos = b.pos.rels().iter().map(|&r| self.rel_weights[r as usize]).collect();
-                let neg = b.neg.rels().iter().map(|&r| self.rel_weights[r as usize]).collect();
+                let pos = b
+                    .pos
+                    .rels()
+                    .iter()
+                    .map(|&r| self.rel_weights[r as usize])
+                    .collect();
+                let neg = b
+                    .neg
+                    .rels()
+                    .iter()
+                    .map(|&r| self.rel_weights[r as usize])
+                    .collect();
                 (pos, neg)
             })
             .collect();
@@ -281,14 +322,13 @@ impl KgeModel for SpTransM {
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let cache = &self.batches[batch_idx];
         let (wp, wn) = &self.batch_weights[batch_idx];
-        let side = |g: &mut Graph,
-                    pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
-                    w: &[f32]| {
-            let expr = g.spmm(&self.store, self.emb, pair.clone());
-            let dist = self.norm.apply(g, expr);
-            let weights = g.input(Tensor::from_vec(w.len(), 1, w.to_vec()));
-            g.mul(dist, weights)
-        };
+        let side =
+            |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>, w: &[f32]| {
+                let expr = g.spmm(&self.store, self.emb, pair.clone());
+                let dist = self.norm.apply(g, expr);
+                let weights = g.input(Tensor::from_vec(w.len(), 1, w.to_vec()));
+                g.mul(dist, weights)
+            };
         let pos = side(g, &cache.pos, wp);
         let neg = side(g, &cache.neg, wn);
         (pos, neg)
@@ -351,10 +391,16 @@ impl TripleScorer for SpTransM {
         let r = emb.row(self.num_entities + rel as usize);
         let w = self.relation_weight(rel);
         let query: Vec<f32> = h.iter().zip(r).map(|(a, b)| a + b).collect();
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, self.norm)
-            .into_iter()
-            .map(|d| w * d)
-            .collect()
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
+        .into_iter()
+        .map(|d| w * d)
+        .collect()
     }
     fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
         let emb = self.store.value(self.emb);
@@ -362,10 +408,16 @@ impl TripleScorer for SpTransM {
         let r = emb.row(self.num_entities + rel as usize);
         let w = self.relation_weight(rel);
         let query: Vec<f32> = t.iter().zip(r).map(|(a, b)| a - b).collect();
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, self.norm)
-            .into_iter()
-            .map(|d| w * d)
-            .collect()
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
+        .into_iter()
+        .map(|d| w * d)
+        .collect()
     }
     fn num_entities(&self) -> usize {
         self.num_entities
@@ -381,7 +433,11 @@ mod tests {
 
     fn setup() -> (Dataset, BatchPlan, TrainConfig) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(70).build();
-        let config = TrainConfig { dim: 8, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            batch_size: 64,
+            ..Default::default()
+        };
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 71);
         (ds, plan, config)
@@ -436,13 +492,20 @@ mod tests {
             train.push(kg::Triple::new(i, 1, i + 31));
         }
         let w = relation_weights(&train, 2);
-        assert!(w[0] < w[1], "1-N relation should get a smaller weight: {w:?}");
+        assert!(
+            w[0] < w[1],
+            "1-N relation should get a smaller weight: {w:?}"
+        );
     }
 
     #[test]
     fn both_models_train_under_trainer() {
         let (ds, _, cfg) = setup();
-        let cfg = TrainConfig { epochs: 3, lr: 0.1, ..cfg };
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr: 0.1,
+            ..cfg
+        };
         for result in [
             crate::Trainer::new(SpTransC::from_config(&ds, &cfg).unwrap(), &ds, &cfg)
                 .unwrap()

@@ -108,8 +108,12 @@ impl KgeModel for SpComplEx {
     }
 
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         Ok(())
     }
 
@@ -152,8 +156,7 @@ impl kg::eval::BatchScorer for SpComplEx {
     fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         use crate::scorer::{for_each_score, stacked_query_rows_semiring, QueryDir};
         let (n, half) = (self.num_entities, self.half_dim);
-        let emb =
-            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        let emb = Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
         // q = h ∘ r per query via the training ComplexTriple semiring kernel,
         // then score(t) = −Σⱼ Re(qⱼ · t̄ⱼ) — the same association order as the
         // scalar `similarity`.
@@ -168,15 +171,17 @@ impl kg::eval::BatchScorer for SpComplEx {
         for_each_score(n, 0, out, |qi, cand, _| {
             let qr = &q[qi * half..(qi + 1) * half];
             let t = &emb[cand * half..(cand + 1) * half];
-            -qr.iter().zip(t).map(|(&a, &c)| (a * c.conj()).re).sum::<f32>()
+            -qr.iter()
+                .zip(t)
+                .map(|(&a, &c)| (a * c.conj()).re)
+                .sum::<f32>()
         });
     }
 
     fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         use crate::scorer::for_each_score;
         let (n, half) = (self.num_entities, self.half_dim);
-        let emb =
-            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        let emb = Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
         // The candidate multiplies the relation *first* (h ∘ r ∘ t̄), so
         // nothing per-query can be factored out without changing the float
         // association; score each element with the scalar expression.
@@ -202,7 +207,11 @@ mod tests {
 
     fn setup() -> (Dataset, SpComplEx, BatchPlan) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(60).build();
-        let config = TrainConfig { dim: 4, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 4,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpComplEx::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 61);

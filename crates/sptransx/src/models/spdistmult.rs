@@ -57,7 +57,14 @@ impl SpDistMult {
         let mut store = ParamStore::new();
         // Unit-normalized init keeps triple products in a sane range.
         let emb = store.add_param("embeddings", init::xavier_normalized(n + r, d, config.seed));
-        Ok(Self { store, emb, num_entities: n, num_relations: r, dim: d, batches: Vec::new() })
+        Ok(Self {
+            store,
+            emb,
+            num_entities: n,
+            num_relations: r,
+            dim: d,
+            batches: Vec::new(),
+        })
     }
 
     /// Embedding dimension.
@@ -96,8 +103,12 @@ impl KgeModel for SpDistMult {
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
         // Positive tail sign: the (×,×) semiring ignores signs, and an
         // all-+1 matrix keeps the formulation of Appendix D literal.
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Positive)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Positive,
+        )?;
         Ok(())
     }
 
@@ -183,7 +194,11 @@ mod tests {
 
     fn setup() -> (Dataset, SpDistMult, BatchPlan) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(13).build();
-        let config = TrainConfig { dim: 8, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpDistMult::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 14);

@@ -61,8 +61,10 @@ impl SpRotatE {
         data.extend_from_slice(ent.as_slice());
         data.extend_from_slice(rel.as_slice());
         let mut store = ParamStore::new();
-        let emb =
-            store.add_param("embeddings", tensor::Tensor::from_vec(n + r, half * 2, data));
+        let emb = store.add_param(
+            "embeddings",
+            tensor::Tensor::from_vec(n + r, half * 2, data),
+        );
         Ok(Self {
             store,
             emb,
@@ -92,7 +94,11 @@ impl SpRotatE {
         let h = self.complex_row(head as usize);
         let r = self.complex_row(self.num_entities + rel as usize);
         let t = self.complex_row(tail as usize);
-        h.iter().zip(&r).zip(&t).map(|((&a, &b), &c)| (a * b - c).abs()).sum()
+        h.iter()
+            .zip(&r)
+            .zip(&t)
+            .map(|((&a, &b), &c)| (a * b - c).abs())
+            .sum()
     }
 }
 
@@ -110,8 +116,12 @@ impl KgeModel for SpRotatE {
     }
 
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         Ok(())
     }
 
@@ -184,8 +194,7 @@ impl kg::eval::BatchScorer for SpRotatE {
     fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         use crate::scorer::{for_each_score, stacked_query_rows_semiring, QueryDir};
         let (n, half) = (self.num_entities, self.half_dim);
-        let emb =
-            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        let emb = Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
         // q = h ∘ r per query via the training RotateTriple semiring kernel,
         // then score(t) = Σⱼ |qⱼ − tⱼ| exactly as the scalar path.
         let q = stacked_query_rows_semiring::<sparse::semiring::RotateTriple>(
@@ -206,8 +215,7 @@ impl kg::eval::BatchScorer for SpRotatE {
     fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
         use crate::scorer::for_each_score;
         let (n, half) = (self.num_entities, self.half_dim);
-        let emb =
-            Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
+        let emb = Complex32::slice_from_interleaved(self.store.value(self.emb).as_slice());
         // The rotation applies to the candidate head, so each element keeps
         // the scalar `|h ∘ r − t|` expression.
         for_each_score(n, 0, out, |qi, cand, _| {
@@ -232,7 +240,11 @@ mod tests {
 
     fn setup() -> (Dataset, SpRotatE, BatchPlan) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(50).build();
-        let config = TrainConfig { dim: 4, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 4,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpRotatE::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 51);

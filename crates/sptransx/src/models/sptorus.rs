@@ -102,8 +102,12 @@ impl KgeModel for SpTorusE {
     }
 
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         Ok(())
     }
 
@@ -127,7 +131,13 @@ impl TripleScorer for SpTorusE {
         let h = emb.row(head as usize);
         let r = emb.row(self.num_entities + rel as usize);
         let query: Vec<f32> = h.iter().zip(r).map(|(a, b)| a + b).collect();
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
 
     fn score_heads(&self, rel: u32, tail: u32) -> Vec<f32> {
@@ -135,7 +145,13 @@ impl TripleScorer for SpTorusE {
         let t = emb.row(tail as usize);
         let r = emb.row(self.num_entities + rel as usize);
         let query: Vec<f32> = t.iter().zip(r).map(|(a, b)| a - b).collect();
-        distances_to_rows(emb.as_slice(), self.num_entities, self.dim, &query, self.norm)
+        distances_to_rows(
+            emb.as_slice(),
+            self.num_entities,
+            self.dim,
+            &query,
+            self.norm,
+        )
     }
 
     fn num_entities(&self) -> usize {
@@ -186,18 +202,34 @@ mod tests {
     #[test]
     fn norm_is_coerced_to_torus() {
         let ds = SyntheticKgBuilder::new(30, 2).triples(100).seed(1).build();
-        let m = SpTorusE::from_config(&ds, &TrainConfig { norm: Norm::L2, ..Default::default() })
-            .unwrap();
+        let m = SpTorusE::from_config(
+            &ds,
+            &TrainConfig {
+                norm: Norm::L2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.metric(), Norm::TorusL2);
-        let m = SpTorusE::from_config(&ds, &TrainConfig { norm: Norm::L1, ..Default::default() })
-            .unwrap();
+        let m = SpTorusE::from_config(
+            &ds,
+            &TrainConfig {
+                norm: Norm::L1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.metric(), Norm::TorusL1);
     }
 
     #[test]
     fn scores_are_bounded_by_torus_geometry() {
         let ds = SyntheticKgBuilder::new(40, 3).triples(300).seed(2).build();
-        let config = TrainConfig { dim: 8, batch_size: 50, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            batch_size: 50,
+            ..Default::default()
+        };
         let mut model = SpTorusE::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 50, 3);
@@ -206,14 +238,21 @@ mod tests {
         let (pos, _) = model.score_batch(&mut g, 0);
         // Max per-component squared torus distance is 0.25.
         let bound = 0.25 * model.dim() as f32 + 1e-5;
-        assert!(g.value(pos).as_slice().iter().all(|&x| (0.0..=bound).contains(&x)));
+        assert!(g
+            .value(pos)
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=bound).contains(&x)));
     }
 
     #[test]
     fn wraparound_equivalence_in_scoring() {
         // Shifting an embedding by an integer must not change torus scores.
         let ds = SyntheticKgBuilder::new(20, 2).triples(80).seed(4).build();
-        let config = TrainConfig { dim: 4, ..Default::default() };
+        let config = TrainConfig {
+            dim: 4,
+            ..Default::default()
+        };
         let mut model = SpTorusE::from_config(&ds, &config).unwrap();
         let before = model.score_tails(0, 0);
         let emb_id = model.embedding_param();

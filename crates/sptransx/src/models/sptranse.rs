@@ -100,8 +100,12 @@ impl KgeModel for SpTransE {
     }
 
     fn attach_plan(&mut self, plan: &BatchPlan) -> Result<()> {
-        self.batches =
-            build_hrt_caches(plan, self.num_entities, self.num_relations, TailSign::Negative)?;
+        self.batches = build_hrt_caches(
+            plan,
+            self.num_entities,
+            self.num_relations,
+            TailSign::Negative,
+        )?;
         Ok(())
     }
 
@@ -190,7 +194,11 @@ mod tests {
 
     fn setup() -> (Dataset, SpTransE, BatchPlan) {
         let ds = SyntheticKgBuilder::new(50, 4).triples(400).seed(2).build();
-        let config = TrainConfig { dim: 8, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpTransE::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 7);
@@ -245,7 +253,10 @@ mod tests {
     fn scorer_ranks_translated_entity_best() {
         // Hand-craft embeddings: t = h + r exactly for entity 3.
         let ds = SyntheticKgBuilder::new(10, 2).triples(50).seed(3).build();
-        let config = TrainConfig { dim: 4, ..Default::default() };
+        let config = TrainConfig {
+            dim: 4,
+            ..Default::default()
+        };
         let mut model = SpTransE::from_config(&ds, &config).unwrap();
         let emb_id = model.embedding_param();
         {
@@ -274,8 +285,11 @@ mod tests {
         model.attach_plan(&plan).unwrap();
         let emb_id = model.embedding_param();
         model.store_mut().value_mut(emb_id).as_mut_slice()[0] = 100.0;
-        let rel_row_before: Vec<f32> =
-            model.store().value(emb_id).row(model.num_entities()).to_vec();
+        let rel_row_before: Vec<f32> = model
+            .store()
+            .value(emb_id)
+            .row(model.num_entities())
+            .to_vec();
         model.end_epoch();
         let emb = model.store().value(emb_id);
         let norm: f32 = emb.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();

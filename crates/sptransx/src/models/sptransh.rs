@@ -62,10 +62,11 @@ impl SpTransH {
         let (n, r, d) = (dataset.num_entities, dataset.num_relations, config.dim);
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", init::xavier_normalized(n, d, config.seed));
-        let normals =
-            store.add_param("normals", init::xavier_normalized(r, d, config.seed + 1));
-        let translations =
-            store.add_param("translations", init::xavier_translational(r, d, config.seed + 2));
+        let normals = store.add_param("normals", init::xavier_normalized(r, d, config.seed + 1));
+        let translations = store.add_param(
+            "translations",
+            init::xavier_translational(r, d, config.seed + 2),
+        );
         Ok(Self {
             store,
             ent,
@@ -124,8 +125,9 @@ impl KgeModel for SpTransH {
 
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let cache = &self.batches[batch_idx];
-        let side = |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
-                        rels: &Vec<u32>| {
+        let side = |g: &mut Graph,
+                    pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
+                    rels: &Vec<u32>| {
             // (h − t) + dᵣ − wᵣ(wᵣᵀ(h − t)): ht computed once and reused.
             let ht = g.spmm(&self.store, self.ent, pair.clone());
             let w = g.gather(&self.store, self.normals, rels.clone());
@@ -222,7 +224,11 @@ mod tests {
 
     fn setup() -> (Dataset, SpTransH, BatchPlan) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(11).build();
-        let config = TrainConfig { dim: 8, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpTransH::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 12);
@@ -292,7 +298,10 @@ mod tests {
         let p1 = model.project(0, &x);
         let p2 = model.project(0, &p1);
         for (a, b) in p1.iter().zip(&p2) {
-            assert!((a - b).abs() < 1e-5, "projection not idempotent: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-5,
+                "projection not idempotent: {a} vs {b}"
+            );
         }
     }
 }

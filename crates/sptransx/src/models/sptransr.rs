@@ -58,7 +58,10 @@ impl SpTransR {
         let (d, k) = (config.dim, config.rel_dim);
         let mut store = ParamStore::new();
         let ent = store.add_param("entities", init::xavier_normalized(n, d, config.seed));
-        let rel = store.add_param("relations", init::xavier_translational(r, k, config.seed + 1));
+        let rel = store.add_param(
+            "relations",
+            init::xavier_translational(r, k, config.seed + 1),
+        );
         let mats = store.add_param("projections", init::stacked_identity(r, k, d));
         Ok(Self {
             store,
@@ -136,8 +139,9 @@ impl KgeModel for SpTransR {
 
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let cache = &self.batches[batch_idx];
-        let side = |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
-                        rels: &Vec<u32>| {
+        let side = |g: &mut Graph,
+                    pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
+                    rels: &Vec<u32>| {
             // Mᵣ(h − t) + r, one SpMM + one projection per triple.
             let ht = g.spmm(&self.store, self.ent, pair.clone());
             let proj = g.project_rows(&self.store, self.mats, ht, rels.clone(), self.rel_dim);
@@ -161,7 +165,11 @@ impl TripleScorer for SpTransR {
         let r_emb = self.store.value(self.rel);
         let ph = self.project(rel as usize, ent.row(head as usize));
         // score(t) = ‖(Mᵣh + r) − Mᵣt‖.
-        let query: Vec<f32> = ph.iter().zip(r_emb.row(rel as usize)).map(|(a, b)| a + b).collect();
+        let query: Vec<f32> = ph
+            .iter()
+            .zip(r_emb.row(rel as usize))
+            .map(|(a, b)| a + b)
+            .collect();
         (0..self.num_entities)
             .map(|t| {
                 let pt = self.project(rel as usize, ent.row(t));
@@ -175,7 +183,11 @@ impl TripleScorer for SpTransR {
         let r_emb = self.store.value(self.rel);
         let pt = self.project(rel as usize, ent.row(tail as usize));
         // score(h) = ‖Mᵣh − (Mᵣt − r)‖.
-        let query: Vec<f32> = pt.iter().zip(r_emb.row(rel as usize)).map(|(a, b)| a - b).collect();
+        let query: Vec<f32> = pt
+            .iter()
+            .zip(r_emb.row(rel as usize))
+            .map(|(a, b)| a - b)
+            .collect();
         (0..self.num_entities)
             .map(|h| {
                 let ph = self.project(rel as usize, ent.row(h));
@@ -233,7 +245,12 @@ mod tests {
 
     fn setup() -> (Dataset, SpTransR, BatchPlan) {
         let ds = SyntheticKgBuilder::new(40, 4).triples(300).seed(6).build();
-        let config = TrainConfig { dim: 8, rel_dim: 4, batch_size: 64, ..Default::default() };
+        let config = TrainConfig {
+            dim: 8,
+            rel_dim: 4,
+            batch_size: 64,
+            ..Default::default()
+        };
         let model = SpTransR::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 64, 8);
@@ -244,7 +261,12 @@ mod tests {
     fn identity_projection_reduces_to_transe_form() {
         // With identity Mᵣ (the init) and k == d, score = ‖(h − t) + r‖.
         let ds = SyntheticKgBuilder::new(30, 2).triples(150).seed(7).build();
-        let config = TrainConfig { dim: 6, rel_dim: 6, batch_size: 32, ..Default::default() };
+        let config = TrainConfig {
+            dim: 6,
+            rel_dim: 6,
+            batch_size: 32,
+            ..Default::default()
+        };
         let mut model = SpTransR::from_config(&ds, &config).unwrap();
         let sampler = UniformSampler::new(ds.num_entities);
         let plan = BatchPlan::build(&ds.train, &ds.all_known(), &sampler, 32, 9);

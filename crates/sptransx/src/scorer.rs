@@ -19,10 +19,10 @@
 //! `tests/batch_eval_properties.rs`).
 
 use kg::eval::{BatchScorer, TripleScorer};
+use sparse::incidence::{hrt, TailSign};
 use sparse::semiring::{
     semiring_spmm, semiring_spmm_into, ComplexTriple, RotateTriple, Semiring, TimesTimes,
 };
-use sparse::incidence::{hrt, TailSign};
 use sparse::spmm::csr_spmm_into;
 use sparse::{Complex32, CooMatrix, CsrMatrix, DenseView};
 
@@ -119,7 +119,11 @@ pub(crate) fn stacked_query_rows(
     };
     let a = stacked_query_incidence(num_entities, num_relations, queries, dir, rel_coeff);
     let mut q = vec![0f32; queries.len() * d];
-    csr_spmm_into(&a, DenseView::new(num_entities + num_relations, d, emb), &mut q);
+    csr_spmm_into(
+        &a,
+        DenseView::new(num_entities + num_relations, d, emb),
+        &mut q,
+    );
     q
 }
 
@@ -282,7 +286,10 @@ pub(crate) fn distmult_scores_into(
     );
     for_each_score(num_entities, 0, out, |qi, cand, _| {
         let qr = &q[qi * d..(qi + 1) * d];
-        -qr.iter().zip(&emb[cand * d..(cand + 1) * d]).map(|(a, b)| a * b).sum::<f32>()
+        -qr.iter()
+            .zip(&emb[cand * d..(cand + 1) * d])
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
     });
 }
 
@@ -362,7 +369,11 @@ pub(crate) fn projected_scores_into(
     let project = |r: usize, vec: &[f32], dst: &mut [f32]| {
         let mat = &mats[r * k * d..(r + 1) * k * d];
         for (o, s) in dst.iter_mut().enumerate() {
-            *s = mat[o * d..(o + 1) * d].iter().zip(vec).map(|(m, v)| m * v).sum();
+            *s = mat[o * d..(o + 1) * d]
+                .iter()
+                .zip(vec)
+                .map(|(m, v)| m * v)
+                .sum();
         }
     };
     let m = queries.len();
@@ -519,7 +530,11 @@ fn candidate_semiring_scores_into<S: Semiring<Scalar = Complex32>>(
     out: &mut [f32],
 ) {
     let n = num_entities;
-    assert_eq!(out.len(), queries.len() * n, "score buffer has wrong length");
+    assert_eq!(
+        out.len(),
+        queries.len() * n,
+        "score buffer has wrong length"
+    );
     let candidates: Vec<u32> = (0..n as u32).collect();
     let mut scratch = vec![Complex32::default(); n * half_dim];
     // Index buffers reused across the chunk — only the fill values change.
@@ -530,8 +545,22 @@ fn candidate_semiring_scores_into<S: Semiring<Scalar = Complex32>>(
         fixed.fill(ent);
         rels.fill(rel);
         let a = match dir {
-            QueryDir::Tails => hrt(n, num_relations, &fixed, &rels, &candidates, TailSign::Negative),
-            QueryDir::Heads => hrt(n, num_relations, &candidates, &rels, &fixed, TailSign::Negative),
+            QueryDir::Tails => hrt(
+                n,
+                num_relations,
+                &fixed,
+                &rels,
+                &candidates,
+                TailSign::Negative,
+            ),
+            QueryDir::Heads => hrt(
+                n,
+                num_relations,
+                &candidates,
+                &rels,
+                &fixed,
+                TailSign::Negative,
+            ),
         }
         .expect("validated indices");
         semiring_spmm_into::<S>(&a, emb, n + num_relations, half_dim, &mut scratch);

@@ -63,7 +63,10 @@ impl EntityClassifier {
         let mut centroids: Vec<(u32, Vec<f32>)> = sums
             .into_iter()
             .map(|(label, (sum, count))| {
-                (label, sum.into_iter().map(|x| (x / count as f64) as f32).collect())
+                (
+                    label,
+                    sum.into_iter().map(|x| (x / count as f64) as f32).collect(),
+                )
             })
             .collect();
         centroids.sort_by_key(|c| c.0);
@@ -84,7 +87,11 @@ impl EntityClassifier {
         self.centroids
             .iter()
             .map(|(label, c)| {
-                let d: f32 = c.iter().zip(embedding).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d: f32 = c
+                    .iter()
+                    .zip(embedding)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
                 (*label, d)
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -98,9 +105,7 @@ impl EntityClassifier {
         }
         let correct = test
             .iter()
-            .filter(|&&(e, label)| {
-                self.predict(embeddings.row(e as usize)) == Some(label)
-            })
+            .filter(|&&(e, label)| self.predict(embeddings.row(e as usize)) == Some(label))
             .count();
         correct as f32 / test.len() as f32
     }
@@ -138,12 +143,18 @@ impl TripleClassifier {
             .into_iter()
             .map(|(rel, mut scores)| (rel, best_threshold(&mut scores)))
             .collect();
-        Self { thresholds, default_threshold }
+        Self {
+            thresholds,
+            default_threshold,
+        }
     }
 
     /// The fitted threshold for `rel` (global default for unseen relations).
     pub fn threshold(&self, rel: u32) -> f32 {
-        self.thresholds.get(&rel).copied().unwrap_or(self.default_threshold)
+        self.thresholds
+            .get(&rel)
+            .copied()
+            .unwrap_or(self.default_threshold)
     }
 
     /// Classifies a scored triple.
@@ -267,9 +278,7 @@ mod tests {
     fn triple_classifier_end_to_end() {
         // Synthetic distances: relation 0 positives score ~0.2, negatives ~0.8;
         // relation 1 positives ~1.0, negatives ~2.0 (different scale).
-        let positives: TripleStore = (0..20)
-            .map(|i| Triple::new(i, i % 2, i + 1))
-            .collect();
+        let positives: TripleStore = (0..20).map(|i| Triple::new(i, i % 2, i + 1)).collect();
         let negatives: TripleStore = (0..20)
             .map(|i| Triple::new(i + 30, i % 2, i + 31))
             .collect();
@@ -316,10 +325,15 @@ mod tests {
         let known = ds.all_known();
         let neg = UniformSampler::new(ds.num_entities).corrupt(&ds.test, &known, 9);
         let score = |t: Triple| model.score_tails(t.head, t.rel)[t.tail as usize];
-        let clf = TripleClassifier::fit(&ds.valid, &{
-            UniformSampler::new(ds.num_entities).corrupt(&ds.valid, &known, 10)
-        }, score);
+        let clf = TripleClassifier::fit(
+            &ds.valid,
+            &{ UniformSampler::new(ds.num_entities).corrupt(&ds.valid, &known, 10) },
+            score,
+        );
         let acc = clf.accuracy(&ds.test, &neg, score);
-        assert!(acc > 0.55, "triple classification accuracy {acc} not above chance");
+        assert!(
+            acc > 0.55,
+            "triple classification accuracy {acc} not above chance"
+        );
     }
 }

@@ -100,12 +100,23 @@ impl<M: KgeModel> Trainer<M> {
         let plan = match config.sampler {
             SamplerKind::Uniform => {
                 let sampler = UniformSampler::new(dataset.num_entities.max(2));
-                BatchPlan::build(&dataset.train, &known, &sampler, config.batch_size, config.seed)
+                BatchPlan::build(
+                    &dataset.train,
+                    &known,
+                    &sampler,
+                    config.batch_size,
+                    config.seed,
+                )
             }
             SamplerKind::Bernoulli => {
-                let sampler =
-                    BernoulliSampler::fit(&dataset.train, dataset.num_entities.max(2));
-                BatchPlan::build(&dataset.train, &known, &sampler, config.batch_size, config.seed)
+                let sampler = BernoulliSampler::fit(&dataset.train, dataset.num_entities.max(2));
+                BatchPlan::build(
+                    &dataset.train,
+                    &known,
+                    &sampler,
+                    config.batch_size,
+                    config.seed,
+                )
             }
         };
         Self::with_plan(model, plan, config)
@@ -120,7 +131,9 @@ impl<M: KgeModel> Trainer<M> {
     pub fn with_plan(mut model: M, plan: BatchPlan, config: &TrainConfig) -> Result<Self> {
         config.validate()?;
         model.attach_plan(&plan)?;
-        let scheduler = config.lr_schedule.map(|(step, gamma)| StepLr::new(config.lr, step, gamma));
+        let scheduler = config
+            .lr_schedule
+            .map(|(step, gamma)| StepLr::new(config.lr, step, gamma));
         Ok(Self {
             num_batches: plan.num_batches(),
             model,
@@ -296,11 +309,9 @@ mod tests {
         // must match closely (accuracy parity, paper §6.2.5).
         let ds = dataset();
         let cfg = fast_config();
-        let mut ts =
-            Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+        let mut ts = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
         let rs = ts.run().unwrap();
-        let mut td =
-            Trainer::new(DenseTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+        let mut td = Trainer::new(DenseTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
         let rd = td.run().unwrap();
         for (a, b) in rs.epoch_losses.iter().zip(&rd.epoch_losses) {
             assert!((a - b).abs() < 1e-3, "sparse {a} vs dense {b}");
@@ -310,7 +321,10 @@ mod tests {
     #[test]
     fn bernoulli_sampler_path_works() {
         let ds = dataset();
-        let cfg = TrainConfig { sampler: SamplerKind::Bernoulli, ..fast_config() };
+        let cfg = TrainConfig {
+            sampler: SamplerKind::Bernoulli,
+            ..fast_config()
+        };
         let mut t = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
         assert!(t.run().is_ok());
     }
@@ -318,7 +332,11 @@ mod tests {
     #[test]
     fn lr_schedule_is_applied() {
         let ds = dataset();
-        let cfg = TrainConfig { lr_schedule: Some((1, 0.5)), epochs: 3, ..fast_config() };
+        let cfg = TrainConfig {
+            lr_schedule: Some((1, 0.5)),
+            epochs: 3,
+            ..fast_config()
+        };
         let mut t = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
         t.run().unwrap();
         // After 3 epochs with step=1, gamma=0.5: lr = base * 0.25.

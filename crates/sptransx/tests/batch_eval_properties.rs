@@ -11,8 +11,8 @@ use kg::eval::{evaluate, evaluate_batched, EvalConfig, SampleStrategy};
 use kg::synthetic::SyntheticKgBuilder;
 use kg::Dataset;
 use sptransx::{
-    DenseTorusE, DenseTransE, DenseTransH, DenseTransR, SpComplEx, SpDistMult, SpRotatE,
-    SpTorusE, SpTransC, SpTransE, SpTransH, SpTransM, SpTransR, TrainConfig,
+    DenseTorusE, DenseTransE, DenseTransH, DenseTransR, SpComplEx, SpDistMult, SpRotatE, SpTorusE,
+    SpTransC, SpTransE, SpTransH, SpTransM, SpTransR, TrainConfig,
 };
 
 fn synthetic(entities: usize, relations: usize, seed: u64) -> Dataset {

@@ -75,15 +75,19 @@ where
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, coords: rows * cols }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        coords: rows * cols,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::init;
-    use sparse::incidence::{hrt, ht, TailSign};
     use sparse::incidence::IncidencePair;
+    use sparse::incidence::{hrt, ht, TailSign};
     use std::sync::Arc;
 
     fn small_store(rows: usize, cols: usize, seed: u64) -> (ParamStore, ParamId) {

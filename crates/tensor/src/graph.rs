@@ -15,26 +15,57 @@ pub struct Var(usize);
 #[derive(Debug, Clone)]
 enum Op {
     Input,
-    Gather { param: ParamId, indices: Arc<Vec<u32>> },
-    Spmm { param: ParamId, pair: Arc<IncidencePair> },
+    Gather {
+        param: ParamId,
+        indices: Arc<Vec<u32>>,
+    },
+    Spmm {
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     Scale(Var, f32),
     RowDot(Var, Var),
-    ScaleRows { mat: Var, scale: Var },
+    ScaleRows {
+        mat: Var,
+        scale: Var,
+    },
     L1NormRows(Var),
-    L2NormRows { input: Var, eps: f32 },
+    L2NormRows {
+        input: Var,
+        eps: f32,
+    },
     SquaredL2NormRows(Var),
     TorusL1Rows(Var),
     TorusL2SqRows(Var),
-    ProjectRows { mats: ParamId, vecs: Var, rels: Arc<Vec<u32>>, d_out: usize, d_in: usize },
-    MarginRankingLoss { pos: Var, neg: Var, margin: f32 },
+    ProjectRows {
+        mats: ParamId,
+        vecs: Var,
+        rels: Arc<Vec<u32>>,
+        d_out: usize,
+        d_in: usize,
+    },
+    MarginRankingLoss {
+        pos: Var,
+        neg: Var,
+        margin: f32,
+    },
     Mean(Var),
     RowSum(Var),
-    TripleProduct { param: ParamId, pair: Arc<IncidencePair> },
-    RotateScore { param: ParamId, pair: Arc<IncidencePair> },
-    ComplexScore { param: ParamId, pair: Arc<IncidencePair> },
+    TripleProduct {
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    },
+    RotateScore {
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    },
+    ComplexScore {
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+    },
 }
 
 /// Decomposes one 3-nonzero incidence row into `(pos_a, pos_b, tail)` column
@@ -121,7 +152,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -151,7 +186,13 @@ impl Graph {
             }
         });
         sparse::metrics::add_bytes(2 * (indices.len() * d * 4) as u64);
-        self.push(out, Op::Gather { param, indices: Arc::new(indices) })
+        self.push(
+            out,
+            Op::Gather {
+                param,
+                indices: Arc::new(indices),
+            },
+        )
     }
 
     /// Multiplies a (cached-transpose) incidence matrix by parameter `param`:
@@ -277,7 +318,9 @@ impl Graph {
     /// `eps` guards the backward division for zero rows.
     pub fn l2_norm_rows(&mut self, a: Var, eps: f32) -> Var {
         let _t = profile::scope("op::l2_norm");
-        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x * x).sum::<f32>().sqrt());
+        let v = row_reduce(self.value(a), |row| {
+            row.iter().map(|x| x * x).sum::<f32>().sqrt()
+        });
         self.push(v, Op::L2NormRows { input: a, eps })
     }
 
@@ -293,10 +336,12 @@ impl Graph {
     pub fn torus_l1_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l1");
         let v = row_reduce(self.value(a), |row| {
-            row.iter().map(|&x| {
-                let f = x - x.floor();
-                f.min(1.0 - f)
-            }).sum()
+            row.iter()
+                .map(|&x| {
+                    let f = x - x.floor();
+                    f.min(1.0 - f)
+                })
+                .sum()
         });
         self.push(v, Op::TorusL1Rows(a))
     }
@@ -307,11 +352,13 @@ impl Graph {
     pub fn torus_l2_sq_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l2");
         let v = row_reduce(self.value(a), |row| {
-            row.iter().map(|&x| {
-                let f = x - x.floor();
-                let d = f.min(1.0 - f);
-                d * d
-            }).sum()
+            row.iter()
+                .map(|&x| {
+                    let f = x - x.floor();
+                    let d = f.min(1.0 - f);
+                    d * d
+                })
+                .sum()
         });
         self.push(v, Op::TorusL2SqRows(a))
     }
@@ -336,7 +383,11 @@ impl Graph {
         let vv = self.value(vecs);
         let (m, d_in) = vv.shape();
         assert_eq!(rels.len(), m, "one relation per row required");
-        assert_eq!(mv.cols(), d_out * d_in, "projection parameter has wrong width");
+        assert_eq!(
+            mv.cols(),
+            d_out * d_in,
+            "projection parameter has wrong width"
+        );
         let mut out = Tensor::zeros(m, d_out);
         let (md, vd) = (mv.as_slice(), vv.as_slice());
         xparallel::parallel_for_rows(out.as_mut_slice(), d_out.max(1), 32, |first, chunk| {
@@ -356,7 +407,16 @@ impl Graph {
             }
         });
         sparse::metrics::add_flops(2 * (m * d_out * d_in) as u64);
-        self.push(out, Op::ProjectRows { mats, vecs, rels: Arc::new(rels), d_out, d_in })
+        self.push(
+            out,
+            Op::ProjectRows {
+                mats,
+                vecs,
+                rels: Arc::new(rels),
+                d_out,
+                d_in,
+            },
+        )
     }
 
     /// Margin ranking loss over `(m,1)` positive/negative score columns:
@@ -491,7 +551,9 @@ impl Graph {
         );
         self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
         for i in (0..self.nodes.len()).rev() {
-            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
             self.backward_node(i, &g, store);
             // Re-install so callers can inspect intermediate gradients.
             self.nodes[i].grad = Some(g);
@@ -595,7 +657,13 @@ impl Graph {
                 });
                 self.accum(a, &da, 1.0);
             }
-            Op::ProjectRows { mats, vecs, rels, d_out, d_in } => {
+            Op::ProjectRows {
+                mats,
+                vecs,
+                rels,
+                d_out,
+                d_in,
+            } => {
                 let _t = profile::scope("op::project_backward");
                 let m = g.rows();
                 // d vecs[i] = M_{r}ᵀ · g_i — computed against the parameter
@@ -604,20 +672,25 @@ impl Graph {
                 {
                     let mv = store.value(mats);
                     let (md, gd) = (mv.as_slice(), g.as_slice());
-                    xparallel::parallel_for_rows(dv.as_mut_slice(), d_in.max(1), 32, |first, chunk| {
-                        for (k, dst) in chunk.chunks_exact_mut(d_in.max(1)).enumerate() {
-                            let i = first + k;
-                            let r = rels[i] as usize;
-                            let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
-                            for (j, d) in dst.iter_mut().enumerate() {
-                                let mut acc = 0.0;
-                                for o in 0..d_out {
-                                    acc += mat[o * d_in + j] * gd[i * d_out + o];
+                    xparallel::parallel_for_rows(
+                        dv.as_mut_slice(),
+                        d_in.max(1),
+                        32,
+                        |first, chunk| {
+                            for (k, dst) in chunk.chunks_exact_mut(d_in.max(1)).enumerate() {
+                                let i = first + k;
+                                let r = rels[i] as usize;
+                                let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
+                                for (j, d) in dst.iter_mut().enumerate() {
+                                    let mut acc = 0.0;
+                                    for o in 0..d_out {
+                                        acc += mat[o * d_in + j] * gd[i * d_out + o];
+                                    }
+                                    *d = acc;
                                 }
-                                *d = acc;
                             }
-                        }
-                    });
+                        },
+                    );
                 }
                 // d mats[r] += g_i ⊗ vecs[i], scattered by relation index.
                 let vv = self.value(vecs);
@@ -859,7 +932,10 @@ fn complex_score_forward(
 ) -> Tensor {
     let p = store.value(param);
     let d2 = p.cols();
-    assert!(d2.is_multiple_of(2), "complex ops need an even parameter width");
+    assert!(
+        d2.is_multiple_of(2),
+        "complex ops need an even parameter width"
+    );
     assert_eq!(pair.forward.cols(), p.rows(), "incidence width mismatch");
     assert_eq!(
         pair.forward.nnz(),
@@ -986,8 +1062,10 @@ mod tests {
 
     #[test]
     fn gather_forward_and_backward() {
-        let (mut store, emb) =
-            store_with("e", Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]));
+        let (mut store, emb) = store_with(
+            "e",
+            Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]),
+        );
         let mut g = Graph::new();
         let x = g.gather(&store, emb, vec![2, 0, 2]);
         assert_eq!(g.value(x).row(0), &[5.0, 6.0]);
@@ -1086,8 +1164,10 @@ mod tests {
     #[test]
     fn transh_style_composition_runs() {
         // (h - t) + d_r - w (wᵀ(h-t)) through the tape.
-        let (mut store, ent) =
-            store_with("ent", Tensor::from_rows(&[[0.5, 0.1], [0.2, -0.3], [0.9, 0.4]]));
+        let (mut store, ent) = store_with(
+            "ent",
+            Tensor::from_rows(&[[0.5, 0.1], [0.2, -0.3], [0.9, 0.4]]),
+        );
         let w = store.add_param("w", Tensor::from_rows(&[[0.6, 0.8]]));
         let d = store.add_param("d", Tensor::from_rows(&[[0.05, -0.02]]));
         let pair = Arc::new(IncidencePair::new(ht(3, &[0, 1], &[2, 0]).unwrap()));

@@ -20,7 +20,9 @@ use crate::Tensor;
 /// ```
 pub fn uniform(rows: usize, cols: usize, bound: f32, seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 

@@ -44,8 +44,8 @@
 
 #![deny(missing_docs)]
 
-mod graph;
 pub mod gradcheck;
+mod graph;
 pub mod init;
 pub mod loss;
 pub mod memory;

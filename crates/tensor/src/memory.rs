@@ -69,7 +69,9 @@ impl MemoryScope {
     /// Starts a scope: resets the peak to the current live total.
     pub fn start() -> Self {
         reset_peak();
-        Self { baseline: current_bytes() }
+        Self {
+            baseline: current_bytes(),
+        }
     }
 
     /// Peak bytes allocated above the scope's baseline so far.

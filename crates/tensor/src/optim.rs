@@ -77,7 +77,11 @@ pub struct Adagrad {
 impl Adagrad {
     /// Creates Adagrad with learning rate `lr` and stability epsilon `1e-10`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, eps: 1e-10, accum: Vec::new() }
+        Self {
+            lr,
+            eps: 1e-10,
+            accum: Vec::new(),
+        }
     }
 }
 
@@ -89,8 +93,7 @@ impl Optimizer for Adagrad {
         for (id, value, grad) in store.iter_mut() {
             let acc = self.accum[id_index(id)]
                 .get_or_insert_with(|| Tensor::zeros(value.rows(), value.cols()));
-            let (vd, gd, ad) =
-                (value.as_mut_slice(), grad.as_slice(), acc.as_mut_slice());
+            let (vd, gd, ad) = (value.as_mut_slice(), grad.as_slice(), acc.as_mut_slice());
             for i in 0..vd.len() {
                 let g = gd[i];
                 let a = ad[i] + g * g;
@@ -123,7 +126,14 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the standard hyperparameters `β₁=0.9, β₂=0.999`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 
     /// Overrides the exponential decay rates.
@@ -144,8 +154,10 @@ impl Optimizer for Adam {
         self.moments.resize_with(n, || None);
         for (id, value, grad) in store.iter_mut() {
             let (m, v) = self.moments[id_index(id)].get_or_insert_with(|| {
-                (Tensor::zeros(value.rows(), value.cols()),
-                 Tensor::zeros(value.rows(), value.cols()))
+                (
+                    Tensor::zeros(value.rows(), value.cols()),
+                    Tensor::zeros(value.rows(), value.cols()),
+                )
             });
             let (vd, gd) = (value.as_mut_slice(), grad.as_slice());
             let (md, sd) = (m.as_mut_slice(), v.as_mut_slice());
@@ -191,7 +203,11 @@ impl StepLr {
     /// Panics if `step_size == 0`.
     pub fn new(base_lr: f32, step_size: u32, gamma: f32) -> Self {
         assert!(step_size > 0, "step_size must be positive");
-        Self { base_lr, step_size, gamma }
+        Self {
+            base_lr,
+            step_size,
+            gamma,
+        }
     }
 
     /// Learning rate for a zero-based `epoch`.

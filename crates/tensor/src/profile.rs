@@ -53,7 +53,10 @@ pub struct ScopeGuard {
 /// Names must be `'static` (string literals); nesting is allowed and each
 /// scope accumulates independently (no exclusive-time subtraction).
 pub fn scope(name: &'static str) -> ScopeGuard {
-    ScopeGuard { name, start: Instant::now() }
+    ScopeGuard {
+        name,
+        start: Instant::now(),
+    }
 }
 
 impl Drop for ScopeGuard {
@@ -74,7 +77,11 @@ pub fn report() -> Vec<ReportEntry> {
         .as_ref()
         .map(|m| {
             m.iter()
-                .map(|(&name, e)| ReportEntry { name, total: e.total, calls: e.calls })
+                .map(|(&name, e)| ReportEntry {
+                    name,
+                    total: e.total,
+                    calls: e.calls,
+                })
                 .collect()
         })
         .unwrap_or_default();

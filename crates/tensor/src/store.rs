@@ -73,7 +73,9 @@ impl ParamStore {
     ///
     /// Returns [`Error::UnknownParam`] if no parameter has this name.
     pub fn require(&self, name: &str) -> Result<ParamId> {
-        self.lookup(name).ok_or_else(|| Error::UnknownParam { name: name.to_string() })
+        self.lookup(name).ok_or_else(|| Error::UnknownParam {
+            name: name.to_string(),
+        })
     }
 
     /// Number of registered parameters.

@@ -28,13 +28,21 @@ impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         memory::register((rows * cols * 4) as u64);
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
         memory::register((rows * cols * 4) as u64);
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -221,7 +229,12 @@ impl Tensor {
             self.data.len(),
             8192,
             0f64,
-            |r| self.data[r].iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>(),
+            |r| {
+                self.data[r]
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64))
+                    .sum::<f64>()
+            },
             |a, b| a + b,
         ))
         .sqrt() as f32
@@ -256,7 +269,11 @@ impl Tensor {
 impl Clone for Tensor {
     fn clone(&self) -> Self {
         memory::register((self.data.len() * 4) as u64);
-        Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
     }
 }
 

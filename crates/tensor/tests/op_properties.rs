@@ -6,9 +6,7 @@ use tensor::{memory, Graph, ParamStore, Tensor};
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
     (1usize..8, 1usize..8)
-        .prop_flat_map(|(m, n)| {
-            (Just(m), Just(n), prop::collection::vec(-3.0f32..3.0, m * n))
-        })
+        .prop_flat_map(|(m, n)| (Just(m), Just(n), prop::collection::vec(-3.0f32..3.0, m * n)))
 }
 
 proptest! {

@@ -198,8 +198,7 @@ where
         consumed = r.end;
         rest = tail;
     }
-    let windows: Vec<WindowSlot<T>> =
-        windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    let windows: Vec<WindowSlot<T>> = windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
     pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
         for i in r {
             let (offset, chunk) = windows[i].lock().take().expect("window taken twice");
@@ -253,8 +252,7 @@ where
         consumed_rows = r.end;
         rest = tail;
     }
-    let windows: Vec<WindowSlot<T>> =
-        windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    let windows: Vec<WindowSlot<T>> = windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
     pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
         for i in r {
             let (first_row, chunk) = windows[i].lock().take().expect("window taken twice");
@@ -268,7 +266,13 @@ where
 /// `map(range)` produces one partial per chunk; `reduce` combines partials
 /// left-to-right starting from `identity`, so floating-point reductions are
 /// deterministic for a fixed thread count.
-pub fn parallel_map_reduce<T, M, R>(len: usize, min_chunk: usize, identity: T, map: M, reduce: R) -> T
+pub fn parallel_map_reduce<T, M, R>(
+    len: usize,
+    min_chunk: usize,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
 where
     T: Send,
     M: Fn(Range<usize>) -> T + Sync,
@@ -448,8 +452,20 @@ mod tests {
 
     #[test]
     fn map_reduce_is_deterministic() {
-        let a = parallel_map_reduce(100_000, 64, 0f64, |r| r.map(|i| i as f64).sum(), |a, b| a + b);
-        let b = parallel_map_reduce(100_000, 64, 0f64, |r| r.map(|i| i as f64).sum(), |a, b| a + b);
+        let a = parallel_map_reduce(
+            100_000,
+            64,
+            0f64,
+            |r| r.map(|i| i as f64).sum(),
+            |a, b| a + b,
+        );
+        let b = parallel_map_reduce(
+            100_000,
+            64,
+            0f64,
+            |r| r.map(|i| i as f64).sum(),
+            |a, b| a + b,
+        );
         assert_eq!(a, b);
     }
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.total_triples()
     );
 
-    println!("{:<10} {:>10} {:>12} {:>12}", "workers", "time (s)", "speedup", "final loss");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "workers", "time (s)", "speedup", "final loss"
+    );
     let mut baseline = None;
     for workers in [1usize, 2, 4, 8] {
         // Keep each replica's kernels single-threaded so the sweep isolates

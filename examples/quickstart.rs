@@ -43,9 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trainer = Trainer::new(model, &dataset, &config)?;
     let report = trainer.run()?;
 
-    println!("\nloss: first epoch {:.4} -> last epoch {:.4}",
+    println!(
+        "\nloss: first epoch {:.4} -> last epoch {:.4}",
         report.epoch_losses.first().copied().unwrap_or(0.0),
-        report.epoch_losses.last().copied().unwrap_or(0.0));
+        report.epoch_losses.last().copied().unwrap_or(0.0)
+    );
     println!(
         "time: {:.2}s total (forward {:.2}s, backward {:.2}s, step {:.2}s)",
         report.wall.as_secs_f64(),

@@ -10,10 +10,15 @@
 
 use kg::eval::{evaluate, EvalConfig, TripleScorer};
 use kg::synthetic::SyntheticKgBuilder;
-use sptransx::{ComplExScorer, RotatEScorer, SpComplEx, SpDistMult, SpRotatE, TrainConfig, Trainer};
+use sptransx::{
+    ComplExScorer, RotatEScorer, SpComplEx, SpDistMult, SpRotatE, TrainConfig, Trainer,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = SyntheticKgBuilder::new(300, 8).triples(2_500).seed(5).build();
+    let dataset = SyntheticKgBuilder::new(300, 8)
+        .triples(2_500)
+        .seed(5)
+        .build();
     let config = TrainConfig {
         epochs: 25,
         batch_size: 512,
@@ -31,24 +36,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.epoch_losses.first().unwrap(),
         report.epoch_losses.last().unwrap()
     );
-    let eval = trainer.evaluate(&dataset, &EvalConfig { max_triples: Some(100), ..Default::default() });
-    println!("DistMult filtered Hits@10: {:.3}\n", eval.hits(10).unwrap_or(0.0));
+    let eval = trainer.evaluate(
+        &dataset,
+        &EvalConfig {
+            max_triples: Some(100),
+            ..Default::default()
+        },
+    );
+    println!(
+        "DistMult filtered Hits@10: {:.3}\n",
+        eval.hits(10).unwrap_or(0.0)
+    );
 
     // --- RotatE & ComplEx: trainable through the complex semirings --------
     for name in ["rotate", "complex"] {
-        let cfg = TrainConfig { dim: 16, ..config.clone() };
+        let cfg = TrainConfig {
+            dim: 16,
+            ..config.clone()
+        };
         let (first, last, hits) = match name {
             "rotate" => {
                 let mut t = Trainer::new(SpRotatE::from_config(&dataset, &cfg)?, &dataset, &cfg)?;
                 let r = t.run()?;
-                let e = t.evaluate(&dataset, &EvalConfig { max_triples: Some(100), ..Default::default() });
-                (r.epoch_losses[0], *r.epoch_losses.last().unwrap(), e.hits(10).unwrap_or(0.0))
+                let e = t.evaluate(
+                    &dataset,
+                    &EvalConfig {
+                        max_triples: Some(100),
+                        ..Default::default()
+                    },
+                );
+                (
+                    r.epoch_losses[0],
+                    *r.epoch_losses.last().unwrap(),
+                    e.hits(10).unwrap_or(0.0),
+                )
             }
             _ => {
                 let mut t = Trainer::new(SpComplEx::from_config(&dataset, &cfg)?, &dataset, &cfg)?;
                 let r = t.run()?;
-                let e = t.evaluate(&dataset, &EvalConfig { max_triples: Some(100), ..Default::default() });
-                (r.epoch_losses[0], *r.epoch_losses.last().unwrap(), e.hits(10).unwrap_or(0.0))
+                let e = t.evaluate(
+                    &dataset,
+                    &EvalConfig {
+                        max_triples: Some(100),
+                        ..Default::default()
+                    },
+                );
+                (
+                    r.epoch_losses[0],
+                    *r.epoch_losses.last().unwrap(),
+                    e.hits(10).unwrap_or(0.0),
+                )
             }
         };
         println!("Sp{name}: loss {first:.4} -> {last:.4}, filtered Hits@10 {hits:.3}");
@@ -67,12 +104,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rotate = RotatEScorer::new(emb.as_slice().to_vec(), n, r, half_dim)?;
     let complex = ComplExScorer::new(emb.as_slice().to_vec(), n, r, half_dim)?;
 
-    let eval_cfg = EvalConfig { max_triples: Some(30), ..Default::default() };
+    let eval_cfg = EvalConfig {
+        max_triples: Some(30),
+        ..Default::default()
+    };
     let known = dataset.all_known();
     let rot_eval = evaluate(&rotate, &dataset.test, &known, &eval_cfg);
     let cpx_eval = evaluate(&complex, &dataset.test, &known, &eval_cfg);
-    println!("RotatE  (random unit-phase embeddings) MRR: {:.3}", rot_eval.mrr);
-    println!("ComplEx (random unit-phase embeddings) MRR: {:.3}", cpx_eval.mrr);
+    println!(
+        "RotatE  (random unit-phase embeddings) MRR: {:.3}",
+        rot_eval.mrr
+    );
+    println!(
+        "ComplEx (random unit-phase embeddings) MRR: {:.3}",
+        cpx_eval.mrr
+    );
     println!("(random embeddings score near chance — the point is the kernel path)");
 
     // Direct kernel sanity: a tail that IS the rotated head scores ~0.

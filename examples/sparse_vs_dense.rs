@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results.push(("Baseline (gather/scatter)", trainer.run()?));
     }
 
-    println!("{:<28} {:>9} {:>9} {:>9} {:>10} {:>9}", "variant", "fwd (s)", "bwd (s)", "step (s)", "mem (MiB)", "GFLOPs");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "variant", "fwd (s)", "bwd (s)", "step (s)", "mem (MiB)", "GFLOPs"
+    );
     for (name, r) in &results {
         println!(
             "{:<28} {:>9.2} {:>9.2} {:>9.2} {:>10.2} {:>9.2}",
@@ -61,13 +64,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nloss trajectories (must coincide — same math, different schedule):");
     println!("{:<8} {:>12} {:>12}", "epoch", "sparse", "dense");
-    for (e, (a, b)) in results[0].1.epoch_losses.iter().zip(&results[1].1.epoch_losses).enumerate()
+    for (e, (a, b)) in results[0]
+        .1
+        .epoch_losses
+        .iter()
+        .zip(&results[1].1.epoch_losses)
+        .enumerate()
     {
         println!("{e:<8} {a:>12.6} {b:>12.6}");
     }
 
     // Also show the model names via the common trait, for API discovery.
     let sp = SpTransE::from_config(&dataset, &config)?;
-    println!("\ntrait KgeModel: {} / dim {}", KgeModel::name(&sp), sp.dim());
+    println!(
+        "\ntrait KgeModel: {} / dim {}",
+        KgeModel::name(&sp),
+        sp.dim()
+    );
     Ok(())
 }

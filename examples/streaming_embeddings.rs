@@ -15,8 +15,17 @@ use kg::synthetic::SyntheticKgBuilder;
 use sptransx::{KgeModel, SpTransE, TrainConfig, Trainer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = SyntheticKgBuilder::new(800, 10).triples(6_000).seed(77).build();
-    let config = TrainConfig { epochs: 10, batch_size: 512, dim: 48, lr: 0.05, ..Default::default() };
+    let dataset = SyntheticKgBuilder::new(800, 10)
+        .triples(6_000)
+        .seed(77)
+        .build();
+    let config = TrainConfig {
+        epochs: 10,
+        batch_size: 512,
+        dim: 48,
+        lr: 0.05,
+        ..Default::default()
+    };
     let rows = dataset.num_entities + dataset.num_relations;
 
     let dir = std::env::temp_dir().join("sptx-streaming-example");
@@ -30,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     EmbeddingStore::write(&pretrained, rows, config.dim, |r, out| {
         out.copy_from_slice(seed_emb.row(r));
     })?;
-    println!("wrote {} rows x {} dims to {}", rows, config.dim, pretrained.display());
+    println!(
+        "wrote {} rows x {} dims to {}",
+        rows,
+        config.dim,
+        pretrained.display()
+    );
 
     // 2. Stream them back in 256-row windows into a fresh model.
     let mut model = SpTransE::from_config(&dataset, &config)?;

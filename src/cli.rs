@@ -78,7 +78,9 @@ pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
     let mut options = HashMap::new();
     while let Some(key) = iter.next() {
         let Some(stripped) = key.strip_prefix("--") else {
-            return Err(CliError::Usage(format!("unexpected positional argument {key:?}")));
+            return Err(CliError::Usage(format!(
+                "unexpected positional argument {key:?}"
+            )));
         };
         let value = iter
             .next()
@@ -91,7 +93,10 @@ pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
 impl Args {
     /// A string option with a default.
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A required string option.
@@ -139,9 +144,11 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         .seed(seed)
         .build();
     let vocab = numeric_vocab(entities, relations);
-    for (name, store) in
-        [("train.tsv", &ds.train), ("valid.tsv", &ds.valid), ("test.tsv", &ds.test)]
-    {
+    for (name, store) in [
+        ("train.tsv", &ds.train),
+        ("valid.tsv", &ds.valid),
+        ("test.tsv", &ds.test),
+    ] {
         let file = std::fs::File::create(out.join(name)).map_err(kg::Error::from)?;
         write_tsv(file, store, &vocab)?;
     }
@@ -320,7 +327,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "train" => cmd_train(args),
         "stats" => cmd_stats(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown subcommand {other:?}\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
     }
 }
 
@@ -370,7 +379,15 @@ mod tests {
         let out = dir.to_string_lossy().to_string();
 
         let gen = parse_args(&strs(&[
-            "generate", "--entities", "80", "--relations", "4", "--triples", "500", "--out", &out,
+            "generate",
+            "--entities",
+            "80",
+            "--relations",
+            "4",
+            "--triples",
+            "500",
+            "--out",
+            &out,
         ]))
         .unwrap();
         let msg = run(&gen).unwrap();
@@ -383,8 +400,17 @@ mod tests {
 
         let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
         let train = parse_args(&strs(&[
-            "train", "--train", &train_file, "--epochs", "3", "--dim", "8", "--batch-size",
-            "64", "--out", &emb_out,
+            "train",
+            "--train",
+            &train_file,
+            "--epochs",
+            "3",
+            "--dim",
+            "8",
+            "--batch-size",
+            "64",
+            "--out",
+            &emb_out,
         ]))
         .unwrap();
         let msg = run(&train).unwrap();
@@ -401,14 +427,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let out = dir.to_string_lossy().to_string();
         run(&parse_args(&strs(&[
-            "generate", "--entities", "30", "--relations", "2", "--triples", "100", "--out",
+            "generate",
+            "--entities",
+            "30",
+            "--relations",
+            "2",
+            "--triples",
+            "100",
+            "--out",
             &out,
         ]))
         .unwrap())
         .unwrap();
         let train_file = dir.join("train.tsv").to_string_lossy().to_string();
-        let bad = parse_args(&strs(&["train", "--train", &train_file, "--model", "nope"]))
-            .unwrap();
+        let bad = parse_args(&strs(&["train", "--train", &train_file, "--model", "nope"])).unwrap();
         assert!(matches!(run(&bad), Err(CliError::Usage(_))));
     }
 

@@ -46,8 +46,7 @@ pub mod prelude {
     pub use sparse::{CooMatrix, CsrMatrix};
     pub use sptransx::{
         DenseTorusE, DenseTransE, DenseTransH, DenseTransR, KgeModel, SpComplEx, SpDistMult,
-        SpRotatE, SpTorusE, SpTransC, SpTransE, SpTransH, SpTransM, SpTransR, TrainConfig,
-        Trainer,
+        SpRotatE, SpTorusE, SpTransC, SpTransE, SpTransH, SpTransM, SpTransR, TrainConfig, Trainer,
     };
     pub use tensor::Tensor;
 }

@@ -39,7 +39,13 @@ fn train_from_tsv_file() {
     )
     .unwrap();
 
-    let cfg = TrainConfig { epochs: 20, batch_size: 32, dim: 8, lr: 0.2, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 20,
+        batch_size: 32,
+        dim: 8,
+        lr: 0.2,
+        ..Default::default()
+    };
     let mut trainer = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
     let report = trainer.run().unwrap();
     assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
@@ -48,8 +54,7 @@ fn train_from_tsv_file() {
 #[test]
 fn tsv_round_trip_preserves_triples() {
     let mut vocab = Vocab::new();
-    let original =
-        load_tsv("a\tr1\tb\nb\tr2\tc\nc\tr1\ta\n".as_bytes(), &mut vocab).unwrap();
+    let original = load_tsv("a\tr1\tb\nb\tr2\tc\nc\tr1\ta\n".as_bytes(), &mut vocab).unwrap();
     let mut buf = Vec::new();
     write_tsv(&mut buf, &original, &vocab).unwrap();
     let mut vocab2 = Vocab::new();
@@ -59,8 +64,17 @@ fn tsv_round_trip_preserves_triples() {
 
 #[test]
 fn model_embeddings_round_trip_through_store() {
-    let ds = kg::synthetic::SyntheticKgBuilder::new(100, 5).triples(600).seed(3).build();
-    let cfg = TrainConfig { epochs: 5, batch_size: 128, dim: 16, lr: 0.1, ..Default::default() };
+    let ds = kg::synthetic::SyntheticKgBuilder::new(100, 5)
+        .triples(600)
+        .seed(3)
+        .build();
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 128,
+        dim: 16,
+        lr: 0.1,
+        ..Default::default()
+    };
     let mut trainer = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
     trainer.run().unwrap();
     let model = trainer.into_model();
@@ -94,8 +108,14 @@ fn model_embeddings_round_trip_through_store() {
 fn streamed_init_matches_in_memory_init() {
     // Seeding a model through the disk store must be equivalent to copying
     // the tensor directly.
-    let ds = kg::synthetic::SyntheticKgBuilder::new(60, 3).triples(300).seed(4).build();
-    let cfg = TrainConfig { dim: 8, ..Default::default() };
+    let ds = kg::synthetic::SyntheticKgBuilder::new(60, 3)
+        .triples(300)
+        .seed(4)
+        .build();
+    let cfg = TrainConfig {
+        dim: 8,
+        ..Default::default()
+    };
     let rows = ds.num_entities + ds.num_relations;
     let pretrained = tensor::init::uniform(rows, cfg.dim, 1.0, 9);
 
@@ -113,10 +133,12 @@ fn streamed_init_matches_in_memory_init() {
         store
             .for_each_chunk(13, |first, chunk| {
                 let d = target.cols();
-                target.as_mut_slice()[first * d..first * d + chunk.len()]
-                    .copy_from_slice(chunk);
+                target.as_mut_slice()[first * d..first * d + chunk.len()].copy_from_slice(chunk);
             })
             .unwrap();
     }
-    assert_eq!(model.store().value(emb_id).as_slice(), pretrained.as_slice());
+    assert_eq!(
+        model.store().value(emb_id).as_slice(),
+        pretrained.as_slice()
+    );
 }

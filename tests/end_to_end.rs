@@ -9,7 +9,10 @@ use sptransx::{
 };
 
 fn dataset() -> kg::Dataset {
-    SyntheticKgBuilder::new(120, 6).triples(900).seed(100).build()
+    SyntheticKgBuilder::new(120, 6)
+        .triples(900)
+        .seed(100)
+        .build()
 }
 
 fn config() -> TrainConfig {
@@ -32,7 +35,10 @@ fn transe_learns_something() {
     let report = trainer.run().unwrap();
     let first = report.epoch_losses[0];
     let last = *report.epoch_losses.last().unwrap();
-    assert!(last < first * 0.8, "loss should fall by >20%: {first} -> {last}");
+    assert!(
+        last < first * 0.8,
+        "loss should fall by >20%: {first} -> {last}"
+    );
 
     let eval = trainer.evaluate(&ds, &EvalConfig::default());
     // Random ranking over 120 entities gives Hits@10 ~ 10/120 ≈ 0.083 and
@@ -55,7 +61,13 @@ fn every_model_trains_and_evaluates() {
                 "{}: loss must not increase",
                 $name
             );
-            let eval = trainer.evaluate(&ds, &EvalConfig { max_triples: Some(20), ..Default::default() });
+            let eval = trainer.evaluate(
+                &ds,
+                &EvalConfig {
+                    max_triples: Some(20),
+                    ..Default::default()
+                },
+            );
             assert_eq!(eval.queries, 40, "{}", $name);
             assert!(eval.mrr > 0.0, "{}", $name);
         }};
@@ -76,13 +88,15 @@ fn training_is_deterministic() {
     let ds = dataset();
     let cfg = config();
     let run = || {
-        let mut t =
-            Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+        let mut t = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
         t.run().unwrap().epoch_losses
     };
     // Force a fixed chunking so float reduction order is identical.
     let (a, b) = xparallel::with_parallelism(1, || (run(), run()));
-    assert_eq!(a, b, "same seed + same threading must give identical losses");
+    assert_eq!(
+        a, b,
+        "same seed + same threading must give identical losses"
+    );
 }
 
 #[test]
@@ -107,9 +121,15 @@ fn model_names_are_distinct() {
 #[test]
 fn trainer_rejects_invalid_configs() {
     let ds = dataset();
-    let bad = TrainConfig { epochs: 0, ..config() };
+    let bad = TrainConfig {
+        epochs: 0,
+        ..config()
+    };
     assert!(SpTransE::from_config(&ds, &bad).is_err());
-    let bad = TrainConfig { lr: -1.0, ..config() };
+    let bad = TrainConfig {
+        lr: -1.0,
+        ..config()
+    };
     assert!(SpTransE::from_config(&ds, &bad).is_err());
 }
 
@@ -117,9 +137,11 @@ fn trainer_rejects_invalid_configs() {
 fn run_epochs_can_be_interleaved_with_eval() {
     let ds = dataset();
     let cfg = config();
-    let mut trainer =
-        Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
-    let eval_cfg = EvalConfig { max_triples: Some(30), ..Default::default() };
+    let mut trainer = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+    let eval_cfg = EvalConfig {
+        max_triples: Some(30),
+        ..Default::default()
+    };
     let before = trainer.evaluate(&ds, &eval_cfg).mrr;
     let mut mrr_history = vec![before];
     for _ in 0..3 {

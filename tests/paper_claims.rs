@@ -10,7 +10,10 @@ use sptransx::{
 };
 
 fn dataset() -> kg::Dataset {
-    SyntheticKgBuilder::new(2_000, 30).triples(12_000).seed(55).build()
+    SyntheticKgBuilder::new(2_000, 30)
+        .triples(12_000)
+        .seed(55)
+        .build()
 }
 
 fn config() -> TrainConfig {
@@ -98,7 +101,10 @@ fn sparse_uses_less_peak_memory_all_models() {
 #[test]
 fn accuracy_parity_loss_trajectories_match() {
     let ds = dataset();
-    let cfg = TrainConfig { epochs: 3, ..config() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..config()
+    };
     macro_rules! pair {
         ($sp:ident, $de:ident, $name:literal, $tol:expr) => {{
             let rs = Trainer::new($sp::from_config(&ds, &cfg).unwrap(), &ds, &cfg)
@@ -184,8 +190,7 @@ fn sparse_graphs_are_smaller() {
 fn spmm_call_count_matches_formula() {
     let ds = dataset();
     let cfg = config();
-    let mut trainer =
-        Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
+    let mut trainer = Trainer::new(SpTransE::from_config(&ds, &cfg).unwrap(), &ds, &cfg).unwrap();
     let batches = trainer.num_batches();
     let report = trainer.run().unwrap();
     let expected = (cfg.epochs * batches * 4) as u64;

@@ -16,7 +16,12 @@ fn prelude_supports_the_quickstart_flow() {
     assert!(!dataset.train.is_empty());
 
     // One epoch of the paper's flagship model through the re-exported types.
-    let config = TrainConfig { epochs: 1, batch_size: 64, dim: 8, ..Default::default() };
+    let config = TrainConfig {
+        epochs: 1,
+        batch_size: 64,
+        dim: 8,
+        ..Default::default()
+    };
     let model = SpTransE::from_config(&dataset, &config).expect("model construction");
     let mut trainer = Trainer::new(model, &dataset, &config).expect("trainer construction");
     let report = trainer.run().expect("training run");
@@ -24,7 +29,10 @@ fn prelude_supports_the_quickstart_flow() {
     assert_eq!(report.epoch_losses.len(), 1);
     let loss = report.epoch_losses[0];
     assert!(loss.is_finite(), "loss should be finite, got {loss}");
-    assert!(loss > 0.0, "margin loss on random embeddings should be positive, got {loss}");
+    assert!(
+        loss > 0.0,
+        "margin loss on random embeddings should be positive, got {loss}"
+    );
 }
 
 #[test]
@@ -41,7 +49,10 @@ fn prelude_exposes_sparse_and_tensor_types() {
     // Dataset/TripleStore types are nameable through the prelude.
     fn takes_dataset(_: &Dataset) {}
     fn takes_store(_: &TripleStore) {}
-    let ds = kg::synthetic::SyntheticKgBuilder::new(10, 2).triples(30).seed(1).build();
+    let ds = kg::synthetic::SyntheticKgBuilder::new(10, 2)
+        .triples(30)
+        .seed(1)
+        .build();
     takes_dataset(&ds);
     takes_store(&ds.train);
 }

@@ -15,11 +15,10 @@ type TripleBatch = (usize, usize, Vec<(u32, u32, u32)>, Vec<f32>, usize);
 /// entity/relation universes, plus an embedding matrix.
 fn triples_and_embeddings() -> impl Strategy<Value = TripleBatch> {
     (2usize..30, 1usize..6, 1usize..40, 1usize..12).prop_flat_map(|(n, r, m, d)| {
-        let triple = (0..n as u32, 0..r as u32, 0..n as u32)
-            .prop_map(move |(h, rel, t)| {
-                let t = if t == h { (t + 1) % n as u32 } else { t };
-                (h, rel, t)
-            });
+        let triple = (0..n as u32, 0..r as u32, 0..n as u32).prop_map(move |(h, rel, t)| {
+            let t = if t == h { (t + 1) % n as u32 } else { t };
+            (h, rel, t)
+        });
         (
             Just(n),
             Just(r),

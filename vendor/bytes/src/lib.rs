@@ -22,7 +22,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with at least `cap` bytes of capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap) }
+        Self {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Clears the buffer, keeping its capacity.

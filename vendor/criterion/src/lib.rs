@@ -60,12 +60,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter value.
     pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        Self { label: format!("{function}/{parameter}") }
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// Creates an id from a parameter value alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -189,7 +193,12 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let per_iter = b.total.as_secs_f64() / b.iters as f64;
-        let _ = write!(line, ": {} per iter ({} iters)", fmt_duration(per_iter), b.iters);
+        let _ = write!(
+            line,
+            ": {} per iter ({} iters)",
+            fmt_duration(per_iter),
+            b.iters
+        );
         if let Some(tp) = self.throughput {
             let (count, unit) = match tp {
                 Throughput::Elements(n) => (n, "elem"),

@@ -28,12 +28,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex guarding `value`.
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the guarded value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -84,13 +88,18 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Self { inner: std::sync::Condvar::new() }
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard invariant");
-        let std_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
     }
 

@@ -214,14 +214,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(exact: usize) -> Self {
-            Self { lo: exact, hi: exact + 1 }
+            Self {
+                lo: exact,
+                hi: exact + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -233,7 +239,10 @@ pub mod collection {
 
     /// Creates a [`VecStrategy`] with the given element strategy and size.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -58,7 +58,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         f64::sample(self.as_core()) < p
     }
 
@@ -202,7 +205,9 @@ pub mod rngs {
         fn seed_from_u64(seed: u64) -> Self {
             // Pre-mix the seed so small sequential seeds (0, 1, 2, …) do not
             // produce correlated early outputs.
-            let mut rng = Self { state: seed ^ 0x5D58_8B65_6C07_8965 };
+            let mut rng = Self {
+                state: seed ^ 0x5D58_8B65_6C07_8965,
+            };
             rng.next_u64();
             rng
         }
