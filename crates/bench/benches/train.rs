@@ -1,0 +1,100 @@
+//! Training-step throughput: the pool-parallel step against its serial
+//! baseline (paper Table 1 / Figure 8 territory — this is where the paper's
+//! wall-clock goes).
+//!
+//! Three arms, swept across pool widths on a synthetic KG:
+//!
+//! * `serial` — the whole step (forward kernels, backward closures, SGD
+//!   update) on a `PoolHandle::sequential()` tape: the pre-pool baseline.
+//!   Ignores the thread knob.
+//! * `pool-step` — the same step on a tape pinned to width `t`: row-sharded
+//!   forward/backward kernels plus the parallel optimizer update.
+//! * `data-parallel` — `train_data_parallel` with 2 replica workers sharing
+//!   the pool (includes per-iteration replica setup; sequential inner tapes,
+//!   parallelism across replicas).
+//!
+//! Throughput is positive training triples per second per epoch. The
+//! determinism contract guarantees all arms produce bit-identical losses and
+//! embeddings — only wall-clock may differ. As with `benches/eval.rs`, the
+//! `t1`..`t8` sweep only differentiates on a machine with that many physical
+//! cores; on a 1-core container widths beyond the core count add scheduling
+//! overhead without speedup, and only the serial-vs-pool dispatch overhead
+//! remains visible. The acceptance target (pool-parallel ≥ 1.3× serial at 4
+//! threads) is therefore meaningful on multicore hardware only.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, UniformSampler};
+use sptransx::distributed::train_data_parallel;
+use sptransx::{SpTransE, TrainConfig, Trainer};
+use xparallel::PoolHandle;
+
+const NUM_ENTITIES: usize = 2_000;
+const NUM_TRIPLES: usize = 16_000;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    let ds = SyntheticKgBuilder::new(NUM_ENTITIES, 12)
+        .triples(NUM_TRIPLES)
+        .seed(0x7EA1)
+        .build();
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 512,
+        dim: 48,
+        rel_dim: 24,
+        lr: 0.05,
+        ..Default::default()
+    };
+    let known = ds.all_known();
+    let sampler = UniformSampler::new(ds.num_entities.max(2));
+    let plan = BatchPlan::build(&ds.train, &known, &sampler, cfg.batch_size, cfg.seed);
+    let triples_per_epoch = ds.train.len() as u64;
+
+    let make_trainer = |pool: PoolHandle| {
+        let model = SpTransE::from_config(&ds, &cfg).expect("model");
+        Trainer::with_plan(model, plan.clone(), &cfg)
+            .expect("trainer")
+            .with_pool(pool)
+    };
+
+    // Serial baseline: built once; each iteration is one full epoch.
+    let mut serial = make_trainer(PoolHandle::sequential());
+    group.throughput(Throughput::Elements(triples_per_epoch));
+    group.bench_function("serial", |b| {
+        b.iter(|| serial.run_epochs(1).expect("epoch"));
+    });
+
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(triples_per_epoch));
+        let mut pooled = make_trainer(PoolHandle::global().with_width(threads));
+        group.bench_with_input(
+            BenchmarkId::new("pool-step", format!("t{threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| pooled.run_epochs(1).expect("epoch"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("data-parallel", format!("t{threads}")),
+            &threads,
+            |b, &t| {
+                xparallel::with_parallelism(t, || {
+                    b.iter(|| {
+                        train_data_parallel(&ds, &cfg, 2, SpTransE::from_config).expect("run")
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

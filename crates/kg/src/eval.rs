@@ -15,8 +15,9 @@
 //!    buffer for the whole chunk — one kernel dispatch instead of one
 //!    heap-allocated `Vec` per query.
 //! 3. Queries in the chunk are ranked across the [`xparallel`] pool with a
-//!    deterministic chunk-ordered reduction, so results are reproducible
-//!    run-to-run for a fixed thread count.
+//!    fixed-size sub-chunk reduction folded in order, so reports are
+//!    bit-identical at **any** `SPTX_NUM_THREADS` — the same determinism
+//!    contract the training step upholds.
 //!
 //! Scalar [`TripleScorer`] implementations plug into the same engine through
 //! the [`ScalarBatch`] adapter; [`evaluate`] does this automatically, so both
@@ -290,8 +291,8 @@ pub fn evaluate(
 /// Test triples are scored in chunks into two reused
 /// `chunk_size × num_entities` buffers (tail and head queries), then every
 /// query in the chunk is ranked in parallel on the [`xparallel`] pool. The
-/// reduction combines per-worker partials in chunk order, so metrics are
-/// deterministic for a fixed thread count.
+/// reduction maps fixed-size sub-chunks of queries to partials and folds
+/// them in order, so metrics are bit-identical at any thread count.
 ///
 /// Ranking follows the same convention as [`evaluate`] — the two entry points
 /// produce bit-identical reports whenever the scorers produce bit-identical
@@ -345,9 +346,11 @@ pub fn evaluate_batched(
 
         let tail_scores = &tail_scores[..m * n];
         let head_scores = &head_scores[..m * n];
-        let part = xparallel::parallel_map_reduce(
+        // Sub-chunks of fixed length: the fold order of the f64 partials
+        // depends only on `m`, never on the worker count.
+        let part = xparallel::PoolHandle::global().map_reduce_fixed(
             m,
-            1,
+            RANK_REDUCE_CHUNK,
             Accum::new(config.ks.len()),
             |range| {
                 let mut local = Accum::new(config.ks.len());
@@ -382,6 +385,10 @@ pub fn evaluate_batched(
     }
     acc.into_report(&config.ks)
 }
+
+/// Queries per reduction sub-chunk in [`evaluate_batched`]; fixed so the
+/// metric fold order is independent of the pool width.
+const RANK_REDUCE_CHUNK: usize = 8;
 
 /// Deterministic partial metrics for one worker's share of ranking queries.
 struct Accum {

@@ -177,8 +177,25 @@ pub fn semiring_spmm<S: Semiring>(
     b_rows: usize,
     b_cols: usize,
 ) -> Vec<S::Scalar> {
+    semiring_spmm_with::<S>(&xparallel::PoolHandle::global(), a, b, b_rows, b_cols)
+}
+
+/// Like [`semiring_spmm`] but dispatched on an explicit
+/// [`xparallel::PoolHandle`] (the allocating counterpart of
+/// [`semiring_spmm_into_with`], mirroring the `csr_spmm` family).
+///
+/// # Panics
+///
+/// Same conditions as [`semiring_spmm_into`].
+pub fn semiring_spmm_with<S: Semiring>(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    b: &[S::Scalar],
+    b_rows: usize,
+    b_cols: usize,
+) -> Vec<S::Scalar> {
     let mut out: Vec<S::Scalar> = vec![S::Scalar::default(); a.rows() * b_cols];
-    semiring_spmm_into::<S>(a, b, b_rows, b_cols, &mut out);
+    semiring_spmm_into_with::<S>(pool, a, b, b_rows, b_cols, &mut out);
     out
 }
 
@@ -200,6 +217,24 @@ pub fn semiring_spmm_into<S: Semiring>(
     b_cols: usize,
     out: &mut [S::Scalar],
 ) {
+    semiring_spmm_into_with::<S>(&xparallel::PoolHandle::global(), a, b, b_rows, b_cols, out);
+}
+
+/// Like [`semiring_spmm_into`] but dispatched on an explicit
+/// [`xparallel::PoolHandle`] — used by the training tape so semiring forward
+/// kernels follow the tape's schedule.
+///
+/// # Panics
+///
+/// Same conditions as [`semiring_spmm_into`].
+pub fn semiring_spmm_into_with<S: Semiring>(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    b: &[S::Scalar],
+    b_rows: usize,
+    b_cols: usize,
+    out: &mut [S::Scalar],
+) {
     assert_eq!(a.cols(), b_rows, "semiring spmm shape mismatch");
     assert_eq!(b.len(), b_rows * b_cols, "dense operand has wrong length");
     assert_eq!(
@@ -215,7 +250,7 @@ pub fn semiring_spmm_into<S: Semiring>(
     let indptr = a.indptr();
     let indices = a.indices();
     let values = a.values();
-    xparallel::parallel_for_rows(out, b_cols, 16, |first_row, chunk| {
+    pool.for_rows(out, b_cols, 16, |first_row, chunk| {
         let nrows = chunk.len() / b_cols;
         for local in 0..nrows {
             let i = first_row + local;

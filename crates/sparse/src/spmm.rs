@@ -44,9 +44,20 @@ pub const MIN_ROWS_PER_CHUNK: usize = 16;
 /// # Ok::<(), sparse::Error>(())
 /// ```
 pub fn csr_spmm<'a>(a: &CsrMatrix, b: impl Into<DenseView<'a>>) -> DenseMatrix {
+    csr_spmm_with(&xparallel::PoolHandle::global(), a, b)
+}
+
+/// Like [`csr_spmm`] but dispatched on an explicit [`xparallel::PoolHandle`]
+/// — the training tape threads its handle through here so the whole step
+/// shares one schedule (and can run inline inside data-parallel workers).
+pub fn csr_spmm_with<'a>(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    b: impl Into<DenseView<'a>>,
+) -> DenseMatrix {
     let b = b.into();
     let mut out = DenseMatrix::zeros(a.rows(), b.cols());
-    csr_spmm_into(a, b, out.as_mut_slice());
+    csr_spmm_into_with(pool, a, b, out.as_mut_slice());
     out
 }
 
@@ -56,6 +67,21 @@ pub fn csr_spmm<'a>(a: &CsrMatrix, b: impl Into<DenseView<'a>>) -> DenseMatrix {
 ///
 /// Panics if `A.cols() != B.rows()` or `out.len() != A.rows() * B.cols()`.
 pub fn csr_spmm_into(a: &CsrMatrix, b: DenseView<'_>, out: &mut [f32]) {
+    csr_spmm_into_with(&xparallel::PoolHandle::global(), a, b, out);
+}
+
+/// Like [`csr_spmm_into`] but dispatched on an explicit
+/// [`xparallel::PoolHandle`].
+///
+/// # Panics
+///
+/// Same conditions as [`csr_spmm_into`].
+pub fn csr_spmm_into_with(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    b: DenseView<'_>,
+    out: &mut [f32],
+) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -88,7 +114,7 @@ pub fn csr_spmm_into(a: &CsrMatrix, b: DenseView<'_>, out: &mut [f32]) {
     let indptr = a.indptr();
     let indices = a.indices();
     let values = a.values();
-    xparallel::parallel_for_rows(out, n, MIN_ROWS_PER_CHUNK, |first_row, chunk| {
+    pool.for_rows(out, n, MIN_ROWS_PER_CHUNK, |first_row, chunk| {
         let nrows = chunk.len() / n;
         for local in 0..nrows {
             let i = first_row + local;
@@ -177,6 +203,22 @@ fn axpy(a: f32, src: &[f32], dst: &mut [f32]) {
 ///
 /// Same conditions as [`csr_spmm_into`].
 pub fn csr_spmm_acc_into(a: &CsrMatrix, b: DenseView<'_>, out: &mut [f32]) {
+    csr_spmm_acc_into_with(&xparallel::PoolHandle::global(), a, b, out);
+}
+
+/// Like [`csr_spmm_acc_into`] but dispatched on an explicit
+/// [`xparallel::PoolHandle`] — the backward-pass entry point of the
+/// pool-parallel training step.
+///
+/// # Panics
+///
+/// Same conditions as [`csr_spmm_into`].
+pub fn csr_spmm_acc_into_with(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    b: DenseView<'_>,
+    out: &mut [f32],
+) {
     assert_eq!(a.cols(), b.rows(), "spmm shape mismatch");
     let n = b.cols();
     assert_eq!(out.len(), a.rows() * n, "output buffer has wrong length");
@@ -196,7 +238,7 @@ pub fn csr_spmm_acc_into(a: &CsrMatrix, b: DenseView<'_>, out: &mut [f32]) {
     let indptr = a.indptr();
     let indices = a.indices();
     let values = a.values();
-    xparallel::parallel_for_rows(out, n, MIN_ROWS_PER_CHUNK, |first_row, chunk| {
+    pool.for_rows(out, n, MIN_ROWS_PER_CHUNK, |first_row, chunk| {
         let nrows = chunk.len() / n;
         for local in 0..nrows {
             let i = first_row + local;

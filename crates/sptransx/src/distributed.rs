@@ -8,19 +8,32 @@
 //!    initial parameters);
 //! 2. the batch plan is **sharded** across workers;
 //! 3. each synchronous step, every worker computes gradients on its own
-//!    batch in parallel (scoped threads);
+//!    batch in parallel — one task per replica on the shared
+//!    [`xparallel`] pool (no ad-hoc thread spawns per step);
 //! 4. gradients are **all-reduced** (averaged) and the identical optimizer
 //!    step is applied to every replica, keeping parameters in lock-step.
 //!
 //! Workers process `ceil(batches / workers)` steps per epoch, so wall-clock
 //! time shrinks with worker count until synchronization overhead dominates —
 //! the scaling curve of Table 9.
+//!
+//! # Pool discipline and determinism
+//!
+//! Replica tasks execute *on* pool workers, so each replays its tape with a
+//! [`PoolHandle::sequential`] handle — fanning the inner kernels back onto
+//! the pool the task occupies could deadlock, and DDP ranks are
+//! single-threaded over their shard anyway. The all-reduce and the
+//! optimizer step run on the caller thread with full pool parallelism, in
+//! fixed replica/parameter order. Net effect: a run's losses and final
+//! embeddings are bit-identical at any `SPTX_NUM_THREADS`, and repeated
+//! runs with the same seed are bit-identical full stop.
 
 use std::time::{Duration, Instant};
 
 use kg::{BatchPlan, Dataset, UniformSampler};
 use tensor::optim::{Optimizer, Sgd};
 use tensor::Graph;
+use xparallel::PoolHandle;
 
 use crate::model::{KgeModel, TrainConfig};
 use crate::Result;
@@ -36,6 +49,14 @@ pub struct DistributedReport {
     pub wall: Duration,
     /// Number of synchronous steps executed.
     pub steps: usize,
+}
+
+/// One replica's slot in a synchronous step: exclusive model access in,
+/// local batch loss out.
+struct ReplicaTask<'a, M> {
+    model: &'a mut M,
+    size: usize,
+    loss: Option<f32>,
 }
 
 /// Trains replicas of a model data-parallel over `workers` shards.
@@ -72,6 +93,26 @@ where
     M: KgeModel + Send,
     F: Fn(&Dataset, &TrainConfig) -> Result<M>,
 {
+    train_data_parallel_returning(dataset, config, workers, make_model).map(|(report, _)| report)
+}
+
+/// Like [`train_data_parallel`] but also returns the rank-0 replica (all
+/// replicas are kept in lock-step, so it is *the* trained model). Used by
+/// the determinism tests to compare final embeddings bit-for-bit.
+///
+/// # Errors
+///
+/// Same conditions as [`train_data_parallel`].
+pub fn train_data_parallel_returning<M, F>(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    workers: usize,
+    make_model: F,
+) -> Result<(DistributedReport, M)>
+where
+    M: KgeModel + Send,
+    F: Fn(&Dataset, &TrainConfig) -> Result<M>,
+{
     config.validate()?;
     let workers = workers.max(1);
     let known = dataset.all_known();
@@ -83,6 +124,11 @@ where
         config.batch_size,
         config.seed,
     );
+    if plan.num_batches() == 0 {
+        return Err(crate::Error::config(
+            "batch plan has no batches (empty training set?); refusing to report 0-batch epochs as loss 0",
+        ));
+    }
     let shards = plan.shard(workers);
     let steps_per_epoch = shards.iter().map(BatchPlan::num_batches).max().unwrap_or(0);
 
@@ -95,47 +141,48 @@ where
     }
     let shard_sizes: Vec<usize> = shards.iter().map(BatchPlan::num_batches).collect();
 
-    let mut optimizer = Sgd::new(config.lr);
+    let pool = PoolHandle::global();
+    let mut optimizer = Sgd::new(config.lr).with_pool(pool.clone());
     let started = Instant::now();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut steps = 0usize;
+    let margin = config.margin;
 
     for _epoch in 0..config.epochs {
         let mut loss_sum = 0f64;
         let mut loss_count = 0usize;
         for step in 0..steps_per_epoch {
-            // Phase 1: parallel local gradient computation.
-            let losses: Vec<Option<f32>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = replicas
-                    .iter_mut()
-                    .zip(&shard_sizes)
-                    .map(|(model, &size)| {
-                        scope.spawn(move |_| {
-                            if size == 0 {
-                                return None;
-                            }
-                            let b = step % size;
-                            model.store_mut().zero_grads();
-                            let mut g = Graph::new();
-                            let (pos, neg) = model.score_batch(&mut g, b);
-                            let loss = g.margin_ranking_loss(pos, neg, 0.5);
-                            let lv = g.value(loss).get(0, 0);
-                            g.backward(loss, model.store_mut());
-                            Some(lv)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-            .expect("worker scope panicked");
+            // Phase 1: local gradient computation, one pool task per
+            // replica. Inner tapes are sequential (see module docs).
+            let mut tasks: Vec<ReplicaTask<'_, M>> = replicas
+                .iter_mut()
+                .zip(&shard_sizes)
+                .map(|(model, &size)| ReplicaTask {
+                    model,
+                    size,
+                    loss: None,
+                })
+                .collect();
+            pool.for_each_mut(&mut tasks, |_, task| {
+                if task.size == 0 {
+                    return;
+                }
+                let b = step % task.size;
+                task.model.store_mut().zero_grads();
+                let mut g = Graph::with_pool(PoolHandle::sequential());
+                let (pos, neg) = task.model.score_batch(&mut g, b);
+                let loss = g.margin_ranking_loss(pos, neg, margin);
+                task.loss = Some(g.value(loss).get(0, 0));
+                g.backward(loss, task.model.store_mut());
+            });
 
-            for l in losses.into_iter().flatten() {
-                loss_sum += f64::from(l);
-                loss_count += 1;
+            for task in &tasks {
+                if let Some(l) = task.loss {
+                    loss_sum += f64::from(l);
+                    loss_count += 1;
+                }
             }
+            drop(tasks);
 
             // Phase 2: all-reduce (average) gradients into replica 0.
             let active = shard_sizes.iter().filter(|&&s| s > 0).count().max(1) as f32;
@@ -157,12 +204,14 @@ where
         });
     }
 
-    Ok(DistributedReport {
+    let report = DistributedReport {
         workers,
         epoch_losses,
         wall: started.elapsed(),
         steps,
-    })
+    };
+    let rank0 = replicas.into_iter().next().expect("at least one replica");
+    Ok((report, rank0))
 }
 
 /// Averages gradients across replicas and broadcasts the result, so every

@@ -43,14 +43,18 @@ pub(crate) struct HrtCache {
 }
 
 /// Builds `hrt` incidence caches for every batch of a plan.
+///
+/// Batches are independent, so cache construction (CSR assembly plus the
+/// cached transpose) fans out one task per batch on the global pool; errors
+/// are surfaced in batch order, keeping `attach_plan` deterministic.
 pub(crate) fn build_hrt_caches(
     plan: &BatchPlan,
     num_entities: usize,
     num_relations: usize,
     tail_sign: TailSign,
 ) -> Result<Vec<HrtCache>> {
-    let mut out = Vec::with_capacity(plan.num_batches());
-    for batch in plan.iter() {
+    build_caches_parallel(plan.num_batches(), |i| {
+        let batch = plan.batch(i);
         let pos = incidence::hrt(
             num_entities,
             num_relations,
@@ -67,12 +71,30 @@ pub(crate) fn build_hrt_caches(
             batch.neg.tails(),
             tail_sign,
         )?;
-        out.push(HrtCache {
+        Ok(HrtCache {
             pos: Arc::new(IncidencePair::new(pos)),
             neg: Arc::new(IncidencePair::new(neg)),
-        });
-    }
-    Ok(out)
+        })
+    })
+}
+
+/// Shared fan-out for per-batch cache builders: runs `build(i)` for every
+/// batch index on the global pool and collects results in batch order (the
+/// first error by index wins, matching the previous serial semantics).
+fn build_caches_parallel<C, F>(num_batches: usize, build: F) -> Result<Vec<C>>
+where
+    C: Send,
+    F: Fn(usize) -> Result<C> + Sync,
+{
+    let mut slots: Vec<Option<Result<C>>> = Vec::new();
+    slots.resize_with(num_batches, || None);
+    xparallel::PoolHandle::global().for_each_mut(&mut slots, |i, slot| {
+        *slot = Some(build(i));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("cache slot filled by its task"))
+        .collect()
 }
 
 /// Cached sparse structures for one batch of an `ht`-family model
@@ -86,20 +108,20 @@ pub(crate) struct HtCache {
     pub neg_rels: Vec<u32>,
 }
 
-/// Builds `ht` incidence caches for every batch of a plan.
+/// Builds `ht` incidence caches for every batch of a plan (fanned out per
+/// batch like [`build_hrt_caches`]).
 pub(crate) fn build_ht_caches(plan: &BatchPlan, num_entities: usize) -> Result<Vec<HtCache>> {
-    let mut out = Vec::with_capacity(plan.num_batches());
-    for batch in plan.iter() {
+    build_caches_parallel(plan.num_batches(), |i| {
+        let batch = plan.batch(i);
         let pos = incidence::ht(num_entities, batch.pos.heads(), batch.pos.tails())?;
         let neg = incidence::ht(num_entities, batch.neg.heads(), batch.neg.tails())?;
-        out.push(HtCache {
+        Ok(HtCache {
             pos: Arc::new(IncidencePair::new(pos)),
             neg: Arc::new(IncidencePair::new(neg)),
             pos_rels: batch.pos.rels().to_vec(),
             neg_rels: batch.neg.rels().to_vec(),
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Per-batch index arrays for the dense (gather/scatter) baselines.

@@ -8,6 +8,7 @@ use kg::eval::{
 use kg::{BatchPlan, BernoulliSampler, Dataset, UniformSampler};
 use tensor::optim::{Optimizer, Sgd, StepLr};
 use tensor::{memory, Graph};
+use xparallel::PoolHandle;
 
 use crate::model::{KgeModel, SamplerKind, TrainConfig};
 use crate::Result;
@@ -85,6 +86,7 @@ pub struct Trainer<M: KgeModel> {
     num_batches: usize,
     optimizer: Sgd,
     scheduler: Option<StepLr>,
+    pool: PoolHandle,
 }
 
 impl<M: KgeModel> Trainer<M> {
@@ -140,15 +142,29 @@ impl<M: KgeModel> Trainer<M> {
             config: config.clone(),
             optimizer: Sgd::new(config.lr),
             scheduler,
+            pool: PoolHandle::global(),
         })
+    }
+
+    /// Dispatches the whole training step — forward kernels, backward
+    /// closures, and optimizer updates — on an explicit pool handle.
+    ///
+    /// The step is bit-identical at any handle width (see `tensor::Graph`),
+    /// so this knob trades wall-clock only: `PoolHandle::sequential()` is
+    /// the serial baseline, pinned widths reproduce a wide machine's
+    /// schedule on a narrow one.
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.optimizer = Sgd::new(self.optimizer.learning_rate()).with_pool(pool.clone());
+        self.pool = pool;
+        self
     }
 
     /// Runs the configured number of epochs.
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice; kept fallible for forward
-    /// compatibility with streaming-backed models.
+    /// See [`Trainer::run_epochs`].
     pub fn run(&mut self) -> Result<TrainReport> {
         self.run_epochs(self.config.epochs)
     }
@@ -157,8 +173,14 @@ impl<M: KgeModel> Trainer<M> {
     ///
     /// # Errors
     ///
-    /// See [`Trainer::run`].
+    /// Returns [`crate::Error::Config`] if the attached plan has no batches:
+    /// a 0-batch epoch would otherwise silently report loss 0.
     pub fn run_epochs(&mut self, epochs: usize) -> Result<TrainReport> {
+        if self.num_batches == 0 {
+            return Err(crate::Error::config(
+                "batch plan has no batches (empty training set?); refusing to report 0-batch epochs as loss 0",
+            ));
+        }
         let wall_start = Instant::now();
         let mem_scope = memory::MemoryScope::start();
         let metrics_before = sparse::metrics::snapshot();
@@ -174,7 +196,7 @@ impl<M: KgeModel> Trainer<M> {
                 self.model.store_mut().zero_grads();
 
                 let t0 = Instant::now();
-                let mut g = Graph::new();
+                let mut g = Graph::with_pool(self.pool.clone());
                 let (pos, neg) = self.model.score_batch(&mut g, b);
                 let loss = g.margin_ranking_loss(pos, neg, self.config.margin);
                 breakdown.forward += t0.elapsed();
@@ -189,7 +211,7 @@ impl<M: KgeModel> Trainer<M> {
                 breakdown.step += t2.elapsed();
             }
             self.model.end_epoch();
-            epoch_losses.push((loss_sum / self.num_batches.max(1) as f64) as f32);
+            epoch_losses.push((loss_sum / self.num_batches as f64) as f32);
         }
 
         let delta = sparse::metrics::snapshot() - metrics_before;

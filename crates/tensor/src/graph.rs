@@ -3,10 +3,18 @@
 use std::sync::Arc;
 
 use sparse::incidence::IncidencePair;
-use sparse::spmm::csr_spmm;
+use sparse::spmm::{csr_spmm_acc_into_with, csr_spmm_with};
+use xparallel::PoolHandle;
 
 use crate::profile;
 use crate::{ParamId, ParamStore, Tensor};
+
+/// Fixed chunk length for the tape's scalar reductions (losses, means).
+///
+/// Boundaries depend only on the input length — never on the pool width —
+/// so the f64 fold order, and therefore the result bits, are identical at
+/// any `SPTX_NUM_THREADS`.
+const REDUCE_CHUNK: usize = 8192;
 
 /// Handle to a node on a [`Graph`] tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,15 +128,44 @@ struct Node {
 ///   **scatter-add** (the non-sparse baseline path, paper Figure 1);
 /// * [`Graph::spmm`] — incidence-matrix SpMM whose backward is a second SpMM
 ///   with `Aᵀ` (the SparseTransX path, paper §4.1 and Appendix G).
+///
+/// # Parallelism and determinism
+///
+/// Every forward kernel and backward closure dispatches on the tape's
+/// [`PoolHandle`]: row-wise kernels partition their **output** rows across
+/// workers (each row computed by exactly one worker with a serial inner
+/// loop), and parameter-gradient accumulation is sharded by **destination**
+/// row with per-triple contributions applied in tape order. Scalar
+/// reductions (the losses) use fixed-size chunks folded in order. Together
+/// these make one training step bit-identical at any pool width — the
+/// determinism contract behind `SPTX_NUM_THREADS`-invariant training.
+///
+/// [`Graph::new`] uses the global pool; [`Graph::with_pool`] pins an
+/// explicit handle (e.g. [`PoolHandle::sequential`] inside data-parallel
+/// workers, or a pinned width for determinism audits).
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: PoolHandle,
 }
 
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape dispatching kernels on the global pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty tape dispatching kernels on an explicit pool handle.
+    pub fn with_pool(pool: PoolHandle) -> Self {
+        Self {
+            nodes: Vec::new(),
+            pool,
+        }
+    }
+
+    /// The pool handle this tape dispatches kernels on.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
     }
 
     /// Number of recorded nodes.
@@ -179,12 +216,13 @@ impl Graph {
         let d = p.cols();
         let mut out = Tensor::zeros(indices.len(), d);
         let src = p.as_slice();
-        xparallel::parallel_for_rows(out.as_mut_slice(), d.max(1), 64, |first, chunk| {
-            for (k, dst) in chunk.chunks_exact_mut(d.max(1)).enumerate() {
-                let r = indices[first + k] as usize;
-                dst.copy_from_slice(&src[r * d..(r + 1) * d]);
-            }
-        });
+        self.pool
+            .for_rows(out.as_mut_slice(), d.max(1), 64, |first, chunk| {
+                for (k, dst) in chunk.chunks_exact_mut(d.max(1)).enumerate() {
+                    let r = indices[first + k] as usize;
+                    dst.copy_from_slice(&src[r * d..(r + 1) * d]);
+                }
+            });
         sparse::metrics::add_bytes(2 * (indices.len() * d * 4) as u64);
         self.push(
             out,
@@ -204,7 +242,7 @@ impl Graph {
     pub fn spmm(&mut self, store: &ParamStore, param: ParamId, pair: Arc<IncidencePair>) -> Var {
         let _t = profile::scope("op::spmm");
         let p = store.value(param);
-        let out = csr_spmm(&pair.forward, p.view());
+        let out = csr_spmm_with(&self.pool, &pair.forward, p.view());
         let out = Tensor::from_vec(out.rows(), out.cols(), out.into_vec());
         self.push(out, Op::Spmm { param, pair })
     }
@@ -216,7 +254,9 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::add");
-        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let v = self
+            .value(a)
+            .zip_map_with(&self.pool, self.value(b), |x, y| x + y);
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Add(a, b))
     }
@@ -228,7 +268,9 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::sub");
-        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let v = self
+            .value(a)
+            .zip_map_with(&self.pool, self.value(b), |x, y| x - y);
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Sub(a, b))
     }
@@ -240,14 +282,16 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::mul");
-        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let v = self
+            .value(a)
+            .zip_map_with(&self.pool, self.value(b), |x, y| x * y);
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Mul(a, b))
     }
 
     /// Scales a node by a constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| c * x);
+        let v = self.value(a).map_with(&self.pool, |x| c * x);
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Scale(a, c))
     }
@@ -266,16 +310,17 @@ impl Graph {
         let (m, n) = av.shape();
         let mut out = Tensor::zeros(m, 1);
         let (ad, bd) = (av.as_slice(), bv.as_slice());
-        xparallel::parallel_for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
-            for (k, dst) in chunk.iter_mut().enumerate() {
-                let i = first + k;
-                let mut acc = 0.0;
-                for j in 0..n {
-                    acc += ad[i * n + j] * bd[i * n + j];
+        self.pool
+            .for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
+                for (k, dst) in chunk.iter_mut().enumerate() {
+                    let i = first + k;
+                    let mut acc = 0.0;
+                    for j in 0..n {
+                        acc += ad[i * n + j] * bd[i * n + j];
+                    }
+                    *dst = acc;
                 }
-                *dst = acc;
-            }
-        });
+            });
         sparse::metrics::add_flops(2 * (m * n) as u64);
         self.push(out, Op::RowDot(a, b))
     }
@@ -293,15 +338,16 @@ impl Graph {
         let (m, n) = mv.shape();
         let mut out = Tensor::zeros(m, n);
         let (md, sd) = (mv.as_slice(), sv.as_slice());
-        xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
-            for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
-                let i = first + k;
-                let s = sd[i];
-                for (j, d) in dst.iter_mut().enumerate() {
-                    *d = md[i * n + j] * s;
+        self.pool
+            .for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+                for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                    let i = first + k;
+                    let s = sd[i];
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        *d = md[i * n + j] * s;
+                    }
                 }
-            }
-        });
+            });
         sparse::metrics::add_flops((m * n) as u64);
         self.push(out, Op::ScaleRows { mat, scale })
     }
@@ -309,7 +355,9 @@ impl Graph {
     /// Per-row L1 norm: `out[i] = Σ_j |a[i,j]|`, shape `(m, 1)`.
     pub fn l1_norm_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::l1_norm");
-        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x.abs()).sum());
+        let v = row_reduce(&self.pool, self.value(a), |row| {
+            row.iter().map(|x| x.abs()).sum()
+        });
         self.push(v, Op::L1NormRows(a))
     }
 
@@ -318,7 +366,7 @@ impl Graph {
     /// `eps` guards the backward division for zero rows.
     pub fn l2_norm_rows(&mut self, a: Var, eps: f32) -> Var {
         let _t = profile::scope("op::l2_norm");
-        let v = row_reduce(self.value(a), |row| {
+        let v = row_reduce(&self.pool, self.value(a), |row| {
             row.iter().map(|x| x * x).sum::<f32>().sqrt()
         });
         self.push(v, Op::L2NormRows { input: a, eps })
@@ -327,7 +375,9 @@ impl Graph {
     /// Per-row squared L2 norm (TransC-style scoring), shape `(m, 1)`.
     pub fn squared_l2_norm_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::sq_l2_norm");
-        let v = row_reduce(self.value(a), |row| row.iter().map(|x| x * x).sum());
+        let v = row_reduce(&self.pool, self.value(a), |row| {
+            row.iter().map(|x| x * x).sum()
+        });
         self.push(v, Op::SquaredL2NormRows(a))
     }
 
@@ -335,7 +385,7 @@ impl Graph {
     /// `fⱼ = frac(a[i,j])` — TorusE's wraparound metric.
     pub fn torus_l1_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l1");
-        let v = row_reduce(self.value(a), |row| {
+        let v = row_reduce(&self.pool, self.value(a), |row| {
             row.iter()
                 .map(|&x| {
                     let f = x - x.floor();
@@ -351,7 +401,7 @@ impl Graph {
     /// This is the `l2_torus_dissimilarity` the paper's Figure 2 profiles.
     pub fn torus_l2_sq_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l2");
-        let v = row_reduce(self.value(a), |row| {
+        let v = row_reduce(&self.pool, self.value(a), |row| {
             row.iter()
                 .map(|&x| {
                     let f = x - x.floor();
@@ -390,22 +440,23 @@ impl Graph {
         );
         let mut out = Tensor::zeros(m, d_out);
         let (md, vd) = (mv.as_slice(), vv.as_slice());
-        xparallel::parallel_for_rows(out.as_mut_slice(), d_out.max(1), 32, |first, chunk| {
-            for (k, dst) in chunk.chunks_exact_mut(d_out.max(1)).enumerate() {
-                let i = first + k;
-                let r = rels[i] as usize;
-                let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
-                let vec = &vd[i * d_in..(i + 1) * d_in];
-                for (o, d) in dst.iter_mut().enumerate() {
-                    let mrow = &mat[o * d_in..(o + 1) * d_in];
-                    let mut acc = 0.0;
-                    for j in 0..d_in {
-                        acc += mrow[j] * vec[j];
+        self.pool
+            .for_rows(out.as_mut_slice(), d_out.max(1), 32, |first, chunk| {
+                for (k, dst) in chunk.chunks_exact_mut(d_out.max(1)).enumerate() {
+                    let i = first + k;
+                    let r = rels[i] as usize;
+                    let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
+                    let vec = &vd[i * d_in..(i + 1) * d_in];
+                    for (o, d) in dst.iter_mut().enumerate() {
+                        let mrow = &mat[o * d_in..(o + 1) * d_in];
+                        let mut acc = 0.0;
+                        for j in 0..d_in {
+                            acc += mrow[j] * vec[j];
+                        }
+                        *d = acc;
                     }
-                    *d = acc;
                 }
-            }
-        });
+            });
         sparse::metrics::add_flops(2 * (m * d_out * d_in) as u64);
         self.push(
             out,
@@ -433,10 +484,22 @@ impl Graph {
         assert_eq!(pv.shape(), nv.shape(), "margin loss operands must match");
         assert_eq!(pv.cols(), 1, "scores must be (m,1) columns");
         let m = pv.rows();
-        let mut acc = 0.0f64;
-        for i in 0..m {
-            acc += f64::from((margin + pv.get(i, 0) - nv.get(i, 0)).max(0.0));
-        }
+        let (pd, nd) = (pv.as_slice(), nv.as_slice());
+        // Fixed-size chunks folded in order: the f64 association depends only
+        // on `m`, never on the pool width (determinism contract).
+        let acc = self.pool.map_reduce_fixed(
+            m,
+            REDUCE_CHUNK,
+            0.0f64,
+            |r| {
+                let mut part = 0.0f64;
+                for i in r {
+                    part += f64::from((margin + pd[i] - nd[i]).max(0.0));
+                }
+                part
+            },
+            |x, y| x + y,
+        );
         let loss = if m == 0 { 0.0 } else { (acc / m as f64) as f32 };
         sparse::metrics::add_flops(3 * m as u64);
         let t = Tensor::from_vec(1, 1, vec![loss]);
@@ -445,14 +508,29 @@ impl Graph {
 
     /// Mean over all elements, shape `(1,1)`.
     pub fn mean(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        let av = self.value(a);
+        let len = av.len();
+        let ad = av.as_slice();
+        let sum = self.pool.map_reduce_fixed(
+            len,
+            REDUCE_CHUNK,
+            0.0f64,
+            |r| ad[r].iter().map(|&x| f64::from(x)).sum::<f64>(),
+            |x, y| x + y,
+        );
+        let mean = if len == 0 {
+            0.0
+        } else {
+            (sum / len as f64) as f32
+        };
+        let v = Tensor::from_vec(1, 1, vec![mean]);
         self.push(v, Op::Mean(a))
     }
 
     /// Per-row sum: `out[i] = Σ_j a[i,j]`, shape `(m, 1)`.
     pub fn row_sum(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::row_sum");
-        let v = row_reduce(self.value(a), |row| row.iter().sum());
+        let v = row_reduce(&self.pool, self.value(a), |row| row.iter().sum());
         self.push(v, Op::RowSum(a))
     }
 
@@ -482,7 +560,8 @@ impl Graph {
             3 * pair.forward.rows(),
             "triple_product requires exactly 3 nonzeros per row"
         );
-        let out = sparse::semiring::semiring_spmm::<sparse::semiring::TimesTimes>(
+        let out = sparse::semiring::semiring_spmm_with::<sparse::semiring::TimesTimes>(
+            &self.pool,
             &pair.forward,
             p.as_slice(),
             p.rows(),
@@ -512,7 +591,7 @@ impl Graph {
         pair: Arc<IncidencePair>,
     ) -> Var {
         let _t = profile::scope("op::rotate_score");
-        let value = complex_score_forward(store, param, &pair, ComplexKernel::Rotate);
+        let value = complex_score_forward(&self.pool, store, param, &pair, ComplexKernel::Rotate);
         self.push(value, Op::RotateScore { param, pair })
     }
 
@@ -530,7 +609,7 @@ impl Graph {
         pair: Arc<IncidencePair>,
     ) -> Var {
         let _t = profile::scope("op::complex_score");
-        let value = complex_score_forward(store, param, &pair, ComplexKernel::ComplEx);
+        let value = complex_score_forward(&self.pool, store, param, &pair, ComplexKernel::ComplEx);
         self.push(value, Op::ComplexScore { param, pair })
     }
 
@@ -569,14 +648,15 @@ impl Graph {
             Op::Input => {}
             Op::Gather { param, indices } => {
                 let _t = profile::scope("op::gather_backward");
-                scatter_add_rows(store.grad_mut(param), &indices, g);
+                scatter_add_rows_with(&self.pool, store.grad_mut(param), &indices, g);
                 sparse::metrics::add_flops(g.len() as u64);
             }
             Op::Spmm { param, pair } => {
                 let _t = profile::scope("op::spmm_backward");
                 // grad += Aᵀ · g, accumulated in place: untouched parameter
                 // rows cost nothing (Appendix G, without the dense delta).
-                sparse::spmm::csr_spmm_acc_into(
+                csr_spmm_acc_into_with(
+                    &self.pool,
                     &pair.transpose,
                     g.view(),
                     store.grad_mut(param).as_mut_slice(),
@@ -591,8 +671,8 @@ impl Graph {
                 self.accum(b, g, -1.0);
             }
             Op::Mul(a, b) => {
-                let da = g.zip_map(self.value(b), |gx, bx| gx * bx);
-                let db = g.zip_map(self.value(a), |gx, ax| gx * ax);
+                let da = g.zip_map_with(&self.pool, self.value(b), |gx, bx| gx * bx);
+                let db = g.zip_map_with(&self.pool, self.value(a), |gx, ax| gx * ax);
                 self.accum(a, &da, 1.0);
                 self.accum(b, &db, 1.0);
             }
@@ -600,19 +680,19 @@ impl Graph {
                 self.accum(a, g, c);
             }
             Op::RowDot(a, b) => {
-                let da = scale_rows_tensor(self.value(b), g);
-                let db = scale_rows_tensor(self.value(a), g);
+                let da = scale_rows_tensor(&self.pool, self.value(b), g);
+                let db = scale_rows_tensor(&self.pool, self.value(a), g);
                 self.accum(a, &da, 1.0);
                 self.accum(b, &db, 1.0);
             }
             Op::ScaleRows { mat, scale } => {
-                let dm = scale_rows_tensor(g, self.value(scale));
-                let ds = row_dot_tensor(g, self.value(mat));
+                let dm = scale_rows_tensor(&self.pool, g, self.value(scale));
+                let ds = row_dot_tensor(&self.pool, g, self.value(mat));
                 self.accum(mat, &dm, 1.0);
                 self.accum(scale, &ds, 1.0);
             }
             Op::L1NormRows(a) => {
-                let da = rowwise_unary_backward(self.value(a), g, |x, _| x.signum());
+                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| x.signum());
                 self.accum(a, &da, 1.0);
             }
             Op::L2NormRows { input, eps } => {
@@ -620,23 +700,27 @@ impl Graph {
                 let av = self.value(input);
                 let (m, n) = av.shape();
                 let mut da = Tensor::zeros(m, n);
-                for r in 0..m {
-                    let denom = norms.get(r, 0).max(eps);
-                    let gr = g.get(r, 0);
-                    let src = av.row(r);
-                    for (j, d) in da.row_mut(r).iter_mut().enumerate() {
-                        *d = gr * src[j] / denom;
-                    }
-                }
+                let (ad, nd, gd) = (av.as_slice(), norms.as_slice(), g.as_slice());
+                self.pool
+                    .for_rows(da.as_mut_slice(), n.max(1), 64, |first, chunk| {
+                        for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                            let r = first + k;
+                            let denom = nd[r].max(eps);
+                            let gr = gd[r];
+                            for (j, d) in dst.iter_mut().enumerate() {
+                                *d = gr * ad[r * n + j] / denom;
+                            }
+                        }
+                    });
                 sparse::metrics::add_flops(2 * (m * n) as u64);
                 self.accum(input, &da, 1.0);
             }
             Op::SquaredL2NormRows(a) => {
-                let da = rowwise_unary_backward(self.value(a), g, |x, _| 2.0 * x);
+                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| 2.0 * x);
                 self.accum(a, &da, 1.0);
             }
             Op::TorusL1Rows(a) => {
-                let da = rowwise_unary_backward(self.value(a), g, |x, _| {
+                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| {
                     let f = x - x.floor();
                     if f <= 0.5 {
                         1.0
@@ -647,7 +731,7 @@ impl Graph {
                 self.accum(a, &da, 1.0);
             }
             Op::TorusL2SqRows(a) => {
-                let da = rowwise_unary_backward(self.value(a), g, |x, _| {
+                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| {
                     let f = x - x.floor();
                     if f <= 0.5 {
                         2.0 * f
@@ -672,11 +756,8 @@ impl Graph {
                 {
                     let mv = store.value(mats);
                     let (md, gd) = (mv.as_slice(), g.as_slice());
-                    xparallel::parallel_for_rows(
-                        dv.as_mut_slice(),
-                        d_in.max(1),
-                        32,
-                        |first, chunk| {
+                    self.pool
+                        .for_rows(dv.as_mut_slice(), d_in.max(1), 32, |first, chunk| {
                             for (k, dst) in chunk.chunks_exact_mut(d_in.max(1)).enumerate() {
                                 let i = first + k;
                                 let r = rels[i] as usize;
@@ -689,13 +770,12 @@ impl Graph {
                                     *d = acc;
                                 }
                             }
-                        },
-                    );
+                        });
                 }
                 // d mats[r] += g_i ⊗ vecs[i], scattered by relation index.
                 let vv = self.value(vecs);
                 let gm = store.grad_mut(mats);
-                scatter_add_outer(gm, &rels, g, vv, d_out, d_in);
+                scatter_add_outer(&self.pool, gm, &rels, g, vv, d_out, d_in);
                 sparse::metrics::add_flops(4 * (m * d_out * d_in) as u64);
                 self.accum(vecs, &dv, 1.0);
             }
@@ -703,14 +783,25 @@ impl Graph {
                 let (pv, nv) = (self.value(pos), self.value(neg));
                 let m = pv.rows();
                 let gscale = if m == 0 { 0.0 } else { g.get(0, 0) / m as f32 };
+                let (pd, nd) = (pv.as_slice(), nv.as_slice());
                 let mut dp = Tensor::zeros(m, 1);
                 let mut dn = Tensor::zeros(m, 1);
-                for r in 0..m {
-                    if margin + pv.get(r, 0) - nv.get(r, 0) > 0.0 {
-                        dp.set(r, 0, gscale);
-                        dn.set(r, 0, -gscale);
+                self.pool.for_mut(dp.as_mut_slice(), 256, |offset, chunk| {
+                    for (k, d) in chunk.iter_mut().enumerate() {
+                        let r = offset + k;
+                        if margin + pd[r] - nd[r] > 0.0 {
+                            *d = gscale;
+                        }
                     }
-                }
+                });
+                self.pool.for_mut(dn.as_mut_slice(), 256, |offset, chunk| {
+                    for (k, d) in chunk.iter_mut().enumerate() {
+                        let r = offset + k;
+                        if margin + pd[r] - nd[r] > 0.0 {
+                            *d = -gscale;
+                        }
+                    }
+                });
                 self.accum(pos, &dp, 1.0);
                 self.accum(neg, &dn, 1.0);
             }
@@ -722,16 +813,16 @@ impl Graph {
                 self.accum(a, &da, 1.0);
             }
             Op::RowSum(a) => {
-                let da = rowwise_unary_backward(self.value(a), g, |_, _| 1.0);
+                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |_, _| 1.0);
                 self.accum(a, &da, 1.0);
             }
             Op::RotateScore { param, pair } => {
                 let _t = profile::scope("op::rotate_score_backward");
-                complex_score_backward(store, param, &pair, g, ComplexKernel::Rotate);
+                complex_score_backward(&self.pool, store, param, &pair, g, ComplexKernel::Rotate);
             }
             Op::ComplexScore { param, pair } => {
                 let _t = profile::scope("op::complex_score_backward");
-                complex_score_backward(store, param, &pair, g, ComplexKernel::ComplEx);
+                complex_score_backward(&self.pool, store, param, &pair, g, ComplexKernel::ComplEx);
             }
             Op::TripleProduct { param, pair } => {
                 let _t = profile::scope("op::triple_product_backward");
@@ -746,35 +837,36 @@ impl Graph {
                 let gd = g.as_slice();
                 let indptr = fwd.indptr();
                 let indices = fwd.indices();
-                xparallel::parallel_for_rows(grad.as_mut_slice(), d.max(1), 64, |first, chunk| {
-                    let rows_here = chunk.len() / d.max(1);
-                    for local in 0..rows_here {
-                        let e = first + local;
-                        let dst = &mut chunk[local * d..(local + 1) * d];
-                        for (i, _) in tr.row(e) {
-                            let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
-                            debug_assert_eq!(epos - s, 3);
-                            // The two sibling columns of triple i (CSR column
-                            // indices are strictly ascending, so `e` appears
-                            // exactly once).
-                            let mut others = [0usize; 2];
-                            let mut k = 0;
-                            for &c in &indices[s..epos] {
-                                if c as usize != e && k < 2 {
-                                    others[k] = c as usize;
-                                    k += 1;
+                self.pool
+                    .for_rows(grad.as_mut_slice(), d.max(1), 64, |first, chunk| {
+                        let rows_here = chunk.len() / d.max(1);
+                        for local in 0..rows_here {
+                            let e = first + local;
+                            let dst = &mut chunk[local * d..(local + 1) * d];
+                            for (i, _) in tr.row(e) {
+                                let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
+                                debug_assert_eq!(epos - s, 3);
+                                // The two sibling columns of triple i (CSR column
+                                // indices are strictly ascending, so `e` appears
+                                // exactly once).
+                                let mut others = [0usize; 2];
+                                let mut k = 0;
+                                for &c in &indices[s..epos] {
+                                    if c as usize != e && k < 2 {
+                                        others[k] = c as usize;
+                                        k += 1;
+                                    }
+                                }
+                                debug_assert_eq!(k, 2);
+                                let a = &pd[others[0] * d..others[0] * d + d];
+                                let b = &pd[others[1] * d..others[1] * d + d];
+                                let gr = &gd[i * d..(i + 1) * d];
+                                for j in 0..d {
+                                    dst[j] += gr[j] * a[j] * b[j];
                                 }
                             }
-                            debug_assert_eq!(k, 2);
-                            let a = &pd[others[0] * d..others[0] * d + d];
-                            let b = &pd[others[1] * d..others[1] * d + d];
-                            let gr = &gd[i * d..(i + 1) * d];
-                            for j in 0..d {
-                                dst[j] += gr[j] * a[j] * b[j];
-                            }
                         }
-                    }
-                });
+                    });
                 sparse::metrics::add_flops(3 * (fwd.nnz() * d) as u64);
             }
         }
@@ -786,17 +878,17 @@ impl Graph {
         let grad = node
             .grad
             .get_or_insert_with(|| Tensor::zeros(node.value.rows(), node.value.cols()));
-        grad.add_scaled(delta, alpha);
+        grad.add_scaled_with(&self.pool, delta, alpha);
         sparse::metrics::add_flops(2 * delta.len() as u64);
     }
 }
 
 /// `out[i] = f(row_i)`, shape `(m, 1)`.
-fn row_reduce(a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -> Tensor {
+fn row_reduce(pool: &PoolHandle, a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -> Tensor {
     let (m, n) = a.shape();
     let mut out = Tensor::zeros(m, 1);
     let ad = a.as_slice();
-    xparallel::parallel_for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
+    pool.for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
         for (k, dst) in chunk.iter_mut().enumerate() {
             let i = first + k;
             *dst = f(&ad[i * n..(i + 1) * n]);
@@ -807,12 +899,12 @@ fn row_reduce(a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -> Tensor {
 }
 
 /// `out[i,j] = mat[i,j] * col[i]` (col is `(m,1)`).
-fn scale_rows_tensor(mat: &Tensor, col: &Tensor) -> Tensor {
+fn scale_rows_tensor(pool: &PoolHandle, mat: &Tensor, col: &Tensor) -> Tensor {
     let (m, n) = mat.shape();
     debug_assert_eq!(col.shape(), (m, 1));
     let mut out = Tensor::zeros(m, n);
     let (md, cd) = (mat.as_slice(), col.as_slice());
-    xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+    pool.for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
         for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
             let i = first + k;
             for (j, d) in dst.iter_mut().enumerate() {
@@ -824,29 +916,37 @@ fn scale_rows_tensor(mat: &Tensor, col: &Tensor) -> Tensor {
 }
 
 /// `out[i] = Σ_j a[i,j]·b[i,j]` as an `(m,1)` tensor.
-fn row_dot_tensor(a: &Tensor, b: &Tensor) -> Tensor {
+fn row_dot_tensor(pool: &PoolHandle, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = a.shape();
     debug_assert_eq!(b.shape(), (m, n));
     let mut out = Tensor::zeros(m, 1);
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    for i in 0..m {
-        let mut acc = 0.0;
-        for j in 0..n {
-            acc += ad[i * n + j] * bd[i * n + j];
+    pool.for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
+        for (k, dst) in chunk.iter_mut().enumerate() {
+            let i = first + k;
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += ad[i * n + j] * bd[i * n + j];
+            }
+            *dst = acc;
         }
-        out.set(i, 0, acc);
-    }
+    });
     out
 }
 
 /// `da[i,j] = g[i] * f(a[i,j], j)` — shared shape of the norm backwards.
-fn rowwise_unary_backward(a: &Tensor, g: &Tensor, f: impl Fn(f32, usize) -> f32 + Sync) -> Tensor {
+fn rowwise_unary_backward(
+    pool: &PoolHandle,
+    a: &Tensor,
+    g: &Tensor,
+    f: impl Fn(f32, usize) -> f32 + Sync,
+) -> Tensor {
     let (m, n) = a.shape();
     debug_assert_eq!(g.shape(), (m, 1));
     sparse::metrics::add_flops((m * n) as u64);
     let mut out = Tensor::zeros(m, n);
     let (ad, gd) = (a.as_slice(), g.as_slice());
-    xparallel::parallel_for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
+    pool.for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
         for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
             let i = first + k;
             for (j, d) in dst.iter_mut().enumerate() {
@@ -863,11 +963,19 @@ fn rowwise_unary_backward(a: &Tensor, g: &Tensor, f: impl Fn(f32, usize) -> f32 
 /// list and applies only the updates landing in its range, which is
 /// deterministic and lock-free.
 pub fn scatter_add_rows(dst: &mut Tensor, indices: &[u32], src: &Tensor) {
+    scatter_add_rows_with(&PoolHandle::global(), dst, indices, src);
+}
+
+/// Like [`scatter_add_rows`] but dispatched on an explicit pool handle.
+///
+/// Row accumulation order follows the global index scan regardless of how
+/// rows are chunked, so the result is bit-identical at any pool width.
+pub fn scatter_add_rows_with(pool: &PoolHandle, dst: &mut Tensor, indices: &[u32], src: &Tensor) {
     let n = dst.cols();
     debug_assert_eq!(src.cols(), n);
     debug_assert_eq!(src.rows(), indices.len());
     let sd = src.as_slice();
-    xparallel::parallel_for_rows(dst.as_mut_slice(), n.max(1), 512, |first, chunk| {
+    pool.for_rows(dst.as_mut_slice(), n.max(1), 512, |first, chunk| {
         let rows_here = chunk.len() / n.max(1);
         let lo = first;
         let hi = first + rows_here;
@@ -887,6 +995,7 @@ pub fn scatter_add_rows(dst: &mut Tensor, indices: &[u32], src: &Tensor) {
 
 /// `dst[rels[i]] += g_i ⊗ v_i` where `dst` is `(R, d_out*d_in)`.
 fn scatter_add_outer(
+    pool: &PoolHandle,
     dst: &mut Tensor,
     rels: &[u32],
     g: &Tensor,
@@ -897,7 +1006,7 @@ fn scatter_add_outer(
     let width = d_out * d_in;
     debug_assert_eq!(dst.cols(), width);
     let (gd, vd) = (g.as_slice(), v.as_slice());
-    xparallel::parallel_for_rows(dst.as_mut_slice(), width.max(1), 8, |first, chunk| {
+    pool.for_rows(dst.as_mut_slice(), width.max(1), 8, |first, chunk| {
         let rows_here = chunk.len() / width.max(1);
         let (lo, hi) = (first, first + rows_here);
         for (i, &rel) in rels.iter().enumerate() {
@@ -925,6 +1034,7 @@ enum ComplexKernel {
 /// Shared forward of the complex-semiring score ops: one `(m, 1)` column of
 /// RotatE distances or ComplEx similarities.
 fn complex_score_forward(
+    pool: &PoolHandle,
     store: &ParamStore,
     param: ParamId,
     pair: &IncidencePair,
@@ -949,7 +1059,7 @@ fn complex_score_forward(
     let indices = pair.forward.indices();
     let values = pair.forward.values();
     let mut out = Tensor::zeros(m, 1);
-    xparallel::parallel_for_rows(out.as_mut_slice(), 1, 128, |first, chunk| {
+    pool.for_rows(out.as_mut_slice(), 1, 128, |first, chunk| {
         for (k, dst) in chunk.iter_mut().enumerate() {
             let i = first + k;
             let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
@@ -989,6 +1099,7 @@ fn complex_score_forward(
 /// * ComplEx, `f = Σ Re(h·r·conj(t))`: `∇h = conj(r·conj(t)) = conj(r)·t`,
 ///   `∇r = conj(h)·t`, `∇t = h·r`.
 fn complex_score_backward(
+    pool: &PoolHandle,
     store: &mut ParamStore,
     param: ParamId,
     pair: &IncidencePair,
@@ -1005,7 +1116,7 @@ fn complex_score_backward(
     let indptr = fwd.indptr();
     let indices = fwd.indices();
     let values = fwd.values();
-    xparallel::parallel_for_rows(grad.as_mut_slice(), d2.max(1), 32, |first, chunk| {
+    pool.for_rows(grad.as_mut_slice(), d2.max(1), 32, |first, chunk| {
         let rows_here = chunk.len() / d2.max(1);
         for local in 0..rows_here {
             let e = first + local;

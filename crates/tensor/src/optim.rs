@@ -5,6 +5,8 @@
 //! All optimizers operate directly on a [`ParamStore`]; state (Adam moments,
 //! Adagrad accumulators) is keyed by parameter index and allocated lazily.
 
+use xparallel::PoolHandle;
+
 use crate::{ParamStore, Tensor};
 
 /// A first-order optimizer over a [`ParamStore`].
@@ -25,6 +27,11 @@ pub trait Optimizer {
 
 /// Plain stochastic gradient descent: `p ← p − lr · g`.
 ///
+/// The update is elementwise, so it is sharded over parameter rows on the
+/// optimizer's [`PoolHandle`] (see [`Sgd::with_pool`]); results are
+/// bit-identical at any pool width. This is the paper's optimizer-step
+/// phase (Table 1), parallelized.
+///
 /// # Examples
 ///
 /// ```
@@ -40,12 +47,24 @@ pub trait Optimizer {
 #[derive(Debug, Clone)]
 pub struct Sgd {
     lr: f32,
+    pool: PoolHandle,
 }
 
 impl Sgd {
-    /// Creates SGD with learning rate `lr`.
+    /// Creates SGD with learning rate `lr`, stepping on the global pool.
     pub fn new(lr: f32) -> Self {
-        Self { lr }
+        Self {
+            lr,
+            pool: PoolHandle::global(),
+        }
+    }
+
+    /// Dispatches parameter updates on an explicit pool handle (sequential
+    /// inside data-parallel workers; pinned widths for determinism audits).
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -53,7 +72,7 @@ impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let lr = self.lr;
         for (_, value, grad) in store.iter_mut() {
-            value.add_scaled(grad, -lr);
+            value.add_scaled_with(&self.pool, grad, -lr);
         }
     }
 

@@ -5,6 +5,17 @@
 //! (Figure 2). Every autograd op and trainer phase wraps itself in a
 //! [`scope`]; the accumulated totals regenerate those artifacts.
 //!
+//! # Thread safety
+//!
+//! Scopes fire concurrently once training runs on the `xparallel` pool
+//! (data-parallel workers each replay a full tape), so the registry must not
+//! serialize every drop behind one lock. Each distinct scope name gets one
+//! leaked entry of relaxed atomics; recording is two `fetch_add`s. The
+//! global name → entry map is only locked on the *first* use of a name per
+//! thread — afterwards a thread-local cache resolves the entry lock-free.
+//! [`reset`] zeroes the atomics in place (entries with zero calls are
+//! filtered from reports), so resets never invalidate cached pointers.
+//!
 //! # Examples
 //!
 //! ```
@@ -17,18 +28,46 @@
 //! assert!(report.iter().any(|e| e.name == "my_phase" && e.calls == 1));
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Accumulated totals for one scope name. Leaked on first registration so
+/// worker threads can hold `'static` references without locking.
+#[derive(Debug, Default)]
 struct Entry {
-    total: Duration,
-    calls: u64,
+    nanos: AtomicU64,
+    calls: AtomicU64,
 }
 
-static REGISTRY: Mutex<Option<HashMap<&'static str, Entry>>> = Mutex::new(None);
+static REGISTRY: Mutex<Option<HashMap<&'static str, &'static Entry>>> = Mutex::new(None);
+
+thread_local! {
+    /// Per-thread name → entry cache; hit on every drop after the first.
+    static LOCAL: RefCell<HashMap<&'static str, &'static Entry>> = RefCell::new(HashMap::new());
+}
+
+/// Resolves (registering if needed) the shared entry for `name`.
+///
+/// Names are compared by value, so the same string literal from different
+/// crates or threads lands in one entry.
+fn entry_for(name: &'static str) -> &'static Entry {
+    LOCAL.with(|local| {
+        if let Some(e) = local.borrow().get(name) {
+            return *e;
+        }
+        let mut reg = REGISTRY.lock();
+        let map = reg.get_or_insert_with(HashMap::new);
+        let e = *map
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Entry::default())));
+        local.borrow_mut().insert(name, e);
+        e
+    })
+}
 
 /// One row of a profiling [`report`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,17 +83,18 @@ pub struct ReportEntry {
 /// RAII guard recording elapsed time into the named bucket on drop.
 #[derive(Debug)]
 pub struct ScopeGuard {
-    name: &'static str,
+    entry: &'static Entry,
     start: Instant,
 }
 
 /// Starts a named timing scope.
 ///
 /// Names must be `'static` (string literals); nesting is allowed and each
-/// scope accumulates independently (no exclusive-time subtraction).
+/// scope accumulates independently (no exclusive-time subtraction). Safe to
+/// enter from any thread concurrently.
 pub fn scope(name: &'static str) -> ScopeGuard {
     ScopeGuard {
-        name,
+        entry: entry_for(name),
         start: Instant::now(),
     }
 }
@@ -62,15 +102,16 @@ pub fn scope(name: &'static str) -> ScopeGuard {
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
-        let mut reg = REGISTRY.lock();
-        let map = reg.get_or_insert_with(HashMap::new);
-        let e = map.entry(self.name).or_default();
-        e.total += elapsed;
-        e.calls += 1;
+        self.entry
+            .nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.entry.calls.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Returns accumulated totals, sorted by descending total time.
+///
+/// Scopes that have not fired since the last [`reset`] are omitted.
 pub fn report() -> Vec<ReportEntry> {
     let reg = REGISTRY.lock();
     let mut rows: Vec<ReportEntry> = reg
@@ -79,9 +120,10 @@ pub fn report() -> Vec<ReportEntry> {
             m.iter()
                 .map(|(&name, e)| ReportEntry {
                     name,
-                    total: e.total,
-                    calls: e.calls,
+                    total: Duration::from_nanos(e.nanos.load(Ordering::Relaxed)),
+                    calls: e.calls.load(Ordering::Relaxed),
                 })
+                .filter(|r| r.calls > 0)
                 .collect()
         })
         .unwrap_or_default();
@@ -93,22 +135,40 @@ pub fn report() -> Vec<ReportEntry> {
 pub fn total(name: &str) -> Duration {
     let reg = REGISTRY.lock();
     reg.as_ref()
-        .and_then(|m| m.get(name).map(|e| e.total))
+        .and_then(|m| {
+            m.get(name)
+                .map(|e| Duration::from_nanos(e.nanos.load(Ordering::Relaxed)))
+        })
         .unwrap_or_default()
 }
 
 /// Clears all accumulated totals.
+///
+/// Entries are zeroed in place (never deallocated), so guards and
+/// thread-local caches created before the reset remain valid; a scope open
+/// across a reset contributes its full elapsed time to the fresh totals.
 pub fn reset() {
-    let mut reg = REGISTRY.lock();
-    *reg = None;
+    let reg = REGISTRY.lock();
+    if let Some(map) = reg.as_ref() {
+        for e in map.values() {
+            e.nanos.store(0, Ordering::Relaxed);
+            e.calls.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// `reset()` zeroes every entry process-wide, so tests that reset or
+    /// assert exact counts must not interleave; this lock serializes them
+    /// (the test harness runs `#[test]`s on parallel threads).
+    static SERIAL: Mutex<()> = Mutex::new(());
+
     #[test]
     fn scopes_accumulate_calls() {
+        let _serial = SERIAL.lock();
         reset();
         for _ in 0..3 {
             let _t = scope("unit_test_scope");
@@ -125,6 +185,7 @@ mod tests {
 
     #[test]
     fn nested_scopes_both_record() {
+        let _serial = SERIAL.lock();
         reset();
         {
             let _a = scope("outer_scope_test");
@@ -132,5 +193,44 @@ mod tests {
         }
         assert!(report().iter().any(|e| e.name == "outer_scope_test"));
         assert!(report().iter().any(|e| e.name == "inner_scope_test"));
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads() {
+        let _serial = SERIAL.lock();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        let _t = scope("concurrent_scope_test");
+                    }
+                });
+            }
+        });
+        let rows = report();
+        let row = rows
+            .iter()
+            .find(|e| e.name == "concurrent_scope_test")
+            .unwrap();
+        assert_eq!(row.calls, 1000);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_entries_valid() {
+        let _serial = SERIAL.lock();
+        {
+            let _t = scope("reset_target_scope");
+        }
+        reset();
+        assert_eq!(total("reset_target_scope"), Duration::ZERO);
+        assert!(!report().iter().any(|e| e.name == "reset_target_scope"));
+        // The cached entry still records after the reset.
+        {
+            let _t = scope("reset_target_scope");
+        }
+        let rows = report();
+        assert!(rows
+            .iter()
+            .any(|e| e.name == "reset_target_scope" && e.calls == 1));
     }
 }

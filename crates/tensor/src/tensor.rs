@@ -156,9 +156,15 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        self.map_with(&xparallel::PoolHandle::global(), f)
+    }
+
+    /// Like [`Tensor::map`] but dispatched on an explicit pool handle (the
+    /// autograd tape routes all its elementwise work through its own handle).
+    pub fn map_with(&self, pool: &xparallel::PoolHandle, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = Tensor::zeros(self.rows, self.cols);
         let src = &self.data;
-        xparallel::parallel_for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+        pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(src[offset + k]);
             }
@@ -172,10 +178,24 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        self.zip_map_with(&xparallel::PoolHandle::global(), other, f)
+    }
+
+    /// Like [`Tensor::zip_map`] but dispatched on an explicit pool handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map_with(
+        &self,
+        pool: &xparallel::PoolHandle,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         let mut out = Tensor::zeros(self.rows, self.cols);
         let (a, b) = (&self.data, &other.data);
-        xparallel::parallel_for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+        pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(a[offset + k], b[offset + k]);
             }
@@ -189,9 +209,18 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        self.add_scaled_with(&xparallel::PoolHandle::global(), other, alpha);
+    }
+
+    /// Like [`Tensor::add_scaled`] but dispatched on an explicit pool handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_with(&mut self, pool: &xparallel::PoolHandle, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
         let b = &other.data;
-        xparallel::parallel_for_mut(&mut self.data, 4096, |offset, chunk| {
+        pool.for_mut(&mut self.data, 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d += alpha * b[offset + k];
             }

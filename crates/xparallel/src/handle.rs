@@ -1,0 +1,389 @@
+//! An explicit, clonable handle onto a thread pool with a pinned fan-out.
+//!
+//! The free `parallel_*` functions in this crate always target the global
+//! pool and split work into `effective_parallelism()` chunks — good defaults
+//! for standalone kernels, but wrong for two situations the training loop
+//! hits:
+//!
+//! * **Nested parallelism.** A task already running *on* a pool worker must
+//!   not fan out onto the same pool (the inner scope would wait on jobs
+//!   queued behind blocked outer tasks). Such code runs its kernels through
+//!   a [`PoolHandle::sequential`] handle, which executes every loop inline.
+//! * **Determinism audits.** The determinism contract ("bit-identical
+//!   results at any `SPTX_NUM_THREADS`") is only testable if a *1-core* CI
+//!   machine can execute the exact chunk schedule a 8-thread run would use.
+//!   [`PoolHandle::with_width`] pins the number of chunks independently of
+//!   how many workers exist; surplus chunks simply queue.
+//!
+//! Every loop primitive on the handle partitions work by **destination**
+//! (each output element is written by exactly one chunk, computed with a
+//! serial inner loop), so results are bit-identical for any width. The one
+//! reduction primitive, [`PoolHandle::map_reduce_fixed`], takes an explicit
+//! chunk size and folds partials in chunk order, making even floating-point
+//! reductions independent of both width and worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use xparallel::PoolHandle;
+//!
+//! let handle = PoolHandle::global().with_width(4);
+//! let mut out = vec![0usize; 100];
+//! handle.for_mut(&mut out, 1, |offset, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = offset + i;
+//!     }
+//! });
+//! assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+//! ```
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{
+    chunk_ranges, effective_parallelism, global_pool, parallelism_limit, singleton_ranges,
+    ThreadPool, WindowSlot,
+};
+
+/// Which pool a [`PoolHandle`] dispatches onto.
+#[derive(Clone, Debug, Default)]
+enum PoolRef {
+    /// The process-wide pool from [`crate::global_pool`].
+    #[default]
+    Global,
+    /// An independently owned pool, shared by reference count.
+    Shared(Arc<ThreadPool>),
+}
+
+/// A clonable reference to a thread pool plus an optional pinned fan-out
+/// (see the crate docs for when to pin).
+///
+/// `width` is the number of chunks loops split into — the handle's degree of
+/// parallelism. It may exceed the pool's worker count (chunks queue), which
+/// is what makes wide schedules reproducible on narrow machines.
+#[derive(Clone, Debug, Default)]
+pub struct PoolHandle {
+    pool: PoolRef,
+    width: Option<usize>,
+}
+
+impl PoolHandle {
+    /// A handle onto the global pool with the default fan-out
+    /// (`effective_parallelism()` at call time).
+    pub fn global() -> Self {
+        Self {
+            pool: PoolRef::Global,
+            width: None,
+        }
+    }
+
+    /// A handle that runs every loop inline on the caller thread.
+    ///
+    /// This is the handle to use for work that itself executes *on* a pool
+    /// worker (e.g. one replica of a data-parallel step): it never touches
+    /// the pool, so nested scheduling cannot deadlock.
+    pub fn sequential() -> Self {
+        Self::global().with_width(1)
+    }
+
+    /// A handle onto an independently owned pool.
+    pub fn shared(pool: Arc<ThreadPool>) -> Self {
+        Self {
+            pool: PoolRef::Shared(pool),
+            width: None,
+        }
+    }
+
+    /// Pins the fan-out to exactly `width` chunks (clamped to at least 1),
+    /// regardless of worker count or the global parallelism limit.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = Some(width.max(1));
+        self
+    }
+
+    /// The number of chunks loops on this handle split into.
+    pub fn width(&self) -> usize {
+        match self.width {
+            Some(w) => w,
+            None => match &self.pool {
+                PoolRef::Global => effective_parallelism(),
+                PoolRef::Shared(p) => p.num_threads().min(parallelism_limit()),
+            },
+        }
+    }
+
+    /// Whether loops on this handle run inline on the caller thread.
+    pub fn is_sequential(&self) -> bool {
+        self.width() == 1
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        match &self.pool {
+            PoolRef::Global => global_pool(),
+            PoolRef::Shared(p) => p,
+        }
+    }
+
+    /// Runs `body(range)` over disjoint chunks of `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by any chunk body.
+    pub fn for_range<F>(&self, len: usize, min_chunk: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let ranges = chunk_ranges(len, min_chunk, self.width());
+        if ranges.len() == 1 {
+            body(0..len);
+            return;
+        }
+        self.pool().scope_run(&ranges, &body);
+    }
+
+    /// Runs `body(offset, chunk)` over disjoint mutable sub-slices of `data`.
+    pub fn for_mut<T, F>(&self, data: &mut [T], min_chunk: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        self.for_rows(data, 1, min_chunk, body);
+    }
+
+    /// Runs `body(first_row, rows_chunk)` over row-aligned mutable windows of
+    /// a row-major buffer — the destination-sharded workhorse of the SpMM and
+    /// gradient kernels. Each row is written by exactly one chunk, so results
+    /// are bit-identical for any width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `data.len() % stride != 0`.
+    pub fn for_rows<T, F>(&self, data: &mut [T], stride: usize, min_rows: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(data.len() % stride, 0, "buffer not a whole number of rows");
+        let nrows = data.len() / stride;
+        if nrows == 0 {
+            return;
+        }
+        let ranges = chunk_ranges(nrows, min_rows.max(1), self.width());
+        if ranges.len() == 1 {
+            body(0, data);
+            return;
+        }
+        let mut windows: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        let mut consumed_rows = 0;
+        for r in &ranges {
+            let take = (r.end - consumed_rows) * stride;
+            let (head, tail) = rest.split_at_mut(take);
+            windows.push((consumed_rows, head));
+            consumed_rows = r.end;
+            rest = tail;
+        }
+        let windows: Vec<WindowSlot<T>> =
+            windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+        self.pool()
+            .scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
+                for i in r {
+                    let (first_row, chunk) = windows[i].lock().take().expect("window taken twice");
+                    body(first_row, chunk);
+                }
+            });
+    }
+
+    /// Runs `body(index, item)` once per slice element, one task per item.
+    ///
+    /// This is the data-parallel driver primitive: each item (e.g. a model
+    /// replica) is handed to exactly one task with exclusive `&mut` access.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        if self.is_sequential() || items.len() == 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                body(i, item);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<Option<&mut T>>> =
+            items.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+        self.pool()
+            .scope_run(&singleton_ranges(slots.len()), &|r: Range<usize>| {
+                for i in r {
+                    let item = slots[i].lock().take().expect("item taken twice");
+                    body(i, item);
+                }
+            });
+    }
+
+    /// Maps **fixed-size** chunks of `0..len` to partials and folds them
+    /// left-to-right in chunk order.
+    ///
+    /// Unlike [`crate::parallel_map_reduce`], whose chunk boundaries depend
+    /// on the worker count, the boundaries here depend only on
+    /// `(len, chunk_size)` — so floating-point reductions are bit-identical
+    /// at **any** width and worker count. This is the reduction primitive
+    /// behind the training determinism contract.
+    pub fn map_reduce_fixed<T, M, R>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        if len == 0 {
+            return identity;
+        }
+        let chunk_size = chunk_size.max(1);
+        let ranges: Vec<Range<usize>> = (0..len.div_ceil(chunk_size))
+            .map(|i| i * chunk_size..((i + 1) * chunk_size).min(len))
+            .collect();
+        if ranges.len() == 1 || self.is_sequential() {
+            let mut acc = identity;
+            for r in ranges {
+                acc = reduce(acc, map(r));
+            }
+            return acc;
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+        self.pool().scope_run_indexed(&ranges, &|i, r| {
+            *slots[i].lock() = Some(map(r));
+        });
+        let mut acc = identity;
+        for slot in slots {
+            let part = slot.into_inner().expect("missing reduction partial");
+            acc = reduce(acc, part);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn width_override_beats_pool_size() {
+        let h = PoolHandle::global().with_width(8);
+        assert_eq!(h.width(), 8);
+        assert!(PoolHandle::sequential().is_sequential());
+    }
+
+    #[test]
+    fn for_rows_is_identical_across_widths() {
+        // The same row-sharded kernel must produce bit-identical output no
+        // matter how many chunks it is split into.
+        let stride = 5;
+        let run = |width: usize| {
+            let mut data = vec![0f32; stride * 333];
+            PoolHandle::global().with_width(width).for_rows(
+                &mut data,
+                stride,
+                1,
+                |first, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        let row = first + k / stride;
+                        *v = (row as f32).sqrt() * 0.1 + (k % stride) as f32;
+                    }
+                },
+            );
+            data
+        };
+        let base = run(1);
+        for width in [2, 3, 4, 8, 16] {
+            assert_eq!(run(width), base, "width {width}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_fixed_is_width_invariant() {
+        let run = |width: usize| {
+            PoolHandle::global().with_width(width).map_reduce_fixed(
+                10_000,
+                64,
+                0f64,
+                |r| r.map(|i| 1.0 / (i as f64 + 1.0)).sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let base = run(1);
+        for width in [2, 4, 8] {
+            // Bitwise equality: partials have fixed boundaries and fold in
+            // fixed order.
+            assert_eq!(run(width).to_bits(), base.to_bits(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_exactly_once() {
+        let mut items = vec![0usize; 17];
+        let calls = AtomicUsize::new(0);
+        PoolHandle::global()
+            .with_width(4)
+            .for_each_mut(&mut items, |i, item| {
+                *item = i + 1;
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(calls.into_inner(), 17);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn sequential_handle_runs_inline() {
+        // A sequential handle must work even for "large" inputs without
+        // touching the pool (observable: it works with zero pool threads
+        // spare, and ordering is plain left-to-right).
+        let h = PoolHandle::sequential();
+        let mut order = Vec::new();
+        let cell = Mutex::new(&mut order);
+        h.for_range(10, 1, |r| {
+            cell.lock().extend(r);
+        });
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_pool_handle_runs() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let h = PoolHandle::shared(pool).with_width(3);
+        let mut out = vec![0usize; 100];
+        h.for_mut(&mut out, 1, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let h = PoolHandle::global().with_width(4);
+        h.for_range(0, 1, |_| panic!("should not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        h.for_mut(&mut empty, 1, |_, _| panic!("should not run"));
+        h.for_each_mut(&mut empty, |_, _| panic!("should not run"));
+        let v = h.map_reduce_fixed(0, 1, 7u32, |_| panic!("should not run"), |a, _b| a);
+        assert_eq!(v, 7);
+    }
+}

@@ -41,7 +41,9 @@ use std::sync::{Arc, OnceLock};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
+mod handle;
 mod pool;
+pub use handle::PoolHandle;
 pub use pool::ThreadPool;
 
 /// Environment variable consulted for the default worker count.
@@ -155,16 +157,7 @@ pub fn parallel_for<F>(len: usize, min_chunk: usize, body: F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if len == 0 {
-        return;
-    }
-    let pool = global_pool();
-    let ranges = chunk_ranges(len, min_chunk, effective_parallelism());
-    if ranges.len() == 1 {
-        body(0..len);
-        return;
-    }
-    pool.scope_run(&ranges, &body);
+    PoolHandle::global().for_range(len, min_chunk, body);
 }
 
 /// Runs `body(offset, chunk)` over disjoint mutable sub-slices of `data`.
@@ -177,43 +170,16 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let len = data.len();
-    if len == 0 {
-        return;
-    }
-    let pool = global_pool();
-    let ranges = chunk_ranges(len, min_chunk, effective_parallelism());
-    if ranges.len() == 1 {
-        body(0, data);
-        return;
-    }
-    // Slice the buffer into disjoint windows up front; the borrow checker
-    // verifies disjointness through `split_at_mut`.
-    let mut windows: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
-    let mut rest = data;
-    let mut consumed = 0;
-    for r in &ranges {
-        let (head, tail) = rest.split_at_mut(r.end - consumed);
-        windows.push((consumed, head));
-        consumed = r.end;
-        rest = tail;
-    }
-    let windows: Vec<WindowSlot<T>> = windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
-    pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
-        for i in r {
-            let (offset, chunk) = windows[i].lock().take().expect("window taken twice");
-            body(offset, chunk);
-        }
-    });
+    PoolHandle::global().for_mut(data, min_chunk, body);
 }
 
 /// Index ranges `i..i+1` for dispatching one pre-built work item per task.
-fn singleton_ranges(n: usize) -> Vec<Range<usize>> {
+pub(crate) fn singleton_ranges(n: usize) -> Vec<Range<usize>> {
     (0..n).map(|i| i..i + 1).collect()
 }
 
 /// One-shot handoff slot carrying a worker's `(offset, window)` pair.
-type WindowSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+pub(crate) type WindowSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// Runs `body(first_row, rows_chunk)` over row-aligned mutable windows of a
 /// row-major buffer.
@@ -230,35 +196,7 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    assert!(stride > 0, "stride must be positive");
-    assert_eq!(data.len() % stride, 0, "buffer not a whole number of rows");
-    let nrows = data.len() / stride;
-    if nrows == 0 {
-        return;
-    }
-    let pool = global_pool();
-    let ranges = chunk_ranges(nrows, min_rows.max(1), effective_parallelism());
-    if ranges.len() == 1 {
-        body(0, data);
-        return;
-    }
-    let mut windows: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
-    let mut rest = data;
-    let mut consumed_rows = 0;
-    for r in &ranges {
-        let take = (r.end - consumed_rows) * stride;
-        let (head, tail) = rest.split_at_mut(take);
-        windows.push((consumed_rows, head));
-        consumed_rows = r.end;
-        rest = tail;
-    }
-    let windows: Vec<WindowSlot<T>> = windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
-    pool.scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
-        for i in r {
-            let (first_row, chunk) = windows[i].lock().take().expect("window taken twice");
-            body(first_row, chunk);
-        }
-    });
+    PoolHandle::global().for_rows(data, stride, min_rows, body);
 }
 
 /// Maps chunks of `0..len` to partial values and folds them in chunk order.

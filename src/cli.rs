@@ -8,6 +8,11 @@
 //!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`).
 //! * `stats` — print dataset statistics (degrees, relation classes).
 //!
+//! Every subcommand accepts `--threads N` to pin the worker-pool size. The
+//! training and evaluation engines are bit-identical at any thread count
+//! (the determinism contract CI enforces), so the knob only trades
+//! wall-clock time.
+//!
 //! Parsing is deliberately dependency-free (`--key value` pairs); this
 //! module holds the testable core, `src/bin/sptx.rs` is a thin shell.
 
@@ -316,12 +321,33 @@ fn train_dispatch(
     }
 }
 
+/// Applies the global `--threads N` option: pins the pool size if the pool
+/// is not yet created, and caps the fan-out either way.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for a non-positive or unparsable value.
+fn apply_threads_option(args: &Args) -> Result<(), CliError> {
+    let Some(raw) = args.options.get("threads") else {
+        return Ok(());
+    };
+    let n: usize = raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+        CliError::Usage(format!("--threads needs a positive integer, got {raw:?}"))
+    })?;
+    // `set_num_threads` sizes the pool when it has not been created yet; the
+    // parallelism limit also covers the already-created case (tests, REPLs).
+    xparallel::set_num_threads(n);
+    xparallel::set_parallelism_limit(n);
+    Ok(())
+}
+
 /// Dispatches a parsed command, returning the text to print.
 ///
 /// # Errors
 ///
 /// Propagates all subcommand errors.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    apply_threads_option(args)?;
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "train" => cmd_train(args),
@@ -343,7 +369,10 @@ USAGE:
                 [--epochs E] [--dim D] [--lr LR] [--margin M] [--norm l1|l2]
                 [--sampler uniform|bernoulli] [--out embeddings.bin]
   sptx stats    --train FILE.tsv
-  sptx help";
+  sptx help
+
+Any subcommand also accepts --threads N (worker-pool size; results are
+bit-identical at any N, only wall-clock changes).";
 
 #[cfg(test)]
 mod tests {
@@ -442,6 +471,17 @@ mod tests {
         let train_file = dir.join("train.tsv").to_string_lossy().to_string();
         let bad = parse_args(&strs(&["train", "--train", &train_file, "--model", "nope"])).unwrap();
         assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn threads_option_is_validated_and_accepted() {
+        let bad = parse_args(&strs(&["help", "--threads", "zero"])).unwrap();
+        assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+        let bad = parse_args(&strs(&["help", "--threads", "0"])).unwrap();
+        assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+        // A generous cap is a no-op on any machine; the command still runs.
+        let ok = parse_args(&strs(&["help", "--threads", "8"])).unwrap();
+        assert!(run(&ok).is_ok());
     }
 
     #[test]
