@@ -12,6 +12,12 @@
 //! * `data-parallel` — `train_data_parallel` with 2 replica workers sharing
 //!   the pool (includes per-iteration replica setup; sequential inner tapes,
 //!   parallelism across replicas).
+//! * `step-alloc/{fresh-graph,arena}` — the buffer-lifecycle ablation: the
+//!   identical sequential step with a freshly allocated `Graph` (and thus
+//!   freshly `malloc`ed/zeroed tensors) per batch versus the `Trainer`'s
+//!   recycling-arena steady state. Arithmetic is bit-identical; only
+//!   allocator traffic differs, so the gap is the allocator tax the arena
+//!   removes. Meaningful even on the 1-core container.
 //!
 //! Throughput is positive training triples per second per epoch. The
 //! determinism contract guarantees all arms produce bit-identical losses and
@@ -28,7 +34,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use kg::synthetic::SyntheticKgBuilder;
 use kg::{BatchPlan, UniformSampler};
 use sptransx::distributed::train_data_parallel;
-use sptransx::{SpTransE, TrainConfig, Trainer};
+use sptransx::{KgeModel, SpTransE, TrainConfig, Trainer};
+use tensor::optim::{Optimizer, Sgd};
+use tensor::Graph;
 use xparallel::PoolHandle;
 
 const NUM_ENTITIES: usize = 2_000;
@@ -70,6 +78,35 @@ fn bench_training_step(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         b.iter(|| serial.run_epochs(1).expect("epoch"));
     });
+
+    // Buffer-lifecycle ablation on a sequential schedule: a fresh tape (and
+    // fresh zeroed buffers) every batch vs the arena-recycled steady state.
+    {
+        let pool = PoolHandle::sequential();
+        let mut model = SpTransE::from_config(&ds, &cfg).expect("model");
+        model.attach_plan(&plan).expect("plan");
+        let mut opt = Sgd::new(cfg.lr).with_pool(pool.clone());
+        group.throughput(Throughput::Elements(triples_per_epoch));
+        group.bench_function("step-alloc/fresh-graph", |b| {
+            b.iter(|| {
+                for bi in 0..plan.num_batches() {
+                    model.store_mut().zero_grads();
+                    let mut g = Graph::with_pool(pool.clone());
+                    let (pos, neg) = model.score_batch(&mut g, bi);
+                    let loss = g.margin_ranking_loss(pos, neg, cfg.margin);
+                    g.backward(loss, model.store_mut());
+                    opt.step(model.store_mut());
+                }
+                model.end_epoch();
+            });
+        });
+
+        let mut arena_trainer = make_trainer(PoolHandle::sequential());
+        group.throughput(Throughput::Elements(triples_per_epoch));
+        group.bench_function("step-alloc/arena", |b| {
+            b.iter(|| arena_trainer.run_epochs(1).expect("epoch"));
+        });
+    }
 
     for &threads in &[1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements(triples_per_epoch));

@@ -30,6 +30,16 @@ pub struct CsrMatrix {
     indptr: Vec<u32>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Whether every stored value is exactly `+1.0` or `-1.0` — true for all
+    /// incidence matrices. Cached at construction so the hot SpMM kernels
+    /// (which branch on it for FLOP accounting) never rescan the nnz values
+    /// per call; [`CsrMatrix::transpose`] carries it over without a scan.
+    unit_coeffs: bool,
+}
+
+/// True when every coefficient is exactly `±1.0` (vacuously for no values).
+fn all_unit_coeffs(values: &[f32]) -> bool {
+    values.iter().all(|&v| v == 1.0 || v == -1.0)
 }
 
 impl CsrMatrix {
@@ -92,12 +102,14 @@ impl CsrMatrix {
                 }
             }
         }
+        let unit_coeffs = all_unit_coeffs(&values);
         Ok(Self {
             rows,
             cols,
             indptr,
             indices,
             values,
+            unit_coeffs,
         })
     }
 
@@ -111,12 +123,14 @@ impl CsrMatrix {
     ) -> Self {
         debug_assert_eq!(indptr.len(), rows + 1);
         debug_assert_eq!(indices.len(), values.len());
+        let unit_coeffs = all_unit_coeffs(&values);
         Self {
             rows,
             cols,
             indptr,
             indices,
             values,
+            unit_coeffs,
         }
     }
 
@@ -148,6 +162,14 @@ impl CsrMatrix {
     /// Value array.
     pub fn values(&self) -> &[f32] {
         &self.values
+    }
+
+    /// Whether every stored coefficient is exactly `±1.0` (cached at
+    /// construction — O(1)). Incidence matrices always are; the SpMM
+    /// kernels use this for their FLOP accounting without rescanning the
+    /// value array on every call.
+    pub fn has_unit_coefficients(&self) -> bool {
+        self.unit_coeffs
     }
 
     /// Iterates `(col, value)` pairs of row `i`.
@@ -213,8 +235,20 @@ impl CsrMatrix {
             }
         }
         // Rows of the transpose are visited in ascending original-row order,
-        // so indices within each transposed row are already sorted.
-        CsrMatrix::from_raw_parts_unchecked(self.cols, self.rows, indptr, indices, values)
+        // so indices within each transposed row are already sorted. The
+        // transpose permutes values, so the ±1 flag carries over unscanned
+        // (which is why this bypasses from_raw_parts_unchecked — keep its
+        // structural debug assertions in sync here).
+        debug_assert_eq!(indptr.len(), self.cols + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+            unit_coeffs: self.unit_coeffs,
+        }
     }
 
     /// Converts back to COO (entries in row-major order).
@@ -322,5 +356,26 @@ mod tests {
         let m = sample();
         assert_eq!(m.max_row_nnz(), 2);
         assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn unit_coefficient_flag_is_cached_and_transposed() {
+        // sample() has values 2.0/3.0/4.0 — not an incidence matrix.
+        let m = sample();
+        assert!(!m.has_unit_coefficients());
+        assert!(!m.transpose().has_unit_coefficients());
+
+        let inc = CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, -1.0), (1, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(inc.has_unit_coefficients());
+        assert!(inc.transpose().has_unit_coefficients());
+
+        // Empty matrices are vacuously ±1, matching the per-call scan the
+        // kernels used to do.
+        assert!(CooMatrix::new(3, 3).to_csr().has_unit_coefficients());
+
+        let raw = CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![0.5]).unwrap();
+        assert!(!raw.has_unit_coefficients());
     }
 }

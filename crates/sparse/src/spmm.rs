@@ -97,8 +97,8 @@ pub fn csr_spmm_into_with(
     // Incidence matrices carry only ±1 coefficients, so each output element
     // costs (row_nnz - 1) additions, not 2·nnz multiply-adds. Count what the
     // kernel actually has to execute (the paper measures FLOPs with perf).
-    let pm_one = a.values().iter().all(|&v| v == 1.0 || v == -1.0);
-    let flops = if pm_one {
+    // The ±1 property is cached on the matrix — no per-call O(nnz) scan.
+    let flops = if a.has_unit_coefficients() {
         a.nnz().saturating_sub(a.rows()) as u64 * n as u64
     } else {
         2 * a.nnz() as u64 * n as u64
@@ -177,6 +177,10 @@ fn spmm_row(cols: &[u32], vals: &[f32], b: &[f32], n: usize, dst: &mut [f32]) {
 /// `dst += a * src`, 4-way unrolled.
 #[inline]
 fn axpy(a: f32, src: &[f32], dst: &mut [f32]) {
+    // Every caller slices equal-length operands; the `min` below only
+    // exists to keep the unrolled loop panic-free and must never actually
+    // truncate (a silent truncation would mask an indexing bug upstream).
+    debug_assert_eq!(src.len(), dst.len(), "axpy operand length mismatch");
     let n = dst.len().min(src.len());
     let chunks = n / 4;
     for k in 0..chunks {
@@ -223,14 +227,22 @@ pub fn csr_spmm_acc_into_with(
     let n = b.cols();
     assert_eq!(out.len(), a.rows() * n, "output buffer has wrong length");
     metrics::record_spmm_call();
-    let pm_one = a.values().iter().all(|&v| v == 1.0 || v == -1.0);
-    let flops = if pm_one {
+    let flops = if a.has_unit_coefficients() {
         // Accumulation makes every nonzero one add.
         a.nnz() as u64 * n as u64
     } else {
         2 * a.nnz() as u64 * n as u64
     };
     metrics::add_flops(flops);
+    // Traffic accounting mirrors csr_spmm_into_with: index+value reads per
+    // nonzero plus one gathered B row per nonzero. The accumulating output
+    // is read *and* written once per incident nonzero (2×), instead of the
+    // forward kernel's single streaming write of the whole buffer.
+    metrics::add_bytes(
+        (a.nnz() as u64 * (4 + 4))
+            + (a.nnz() as u64 * n as u64 * 4)
+            + 2 * (a.nnz() as u64 * n as u64 * 4),
+    );
     if n == 0 || a.rows() == 0 {
         return;
     }

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use kg::{BatchPlan, Dataset, UniformSampler};
 use tensor::optim::{Optimizer, Sgd};
-use tensor::Graph;
+use tensor::{Graph, ParamId, Tensor};
 use xparallel::PoolHandle;
 
 use crate::model::{KgeModel, TrainConfig};
@@ -51,10 +51,12 @@ pub struct DistributedReport {
     pub steps: usize,
 }
 
-/// One replica's slot in a synchronous step: exclusive model access in,
-/// local batch loss out.
+/// One replica's slot in a synchronous step: exclusive model and tape
+/// access in, local batch loss out. The tape persists across steps, so each
+/// replica's arena makes its steady-state step allocation-free.
 struct ReplicaTask<'a, M> {
     model: &'a mut M,
+    graph: &'a mut Graph,
     size: usize,
     loss: Option<f32>,
 }
@@ -143,6 +145,20 @@ where
 
     let pool = PoolHandle::global();
     let mut optimizer = Sgd::new(config.lr).with_pool(pool.clone());
+    // One persistent sequential tape per replica (reset per step, buffers
+    // recycled through its arena) plus a reusable all-reduce accumulator per
+    // parameter: the steady-state synchronous step is allocation-free.
+    let mut graphs: Vec<Graph> = (0..workers)
+        .map(|_| Graph::with_pool(PoolHandle::sequential()))
+        .collect();
+    let param_ids: Vec<ParamId> = replicas[0].store().param_ids();
+    let mut reduce_scratch: Vec<Tensor> = param_ids
+        .iter()
+        .map(|&id| {
+            let g = replicas[0].store().grad(id);
+            Tensor::zeros(g.rows(), g.cols())
+        })
+        .collect();
     let started = Instant::now();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut steps = 0usize;
@@ -156,9 +172,11 @@ where
             // replica. Inner tapes are sequential (see module docs).
             let mut tasks: Vec<ReplicaTask<'_, M>> = replicas
                 .iter_mut()
+                .zip(graphs.iter_mut())
                 .zip(&shard_sizes)
-                .map(|(model, &size)| ReplicaTask {
+                .map(|((model, graph), &size)| ReplicaTask {
                     model,
+                    graph,
                     size,
                     loss: None,
                 })
@@ -169,11 +187,11 @@ where
                 }
                 let b = step % task.size;
                 task.model.store_mut().zero_grads();
-                let mut g = Graph::with_pool(PoolHandle::sequential());
-                let (pos, neg) = task.model.score_batch(&mut g, b);
-                let loss = g.margin_ranking_loss(pos, neg, margin);
-                task.loss = Some(g.value(loss).get(0, 0));
-                g.backward(loss, task.model.store_mut());
+                task.graph.reset();
+                let (pos, neg) = task.model.score_batch(task.graph, b);
+                let loss = task.graph.margin_ranking_loss(pos, neg, margin);
+                task.loss = Some(task.graph.value(loss).get(0, 0));
+                task.graph.backward(loss, task.model.store_mut());
             });
 
             for task in &tasks {
@@ -186,7 +204,7 @@ where
 
             // Phase 2: all-reduce (average) gradients into replica 0.
             let active = shard_sizes.iter().filter(|&&s| s > 0).count().max(1) as f32;
-            all_reduce_grads(&mut replicas, active);
+            all_reduce_grads(&mut replicas, active, &param_ids, &mut reduce_scratch);
 
             // Phase 3: identical optimizer step on every replica.
             for m in replicas.iter_mut() {
@@ -216,14 +234,24 @@ where
 
 /// Averages gradients across replicas and broadcasts the result, so every
 /// replica holds the same (mean) gradient — the all-reduce of DDP.
-fn all_reduce_grads<M: KgeModel>(replicas: &mut [M], active_workers: f32) {
+///
+/// `scratch` holds one long-lived accumulator per parameter (same order as
+/// `param_ids`), so the per-step reduction copies bits instead of cloning a
+/// fresh tensor — same arithmetic, zero allocations.
+fn all_reduce_grads<M: KgeModel>(
+    replicas: &mut [M],
+    active_workers: f32,
+    param_ids: &[ParamId],
+    scratch: &mut [Tensor],
+) {
     if replicas.len() < 2 {
         return;
     }
-    let ids = replicas[0].store().param_ids();
-    for id in ids {
-        // Sum into a scratch buffer.
-        let mut acc = replicas[0].store().grad(id).clone();
+    for (&id, acc) in param_ids.iter().zip(scratch.iter_mut()) {
+        // Seed the accumulator with replica 0's gradient bits (the
+        // allocation-free equivalent of cloning it).
+        acc.as_mut_slice()
+            .copy_from_slice(replicas[0].store().grad(id).as_slice());
         for other in replicas.iter().skip(1) {
             acc.add_scaled(other.store().grad(id), 1.0);
         }
@@ -234,7 +262,7 @@ fn all_reduce_grads<M: KgeModel>(replicas: &mut [M], active_workers: f32) {
         for m in replicas.iter_mut() {
             let g = m.store_mut().grad_mut(id);
             g.zero_();
-            g.add_scaled(&acc, 1.0);
+            g.add_scaled(acc, 1.0);
         }
     }
 }

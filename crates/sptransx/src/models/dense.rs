@@ -15,6 +15,8 @@
 //!   two dot products and two rank-1 corrections per triple, with a larger
 //!   computational graph (the paper's explanation for TransH's memory gap).
 
+use std::sync::Arc;
+
 use kg::eval::TripleScorer;
 use kg::{BatchPlan, Dataset};
 use tensor::{init, Graph, ParamId, ParamStore, Tensor, Var};
@@ -155,10 +157,16 @@ impl DenseTransE {
         })
     }
 
-    fn side(&self, g: &mut Graph, heads: &[u32], rels: &[u32], tails: &[u32]) -> Var {
-        let h = g.gather(&self.store, self.ent, heads.to_vec());
-        let r = g.gather(&self.store, self.rel, rels.to_vec());
-        let t = g.gather(&self.store, self.ent, tails.to_vec());
+    fn side(
+        &self,
+        g: &mut Graph,
+        heads: &Arc<Vec<u32>>,
+        rels: &Arc<Vec<u32>>,
+        tails: &Arc<Vec<u32>>,
+    ) -> Var {
+        let h = g.gather(&self.store, self.ent, heads.clone());
+        let r = g.gather(&self.store, self.rel, rels.clone());
+        let t = g.gather(&self.store, self.ent, tails.clone());
         let hr = g.add(h, r);
         let expr = g.sub(hr, t);
         self.norm.apply(g, expr)
@@ -303,14 +311,15 @@ impl KgeModel for DenseTorusE {
     }
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let c = &self.batches[batch_idx];
-        let side = |g: &mut Graph, heads: &[u32], rels: &[u32], tails: &[u32]| {
-            let h = g.gather(&self.store, self.ent, heads.to_vec());
-            let r = g.gather(&self.store, self.rel, rels.to_vec());
-            let t = g.gather(&self.store, self.ent, tails.to_vec());
-            let hr = g.add(h, r);
-            let expr = g.sub(hr, t);
-            self.norm.apply(g, expr)
-        };
+        let side =
+            |g: &mut Graph, heads: &Arc<Vec<u32>>, rels: &Arc<Vec<u32>>, tails: &Arc<Vec<u32>>| {
+                let h = g.gather(&self.store, self.ent, heads.clone());
+                let r = g.gather(&self.store, self.rel, rels.clone());
+                let t = g.gather(&self.store, self.ent, tails.clone());
+                let hr = g.add(h, r);
+                let expr = g.sub(hr, t);
+                self.norm.apply(g, expr)
+            };
         let pos = side(g, &c.pos_heads, &c.pos_rels, &c.pos_tails);
         let neg = side(g, &c.neg_heads, &c.neg_rels, &c.neg_tails);
         (pos, neg)
@@ -433,17 +442,18 @@ impl KgeModel for DenseTransR {
     }
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let c = &self.batches[batch_idx];
-        let side = |g: &mut Graph, heads: &[u32], rels: &[u32], tails: &[u32]| {
-            let h = g.gather(&self.store, self.ent, heads.to_vec());
-            let t = g.gather(&self.store, self.ent, tails.to_vec());
-            // Two projections per triple (the un-rearranged formulation).
-            let ph = g.project_rows(&self.store, self.mats, h, rels.to_vec(), self.rel_dim);
-            let pt = g.project_rows(&self.store, self.mats, t, rels.to_vec(), self.rel_dim);
-            let r = g.gather(&self.store, self.rel, rels.to_vec());
-            let phr = g.add(ph, r);
-            let expr = g.sub(phr, pt);
-            self.norm.apply(g, expr)
-        };
+        let side =
+            |g: &mut Graph, heads: &Arc<Vec<u32>>, rels: &Arc<Vec<u32>>, tails: &Arc<Vec<u32>>| {
+                let h = g.gather(&self.store, self.ent, heads.clone());
+                let t = g.gather(&self.store, self.ent, tails.clone());
+                // Two projections per triple (the un-rearranged formulation).
+                let ph = g.project_rows(&self.store, self.mats, h, rels.clone(), self.rel_dim);
+                let pt = g.project_rows(&self.store, self.mats, t, rels.clone(), self.rel_dim);
+                let r = g.gather(&self.store, self.rel, rels.clone());
+                let phr = g.add(ph, r);
+                let expr = g.sub(phr, pt);
+                self.norm.apply(g, expr)
+            };
         let pos = side(g, &c.pos_heads, &c.pos_rels, &c.pos_tails);
         let neg = side(g, &c.neg_heads, &c.neg_rels, &c.neg_tails);
         (pos, neg)
@@ -619,22 +629,23 @@ impl KgeModel for DenseTransH {
     }
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let c = &self.batches[batch_idx];
-        let side = |g: &mut Graph, heads: &[u32], rels: &[u32], tails: &[u32]| {
-            let h = g.gather(&self.store, self.ent, heads.to_vec());
-            let t = g.gather(&self.store, self.ent, tails.to_vec());
-            let w = g.gather(&self.store, self.normals, rels.to_vec());
-            let dr = g.gather(&self.store, self.translations, rels.to_vec());
-            // h⊥ = h − (wᵀh)w; t⊥ = t − (wᵀt)w — two separate projections.
-            let dot_h = g.row_dot(w, h);
-            let corr_h = g.scale_rows(w, dot_h);
-            let hp = g.sub(h, corr_h);
-            let dot_t = g.row_dot(w, t);
-            let corr_t = g.scale_rows(w, dot_t);
-            let tp = g.sub(t, corr_t);
-            let hpd = g.add(hp, dr);
-            let expr = g.sub(hpd, tp);
-            self.norm.apply(g, expr)
-        };
+        let side =
+            |g: &mut Graph, heads: &Arc<Vec<u32>>, rels: &Arc<Vec<u32>>, tails: &Arc<Vec<u32>>| {
+                let h = g.gather(&self.store, self.ent, heads.clone());
+                let t = g.gather(&self.store, self.ent, tails.clone());
+                let w = g.gather(&self.store, self.normals, rels.clone());
+                let dr = g.gather(&self.store, self.translations, rels.clone());
+                // h⊥ = h − (wᵀh)w; t⊥ = t − (wᵀt)w — two separate projections.
+                let dot_h = g.row_dot(w, h);
+                let corr_h = g.scale_rows(w, dot_h);
+                let hp = g.sub(h, corr_h);
+                let dot_t = g.row_dot(w, t);
+                let corr_t = g.scale_rows(w, dot_t);
+                let tp = g.sub(t, corr_t);
+                let hpd = g.add(hp, dr);
+                let expr = g.sub(hpd, tp);
+                self.norm.apply(g, expr)
+            };
         let pos = side(g, &c.pos_heads, &c.pos_rels, &c.pos_tails);
         let neg = side(g, &c.neg_heads, &c.neg_rels, &c.neg_tails);
         (pos, neg)

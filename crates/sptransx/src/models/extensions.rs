@@ -5,7 +5,7 @@
 use kg::eval::TripleScorer;
 use kg::{BatchPlan, Dataset, TripleStore};
 use sparse::incidence::TailSign;
-use tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+use tensor::{Graph, ParamId, ParamStore, Var};
 
 use crate::model::{normalize_leading_rows, KgeModel, Norm, TrainConfig};
 use crate::models::{build_hrt_caches, HrtCache};
@@ -326,7 +326,9 @@ impl KgeModel for SpTransM {
             |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>, w: &[f32]| {
                 let expr = g.spmm(&self.store, self.emb, pair.clone());
                 let dist = self.norm.apply(g, expr);
-                let weights = g.input(Tensor::from_vec(w.len(), 1, w.to_vec()));
+                // Arena-backed input: the weight column recurs every epoch,
+                // so no per-batch `Tensor::from_vec` allocation.
+                let weights = g.input_from_slice(w.len(), 1, w);
                 g.mul(dist, weights)
             };
         let pos = side(g, &cache.pos, wp);

@@ -100,12 +100,16 @@ where
 /// Cached sparse structures for one batch of an `ht`-family model
 /// (TransR, TransH): incidence pairs plus the per-triple relation indices
 /// needed for gathers/projections.
+///
+/// Index lists are `Arc`-shared so `score_batch` hands them to the tape's
+/// gather/projection ops with a refcount bump instead of a per-batch copy
+/// (part of the allocation-free steady-state contract).
 #[derive(Debug, Clone)]
 pub(crate) struct HtCache {
     pub pos: Arc<IncidencePair>,
     pub neg: Arc<IncidencePair>,
-    pub pos_rels: Vec<u32>,
-    pub neg_rels: Vec<u32>,
+    pub pos_rels: Arc<Vec<u32>>,
+    pub neg_rels: Arc<Vec<u32>>,
 }
 
 /// Builds `ht` incidence caches for every batch of a plan (fanned out per
@@ -118,33 +122,34 @@ pub(crate) fn build_ht_caches(plan: &BatchPlan, num_entities: usize) -> Result<V
         Ok(HtCache {
             pos: Arc::new(IncidencePair::new(pos)),
             neg: Arc::new(IncidencePair::new(neg)),
-            pos_rels: batch.pos.rels().to_vec(),
-            neg_rels: batch.neg.rels().to_vec(),
+            pos_rels: Arc::new(batch.pos.rels().to_vec()),
+            neg_rels: Arc::new(batch.neg.rels().to_vec()),
         })
     })
 }
 
-/// Per-batch index arrays for the dense (gather/scatter) baselines.
+/// Per-batch index arrays for the dense (gather/scatter) baselines,
+/// `Arc`-shared with the tape like [`HtCache`]'s relation lists.
 #[derive(Debug, Clone)]
 pub(crate) struct DenseCache {
-    pub pos_heads: Vec<u32>,
-    pub pos_rels: Vec<u32>,
-    pub pos_tails: Vec<u32>,
-    pub neg_heads: Vec<u32>,
-    pub neg_rels: Vec<u32>,
-    pub neg_tails: Vec<u32>,
+    pub pos_heads: Arc<Vec<u32>>,
+    pub pos_rels: Arc<Vec<u32>>,
+    pub pos_tails: Arc<Vec<u32>>,
+    pub neg_heads: Arc<Vec<u32>>,
+    pub neg_rels: Arc<Vec<u32>>,
+    pub neg_tails: Arc<Vec<u32>>,
 }
 
 /// Extracts dense index caches for every batch of a plan.
 pub(crate) fn build_dense_caches(plan: &BatchPlan) -> Vec<DenseCache> {
     plan.iter()
         .map(|b| DenseCache {
-            pos_heads: b.pos.heads().to_vec(),
-            pos_rels: b.pos.rels().to_vec(),
-            pos_tails: b.pos.tails().to_vec(),
-            neg_heads: b.neg.heads().to_vec(),
-            neg_rels: b.neg.rels().to_vec(),
-            neg_tails: b.neg.tails().to_vec(),
+            pos_heads: Arc::new(b.pos.heads().to_vec()),
+            pos_rels: Arc::new(b.pos.rels().to_vec()),
+            pos_tails: Arc::new(b.pos.tails().to_vec()),
+            neg_heads: Arc::new(b.neg.heads().to_vec()),
+            neg_rels: Arc::new(b.neg.rels().to_vec()),
+            neg_tails: Arc::new(b.neg.tails().to_vec()),
         })
         .collect()
 }

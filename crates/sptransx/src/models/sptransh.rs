@@ -127,8 +127,9 @@ impl KgeModel for SpTransH {
         let cache = &self.batches[batch_idx];
         let side = |g: &mut Graph,
                     pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
-                    rels: &Vec<u32>| {
+                    rels: &std::sync::Arc<Vec<u32>>| {
             // (h − t) + dᵣ − wᵣ(wᵣᵀ(h − t)): ht computed once and reused.
+            // Index lists are Arc-shared with the tape (no per-batch copy).
             let ht = g.spmm(&self.store, self.ent, pair.clone());
             let w = g.gather(&self.store, self.normals, rels.clone());
             let dr = g.gather(&self.store, self.translations, rels.clone());

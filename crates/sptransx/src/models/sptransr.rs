@@ -141,8 +141,9 @@ impl KgeModel for SpTransR {
         let cache = &self.batches[batch_idx];
         let side = |g: &mut Graph,
                     pair: &std::sync::Arc<sparse::incidence::IncidencePair>,
-                    rels: &Vec<u32>| {
-            // Mᵣ(h − t) + r, one SpMM + one projection per triple.
+                    rels: &std::sync::Arc<Vec<u32>>| {
+            // Mᵣ(h − t) + r, one SpMM + one projection per triple. Relation
+            // index lists are Arc-shared with the tape (no per-batch copy).
             let ht = g.spmm(&self.store, self.ent, pair.clone());
             let proj = g.project_rows(&self.store, self.mats, ht, rels.clone(), self.rel_dim);
             let r = g.gather(&self.store, self.rel, rels.clone());

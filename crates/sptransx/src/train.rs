@@ -87,6 +87,10 @@ pub struct Trainer<M: KgeModel> {
     optimizer: Sgd,
     scheduler: Option<StepLr>,
     pool: PoolHandle,
+    /// One long-lived tape, [`Graph::reset`] per batch: its arena serves
+    /// every buffer of the steady-state step, so training performs zero
+    /// tensor-buffer heap allocations after the first batch.
+    graph: Graph,
 }
 
 impl<M: KgeModel> Trainer<M> {
@@ -143,6 +147,7 @@ impl<M: KgeModel> Trainer<M> {
             optimizer: Sgd::new(config.lr),
             scheduler,
             pool: PoolHandle::global(),
+            graph: Graph::new(),
         })
     }
 
@@ -156,6 +161,7 @@ impl<M: KgeModel> Trainer<M> {
     #[must_use]
     pub fn with_pool(mut self, pool: PoolHandle) -> Self {
         self.optimizer = Sgd::new(self.optimizer.learning_rate()).with_pool(pool.clone());
+        self.graph = Graph::with_pool(pool.clone());
         self.pool = pool;
         self
     }
@@ -196,14 +202,17 @@ impl<M: KgeModel> Trainer<M> {
                 self.model.store_mut().zero_grads();
 
                 let t0 = Instant::now();
-                let mut g = Graph::with_pool(self.pool.clone());
-                let (pos, neg) = self.model.score_batch(&mut g, b);
-                let loss = g.margin_ranking_loss(pos, neg, self.config.margin);
+                // Reset (not rebuild) the tape: node buffers recycle through
+                // the graph's arena, so the steady-state step never touches
+                // the allocator (see `tensor::Arena`).
+                self.graph.reset();
+                let (pos, neg) = self.model.score_batch(&mut self.graph, b);
+                let loss = self.graph.margin_ranking_loss(pos, neg, self.config.margin);
                 breakdown.forward += t0.elapsed();
-                loss_sum += f64::from(g.value(loss).get(0, 0));
+                loss_sum += f64::from(self.graph.value(loss).get(0, 0));
 
                 let t1 = Instant::now();
-                g.backward(loss, self.model.store_mut());
+                self.graph.backward(loss, self.model.store_mut());
                 breakdown.backward += t1.elapsed();
 
                 let t2 = Instant::now();
@@ -247,6 +256,11 @@ impl<M: KgeModel> Trainer<M> {
         M: BatchScorer,
     {
         evaluate_batched(&self.model, &dataset.test, &dataset.all_known(), eval)
+    }
+
+    /// Borrows the persistent tape (e.g. for arena recycling statistics).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     /// Borrows the model.

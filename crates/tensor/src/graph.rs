@@ -3,11 +3,11 @@
 use std::sync::Arc;
 
 use sparse::incidence::IncidencePair;
-use sparse::spmm::{csr_spmm_acc_into_with, csr_spmm_with};
+use sparse::spmm::{csr_spmm_acc_into_with, csr_spmm_into_with};
 use xparallel::PoolHandle;
 
 use crate::profile;
-use crate::{ParamId, ParamStore, Tensor};
+use crate::{Arena, ParamId, ParamStore, Tensor};
 
 /// Fixed chunk length for the tape's scalar reductions (losses, means).
 ///
@@ -143,10 +143,22 @@ struct Node {
 /// [`Graph::new`] uses the global pool; [`Graph::with_pool`] pins an
 /// explicit handle (e.g. [`PoolHandle::sequential`] inside data-parallel
 /// workers, or a pinned width for determinism audits).
+///
+/// # Memory
+///
+/// The tape owns a recycling [`Arena`]: every node value, node gradient,
+/// kernel output, and backward temporary is drawn from it, and
+/// [`Graph::reset`] returns them all for reuse. A driver that keeps one
+/// `Graph` per thread and resets it between batches performs **zero**
+/// tensor-buffer heap allocations once the first batch has populated the
+/// pool (asserted by [`crate::memory::alloc_count`]-based regression
+/// tests). Recycling swaps buffer identity only — arithmetic order, and
+/// therefore every result bit, is unchanged.
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     pool: PoolHandle,
+    arena: Arena,
 }
 
 impl Graph {
@@ -160,12 +172,40 @@ impl Graph {
         Self {
             nodes: Vec::new(),
             pool,
+            arena: Arena::new(),
         }
     }
 
     /// The pool handle this tape dispatches kernels on.
     pub fn pool(&self) -> &PoolHandle {
         &self.pool
+    }
+
+    /// The tape's buffer arena (recycling statistics for tests/reports).
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Clears the tape, recycling every node's value and gradient buffer
+    /// into the arena.
+    ///
+    /// This is the steady-state entry point: call it at the top of each
+    /// mini-batch instead of constructing a fresh `Graph`, and the batch's
+    /// identical tape shape is served entirely from recycled buffers.
+    ///
+    /// Every [`Var`] handed out before the reset is **invalidated** (`Var`
+    /// is a plain tape index): using one afterwards indexes whatever node
+    /// the next batch records at that position, or panics if the new tape
+    /// is shorter. Read everything you need (loss values, gradients)
+    /// before resetting — exactly as you would before dropping a
+    /// per-batch graph.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.arena.reclaim(node.value);
+            if let Some(grad) = node.grad {
+                self.arena.reclaim(grad);
+            }
+        }
     }
 
     /// Number of recorded nodes.
@@ -202,35 +242,52 @@ impl Graph {
         self.push(value, Op::Input)
     }
 
+    /// Records a constant input copied out of a slice, drawing the buffer
+    /// from the arena — the allocation-free analog of [`Graph::input`] for
+    /// per-batch constants (e.g. triple weights) that recur every epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn input_from_slice(&mut self, rows: usize, cols: usize, data: &[f32]) -> Var {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        let mut t = Tensor::uninit_in(&mut self.arena, rows, cols);
+        t.as_mut_slice().copy_from_slice(data);
+        self.push(t, Op::Input)
+    }
+
     /// Gathers rows `indices` of parameter `param`: `out[i] = P[indices[i]]`.
     ///
     /// Backward is a scatter-add into the parameter gradient — the
     /// fine-grained path the paper identifies as the training bottleneck.
+    /// Callers that gather the same index list every epoch should pass an
+    /// `Arc<Vec<u32>>` to avoid re-copying it per batch.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds for the parameter.
-    pub fn gather(&mut self, store: &ParamStore, param: ParamId, indices: Vec<u32>) -> Var {
+    pub fn gather(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        indices: impl Into<Arc<Vec<u32>>>,
+    ) -> Var {
         let _t = profile::scope("op::gather");
+        let indices: Arc<Vec<u32>> = indices.into();
         let p = store.value(param);
         let d = p.cols();
-        let mut out = Tensor::zeros(indices.len(), d);
+        let mut out = Tensor::uninit_in(&mut self.arena, indices.len(), d);
         let src = p.as_slice();
+        let idx = &indices;
         self.pool
             .for_rows(out.as_mut_slice(), d.max(1), 64, |first, chunk| {
                 for (k, dst) in chunk.chunks_exact_mut(d.max(1)).enumerate() {
-                    let r = indices[first + k] as usize;
+                    let r = idx[first + k] as usize;
                     dst.copy_from_slice(&src[r * d..(r + 1) * d]);
                 }
             });
         sparse::metrics::add_bytes(2 * (indices.len() * d * 4) as u64);
-        self.push(
-            out,
-            Op::Gather {
-                param,
-                indices: Arc::new(indices),
-            },
-        )
+        self.push(out, Op::Gather { param, indices })
     }
 
     /// Multiplies a (cached-transpose) incidence matrix by parameter `param`:
@@ -242,8 +299,10 @@ impl Graph {
     pub fn spmm(&mut self, store: &ParamStore, param: ParamId, pair: Arc<IncidencePair>) -> Var {
         let _t = profile::scope("op::spmm");
         let p = store.value(param);
-        let out = csr_spmm_with(&self.pool, &pair.forward, p.view());
-        let out = Tensor::from_vec(out.rows(), out.cols(), out.into_vec());
+        // The kernel overwrites every output row, so the buffer can come
+        // back from the arena unscrubbed (no redundant zero-fill).
+        let mut out = Tensor::uninit_in(&mut self.arena, pair.forward.rows(), p.cols());
+        csr_spmm_into_with(&self.pool, &pair.forward, p.view(), out.as_mut_slice());
         self.push(out, Op::Spmm { param, pair })
     }
 
@@ -254,9 +313,14 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::add");
-        let v = self
-            .value(a)
-            .zip_map_with(&self.pool, self.value(b), |x, y| x + y);
+        let (m, n) = self.value(a).shape();
+        let mut v = Tensor::uninit_in(&mut self.arena, m, n);
+        self.nodes[a.0].value.zip_map_into_with(
+            &self.pool,
+            &self.nodes[b.0].value,
+            |x, y| x + y,
+            &mut v,
+        );
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Add(a, b))
     }
@@ -268,9 +332,14 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::sub");
-        let v = self
-            .value(a)
-            .zip_map_with(&self.pool, self.value(b), |x, y| x - y);
+        let (m, n) = self.value(a).shape();
+        let mut v = Tensor::uninit_in(&mut self.arena, m, n);
+        self.nodes[a.0].value.zip_map_into_with(
+            &self.pool,
+            &self.nodes[b.0].value,
+            |x, y| x - y,
+            &mut v,
+        );
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Sub(a, b))
     }
@@ -282,16 +351,25 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::mul");
-        let v = self
-            .value(a)
-            .zip_map_with(&self.pool, self.value(b), |x, y| x * y);
+        let (m, n) = self.value(a).shape();
+        let mut v = Tensor::uninit_in(&mut self.arena, m, n);
+        self.nodes[a.0].value.zip_map_into_with(
+            &self.pool,
+            &self.nodes[b.0].value,
+            |x, y| x * y,
+            &mut v,
+        );
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Mul(a, b))
     }
 
     /// Scales a node by a constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map_with(&self.pool, |x| c * x);
+        let (m, n) = self.value(a).shape();
+        let mut v = Tensor::uninit_in(&mut self.arena, m, n);
+        self.nodes[a.0]
+            .value
+            .map_into_with(&self.pool, |x| c * x, &mut v);
         sparse::metrics::add_flops(v.len() as u64);
         self.push(v, Op::Scale(a, c))
     }
@@ -305,11 +383,16 @@ impl Graph {
     /// Panics on shape mismatch.
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
         let _t = profile::scope("op::row_dot");
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
-        let (m, n) = av.shape();
-        let mut out = Tensor::zeros(m, 1);
-        let (ad, bd) = (av.as_slice(), bv.as_slice());
+        let (m, n) = {
+            let (av, bv) = (self.value(a), self.value(b));
+            assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+            av.shape()
+        };
+        let mut out = Tensor::uninit_in(&mut self.arena, m, 1);
+        let (ad, bd) = (
+            self.nodes[a.0].value.as_slice(),
+            self.nodes[b.0].value.as_slice(),
+        );
         self.pool
             .for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
                 for (k, dst) in chunk.iter_mut().enumerate() {
@@ -333,11 +416,16 @@ impl Graph {
     /// Panics if `scale` is not `(mat.rows, 1)`.
     pub fn scale_rows(&mut self, mat: Var, scale: Var) -> Var {
         let _t = profile::scope("op::scale_rows");
-        let (mv, sv) = (self.value(mat), self.value(scale));
-        assert_eq!(sv.shape(), (mv.rows(), 1), "scale must be a (m,1) column");
-        let (m, n) = mv.shape();
-        let mut out = Tensor::zeros(m, n);
-        let (md, sd) = (mv.as_slice(), sv.as_slice());
+        let (m, n) = {
+            let (mv, sv) = (self.value(mat), self.value(scale));
+            assert_eq!(sv.shape(), (mv.rows(), 1), "scale must be a (m,1) column");
+            mv.shape()
+        };
+        let mut out = Tensor::uninit_in(&mut self.arena, m, n);
+        let (md, sd) = (
+            self.nodes[mat.0].value.as_slice(),
+            self.nodes[scale.0].value.as_slice(),
+        );
         self.pool
             .for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
                 for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
@@ -355,7 +443,7 @@ impl Graph {
     /// Per-row L1 norm: `out[i] = Σ_j |a[i,j]|`, shape `(m, 1)`.
     pub fn l1_norm_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::l1_norm");
-        let v = row_reduce(&self.pool, self.value(a), |row| {
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
             row.iter().map(|x| x.abs()).sum()
         });
         self.push(v, Op::L1NormRows(a))
@@ -366,7 +454,7 @@ impl Graph {
     /// `eps` guards the backward division for zero rows.
     pub fn l2_norm_rows(&mut self, a: Var, eps: f32) -> Var {
         let _t = profile::scope("op::l2_norm");
-        let v = row_reduce(&self.pool, self.value(a), |row| {
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
             row.iter().map(|x| x * x).sum::<f32>().sqrt()
         });
         self.push(v, Op::L2NormRows { input: a, eps })
@@ -375,7 +463,7 @@ impl Graph {
     /// Per-row squared L2 norm (TransC-style scoring), shape `(m, 1)`.
     pub fn squared_l2_norm_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::sq_l2_norm");
-        let v = row_reduce(&self.pool, self.value(a), |row| {
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
             row.iter().map(|x| x * x).sum()
         });
         self.push(v, Op::SquaredL2NormRows(a))
@@ -385,7 +473,7 @@ impl Graph {
     /// `fⱼ = frac(a[i,j])` — TorusE's wraparound metric.
     pub fn torus_l1_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l1");
-        let v = row_reduce(&self.pool, self.value(a), |row| {
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
             row.iter()
                 .map(|&x| {
                     let f = x - x.floor();
@@ -401,7 +489,7 @@ impl Graph {
     /// This is the `l2_torus_dissimilarity` the paper's Figure 2 profiles.
     pub fn torus_l2_sq_rows(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::torus_l2");
-        let v = row_reduce(&self.pool, self.value(a), |row| {
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
             row.iter()
                 .map(|&x| {
                     let f = x - x.floor();
@@ -425,26 +513,27 @@ impl Graph {
         store: &ParamStore,
         mats: ParamId,
         vecs: Var,
-        rels: Vec<u32>,
+        rels: impl Into<Arc<Vec<u32>>>,
         d_out: usize,
     ) -> Var {
         let _t = profile::scope("op::project_rows");
+        let rels: Arc<Vec<u32>> = rels.into();
         let mv = store.value(mats);
-        let vv = self.value(vecs);
-        let (m, d_in) = vv.shape();
+        let (m, d_in) = self.value(vecs).shape();
         assert_eq!(rels.len(), m, "one relation per row required");
         assert_eq!(
             mv.cols(),
             d_out * d_in,
             "projection parameter has wrong width"
         );
-        let mut out = Tensor::zeros(m, d_out);
-        let (md, vd) = (mv.as_slice(), vv.as_slice());
+        let mut out = Tensor::uninit_in(&mut self.arena, m, d_out);
+        let (md, vd) = (mv.as_slice(), self.nodes[vecs.0].value.as_slice());
+        let rl = &rels;
         self.pool
             .for_rows(out.as_mut_slice(), d_out.max(1), 32, |first, chunk| {
                 for (k, dst) in chunk.chunks_exact_mut(d_out.max(1)).enumerate() {
                     let i = first + k;
-                    let r = rels[i] as usize;
+                    let r = rl[i] as usize;
                     let mat = &md[r * d_out * d_in..(r + 1) * d_out * d_in];
                     let vec = &vd[i * d_in..(i + 1) * d_in];
                     for (o, d) in dst.iter_mut().enumerate() {
@@ -463,7 +552,7 @@ impl Graph {
             Op::ProjectRows {
                 mats,
                 vecs,
-                rels: Arc::new(rels),
+                rels,
                 d_out,
                 d_in,
             },
@@ -502,7 +591,8 @@ impl Graph {
         );
         let loss = if m == 0 { 0.0 } else { (acc / m as f64) as f32 };
         sparse::metrics::add_flops(3 * m as u64);
-        let t = Tensor::from_vec(1, 1, vec![loss]);
+        let mut t = Tensor::uninit_in(&mut self.arena, 1, 1);
+        t.set(0, 0, loss);
         self.push(t, Op::MarginRankingLoss { pos, neg, margin })
     }
 
@@ -523,14 +613,17 @@ impl Graph {
         } else {
             (sum / len as f64) as f32
         };
-        let v = Tensor::from_vec(1, 1, vec![mean]);
+        let mut v = Tensor::uninit_in(&mut self.arena, 1, 1);
+        v.set(0, 0, mean);
         self.push(v, Op::Mean(a))
     }
 
     /// Per-row sum: `out[i] = Σ_j a[i,j]`, shape `(m, 1)`.
     pub fn row_sum(&mut self, a: Var) -> Var {
         let _t = profile::scope("op::row_sum");
-        let v = row_reduce(&self.pool, self.value(a), |row| row.iter().sum());
+        let v = row_reduce(&self.pool, &mut self.arena, &self.nodes[a.0].value, |row| {
+            row.iter().sum()
+        });
         self.push(v, Op::RowSum(a))
     }
 
@@ -560,14 +653,15 @@ impl Graph {
             3 * pair.forward.rows(),
             "triple_product requires exactly 3 nonzeros per row"
         );
-        let out = sparse::semiring::semiring_spmm_with::<sparse::semiring::TimesTimes>(
+        let mut t = Tensor::uninit_in(&mut self.arena, pair.forward.rows(), p.cols());
+        sparse::semiring::semiring_spmm_into_with::<sparse::semiring::TimesTimes>(
             &self.pool,
             &pair.forward,
             p.as_slice(),
             p.rows(),
             p.cols(),
+            t.as_mut_slice(),
         );
-        let t = Tensor::from_vec(pair.forward.rows(), p.cols(), out);
         self.push(t, Op::TripleProduct { param, pair })
     }
 
@@ -591,7 +685,14 @@ impl Graph {
         pair: Arc<IncidencePair>,
     ) -> Var {
         let _t = profile::scope("op::rotate_score");
-        let value = complex_score_forward(&self.pool, store, param, &pair, ComplexKernel::Rotate);
+        let value = complex_score_forward(
+            &self.pool,
+            &mut self.arena,
+            store,
+            param,
+            &pair,
+            ComplexKernel::Rotate,
+        );
         self.push(value, Op::RotateScore { param, pair })
     }
 
@@ -609,7 +710,14 @@ impl Graph {
         pair: Arc<IncidencePair>,
     ) -> Var {
         let _t = profile::scope("op::complex_score");
-        let value = complex_score_forward(&self.pool, store, param, &pair, ComplexKernel::ComplEx);
+        let value = complex_score_forward(
+            &self.pool,
+            &mut self.arena,
+            store,
+            param,
+            &pair,
+            ComplexKernel::ComplEx,
+        );
         self.push(value, Op::ComplexScore { param, pair })
     }
 
@@ -628,7 +736,9 @@ impl Graph {
             (1, 1),
             "backward requires a scalar loss node"
         );
-        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        let mut seed = Tensor::uninit_in(&mut self.arena, 1, 1);
+        seed.set(0, 0, 1.0);
+        self.nodes[loss.0].grad = Some(seed);
         for i in (0..self.nodes.len()).rev() {
             let Some(g) = self.nodes[i].grad.take() else {
                 continue;
@@ -671,36 +781,65 @@ impl Graph {
                 self.accum(b, g, -1.0);
             }
             Op::Mul(a, b) => {
-                let da = g.zip_map_with(&self.pool, self.value(b), |gx, bx| gx * bx);
-                let db = g.zip_map_with(&self.pool, self.value(a), |gx, ax| gx * ax);
+                let (m, n) = g.shape();
+                let mut da = Tensor::uninit_in(&mut self.arena, m, n);
+                g.zip_map_into_with(
+                    &self.pool,
+                    &self.nodes[b.0].value,
+                    |gx, bx| gx * bx,
+                    &mut da,
+                );
+                let mut db = Tensor::uninit_in(&mut self.arena, m, n);
+                g.zip_map_into_with(
+                    &self.pool,
+                    &self.nodes[a.0].value,
+                    |gx, ax| gx * ax,
+                    &mut db,
+                );
                 self.accum(a, &da, 1.0);
                 self.accum(b, &db, 1.0);
+                self.arena.reclaim(da);
+                self.arena.reclaim(db);
             }
             Op::Scale(a, c) => {
                 self.accum(a, g, c);
             }
             Op::RowDot(a, b) => {
-                let da = scale_rows_tensor(&self.pool, self.value(b), g);
-                let db = scale_rows_tensor(&self.pool, self.value(a), g);
+                let da = scale_rows_tensor(&self.pool, &mut self.arena, &self.nodes[b.0].value, g);
+                let db = scale_rows_tensor(&self.pool, &mut self.arena, &self.nodes[a.0].value, g);
                 self.accum(a, &da, 1.0);
                 self.accum(b, &db, 1.0);
+                self.arena.reclaim(da);
+                self.arena.reclaim(db);
             }
             Op::ScaleRows { mat, scale } => {
-                let dm = scale_rows_tensor(&self.pool, g, self.value(scale));
-                let ds = row_dot_tensor(&self.pool, g, self.value(mat));
+                let dm =
+                    scale_rows_tensor(&self.pool, &mut self.arena, g, &self.nodes[scale.0].value);
+                let ds = row_dot_tensor(&self.pool, &mut self.arena, g, &self.nodes[mat.0].value);
                 self.accum(mat, &dm, 1.0);
                 self.accum(scale, &ds, 1.0);
+                self.arena.reclaim(dm);
+                self.arena.reclaim(ds);
             }
             Op::L1NormRows(a) => {
-                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| x.signum());
+                let da = rowwise_unary_backward(
+                    &self.pool,
+                    &mut self.arena,
+                    &self.nodes[a.0].value,
+                    g,
+                    |x, _| x.signum(),
+                );
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::L2NormRows { input, eps } => {
-                let norms = self.nodes[i].value.clone();
-                let av = self.value(input);
-                let (m, n) = av.shape();
-                let mut da = Tensor::zeros(m, n);
-                let (ad, nd, gd) = (av.as_slice(), norms.as_slice(), g.as_slice());
+                let (m, n) = self.nodes[input.0].value.shape();
+                let mut da = Tensor::uninit_in(&mut self.arena, m, n);
+                let (ad, nd, gd) = (
+                    self.nodes[input.0].value.as_slice(),
+                    self.nodes[i].value.as_slice(),
+                    g.as_slice(),
+                );
                 self.pool
                     .for_rows(da.as_mut_slice(), n.max(1), 64, |first, chunk| {
                         for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
@@ -714,32 +853,54 @@ impl Graph {
                     });
                 sparse::metrics::add_flops(2 * (m * n) as u64);
                 self.accum(input, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::SquaredL2NormRows(a) => {
-                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| 2.0 * x);
+                let da = rowwise_unary_backward(
+                    &self.pool,
+                    &mut self.arena,
+                    &self.nodes[a.0].value,
+                    g,
+                    |x, _| 2.0 * x,
+                );
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::TorusL1Rows(a) => {
-                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| {
-                    let f = x - x.floor();
-                    if f <= 0.5 {
-                        1.0
-                    } else {
-                        -1.0
-                    }
-                });
+                let da = rowwise_unary_backward(
+                    &self.pool,
+                    &mut self.arena,
+                    &self.nodes[a.0].value,
+                    g,
+                    |x, _| {
+                        let f = x - x.floor();
+                        if f <= 0.5 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    },
+                );
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::TorusL2SqRows(a) => {
-                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |x, _| {
-                    let f = x - x.floor();
-                    if f <= 0.5 {
-                        2.0 * f
-                    } else {
-                        -2.0 * (1.0 - f)
-                    }
-                });
+                let da = rowwise_unary_backward(
+                    &self.pool,
+                    &mut self.arena,
+                    &self.nodes[a.0].value,
+                    g,
+                    |x, _| {
+                        let f = x - x.floor();
+                        if f <= 0.5 {
+                            2.0 * f
+                        } else {
+                            -2.0 * (1.0 - f)
+                        }
+                    },
+                );
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::ProjectRows {
                 mats,
@@ -752,7 +913,7 @@ impl Graph {
                 let m = g.rows();
                 // d vecs[i] = M_{r}ᵀ · g_i — computed against the parameter
                 // value before its gradient is borrowed mutably.
-                let mut dv = Tensor::zeros(m, d_in);
+                let mut dv = Tensor::uninit_in(&mut self.arena, m, d_in);
                 {
                     let mv = store.value(mats);
                     let (md, gd) = (mv.as_slice(), g.as_slice());
@@ -778,14 +939,19 @@ impl Graph {
                 scatter_add_outer(&self.pool, gm, &rels, g, vv, d_out, d_in);
                 sparse::metrics::add_flops(4 * (m * d_out * d_in) as u64);
                 self.accum(vecs, &dv, 1.0);
+                self.arena.reclaim(dv);
             }
             Op::MarginRankingLoss { pos, neg, margin } => {
-                let (pv, nv) = (self.value(pos), self.value(neg));
-                let m = pv.rows();
+                let m = self.nodes[pos.0].value.rows();
                 let gscale = if m == 0 { 0.0 } else { g.get(0, 0) / m as f32 };
-                let (pd, nd) = (pv.as_slice(), nv.as_slice());
-                let mut dp = Tensor::zeros(m, 1);
-                let mut dn = Tensor::zeros(m, 1);
+                // Inactive rows keep gradient 0 — the buffers are only
+                // partially written, so they must come back zeroed.
+                let mut dp = Tensor::zeros_in(&mut self.arena, m, 1);
+                let mut dn = Tensor::zeros_in(&mut self.arena, m, 1);
+                let (pd, nd) = (
+                    self.nodes[pos.0].value.as_slice(),
+                    self.nodes[neg.0].value.as_slice(),
+                );
                 self.pool.for_mut(dp.as_mut_slice(), 256, |offset, chunk| {
                     for (k, d) in chunk.iter_mut().enumerate() {
                         let r = offset + k;
@@ -804,17 +970,28 @@ impl Graph {
                 });
                 self.accum(pos, &dp, 1.0);
                 self.accum(neg, &dn, 1.0);
+                self.arena.reclaim(dp);
+                self.arena.reclaim(dn);
             }
             Op::Mean(a) => {
                 let len = self.value(a).len().max(1);
                 let gv = g.get(0, 0) / len as f32;
                 let (m, n) = self.value(a).shape();
-                let da = Tensor::full(m, n, gv);
+                let mut da = Tensor::uninit_in(&mut self.arena, m, n);
+                da.as_mut_slice().fill(gv);
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::RowSum(a) => {
-                let da = rowwise_unary_backward(&self.pool, self.value(a), g, |_, _| 1.0);
+                let da = rowwise_unary_backward(
+                    &self.pool,
+                    &mut self.arena,
+                    &self.nodes[a.0].value,
+                    g,
+                    |_, _| 1.0,
+                );
                 self.accum(a, &da, 1.0);
+                self.arena.reclaim(da);
             }
             Op::RotateScore { param, pair } => {
                 let _t = profile::scope("op::rotate_score_backward");
@@ -872,21 +1049,33 @@ impl Graph {
         }
     }
 
-    /// `nodes[v].grad += alpha * delta`, allocating the grad on first touch.
+    /// `nodes[v].grad += alpha * delta`, drawing the grad buffer from the
+    /// arena on first touch.
     fn accum(&mut self, v: Var, delta: &Tensor, alpha: f32) {
+        let (pool, arena) = (&self.pool, &mut self.arena);
         let node = &mut self.nodes[v.0];
-        let grad = node
-            .grad
-            .get_or_insert_with(|| Tensor::zeros(node.value.rows(), node.value.cols()));
-        grad.add_scaled_with(&self.pool, delta, alpha);
+        if node.grad.is_none() {
+            node.grad = Some(Tensor::zeros_in(
+                arena,
+                node.value.rows(),
+                node.value.cols(),
+            ));
+        }
+        let grad = node.grad.as_mut().expect("grad installed above");
+        grad.add_scaled_with(pool, delta, alpha);
         sparse::metrics::add_flops(2 * delta.len() as u64);
     }
 }
 
-/// `out[i] = f(row_i)`, shape `(m, 1)`.
-fn row_reduce(pool: &PoolHandle, a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -> Tensor {
+/// `out[i] = f(row_i)`, shape `(m, 1)`, drawn from `arena`.
+fn row_reduce(
+    pool: &PoolHandle,
+    arena: &mut Arena,
+    a: &Tensor,
+    f: impl Fn(&[f32]) -> f32 + Sync,
+) -> Tensor {
     let (m, n) = a.shape();
-    let mut out = Tensor::zeros(m, 1);
+    let mut out = Tensor::uninit_in(arena, m, 1);
     let ad = a.as_slice();
     pool.for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
         for (k, dst) in chunk.iter_mut().enumerate() {
@@ -898,11 +1087,11 @@ fn row_reduce(pool: &PoolHandle, a: &Tensor, f: impl Fn(&[f32]) -> f32 + Sync) -
     out
 }
 
-/// `out[i,j] = mat[i,j] * col[i]` (col is `(m,1)`).
-fn scale_rows_tensor(pool: &PoolHandle, mat: &Tensor, col: &Tensor) -> Tensor {
+/// `out[i,j] = mat[i,j] * col[i]` (col is `(m,1)`), drawn from `arena`.
+fn scale_rows_tensor(pool: &PoolHandle, arena: &mut Arena, mat: &Tensor, col: &Tensor) -> Tensor {
     let (m, n) = mat.shape();
     debug_assert_eq!(col.shape(), (m, 1));
-    let mut out = Tensor::zeros(m, n);
+    let mut out = Tensor::uninit_in(arena, m, n);
     let (md, cd) = (mat.as_slice(), col.as_slice());
     pool.for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
         for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
@@ -915,11 +1104,11 @@ fn scale_rows_tensor(pool: &PoolHandle, mat: &Tensor, col: &Tensor) -> Tensor {
     out
 }
 
-/// `out[i] = Σ_j a[i,j]·b[i,j]` as an `(m,1)` tensor.
-fn row_dot_tensor(pool: &PoolHandle, a: &Tensor, b: &Tensor) -> Tensor {
+/// `out[i] = Σ_j a[i,j]·b[i,j]` as an `(m,1)` tensor drawn from `arena`.
+fn row_dot_tensor(pool: &PoolHandle, arena: &mut Arena, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = a.shape();
     debug_assert_eq!(b.shape(), (m, n));
-    let mut out = Tensor::zeros(m, 1);
+    let mut out = Tensor::uninit_in(arena, m, 1);
     let (ad, bd) = (a.as_slice(), b.as_slice());
     pool.for_rows(out.as_mut_slice(), 1, 256, |first, chunk| {
         for (k, dst) in chunk.iter_mut().enumerate() {
@@ -937,6 +1126,7 @@ fn row_dot_tensor(pool: &PoolHandle, a: &Tensor, b: &Tensor) -> Tensor {
 /// `da[i,j] = g[i] * f(a[i,j], j)` — shared shape of the norm backwards.
 fn rowwise_unary_backward(
     pool: &PoolHandle,
+    arena: &mut Arena,
     a: &Tensor,
     g: &Tensor,
     f: impl Fn(f32, usize) -> f32 + Sync,
@@ -944,7 +1134,7 @@ fn rowwise_unary_backward(
     let (m, n) = a.shape();
     debug_assert_eq!(g.shape(), (m, 1));
     sparse::metrics::add_flops((m * n) as u64);
-    let mut out = Tensor::zeros(m, n);
+    let mut out = Tensor::uninit_in(arena, m, n);
     let (ad, gd) = (a.as_slice(), g.as_slice());
     pool.for_rows(out.as_mut_slice(), n.max(1), 64, |first, chunk| {
         for (k, dst) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
@@ -1032,9 +1222,10 @@ enum ComplexKernel {
 }
 
 /// Shared forward of the complex-semiring score ops: one `(m, 1)` column of
-/// RotatE distances or ComplEx similarities.
+/// RotatE distances or ComplEx similarities, drawn from `arena`.
 fn complex_score_forward(
     pool: &PoolHandle,
+    arena: &mut Arena,
     store: &ParamStore,
     param: ParamId,
     pair: &IncidencePair,
@@ -1058,7 +1249,7 @@ fn complex_score_forward(
     let indptr = pair.forward.indptr();
     let indices = pair.forward.indices();
     let values = pair.forward.values();
-    let mut out = Tensor::zeros(m, 1);
+    let mut out = Tensor::uninit_in(arena, m, 1);
     pool.for_rows(out.as_mut_slice(), 1, 128, |first, chunk| {
         for (k, dst) in chunk.iter_mut().enumerate() {
             let i = first + k;
@@ -1234,7 +1425,7 @@ mod tests {
         let (mut s2, p2) = store_with("emb", data);
         let mut g2 = Graph::new();
         let h = g2.gather(&s2, p2, heads.clone());
-        let r = g2.gather(&s2, p2, rels.iter().map(|&x| x + 3).collect());
+        let r = g2.gather(&s2, p2, rels.iter().map(|&x| x + 3).collect::<Vec<u32>>());
         let t = g2.gather(&s2, p2, tails.clone());
         let hr = g2.add(h, r);
         let expr2 = g2.sub(hr, t);
@@ -1339,5 +1530,69 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::zeros(2, 2));
         g.backward(x, &mut store);
+    }
+
+    /// One forward + backward pass of a TransE-shaped tape (SpMM, L2 norm,
+    /// mean), returning the loss and parameter-gradient bits.
+    fn tape_pass(g: &mut Graph, store: &mut ParamStore, p: ParamId) -> (u32, Vec<u32>) {
+        let pair = Arc::new(IncidencePair::new(
+            hrt(3, 1, &[0, 1], &[0, 0], &[2, 0], TailSign::Negative).unwrap(),
+        ));
+        let expr = g.spmm(store, p, pair);
+        let n = g.l2_norm_rows(expr, 1e-9);
+        let loss = g.mean(n);
+        g.backward(loss, store);
+        (
+            g.value(loss).get(0, 0).to_bits(),
+            store
+                .grad(p)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reset_makes_repeat_passes_allocation_free_and_bit_identical() {
+        let data = Tensor::from_rows(&[[0.3, -0.2], [1.5, 0.7], [-0.4, 0.9], [0.1, 0.2]]);
+        let (mut store, p) = store_with("emb", data);
+        let mut g = Graph::new();
+        let first = tape_pass(&mut g, &mut store, p);
+
+        g.reset();
+        store.zero_grads();
+        let misses = g.arena().misses();
+        let second = tape_pass(&mut g, &mut store, p);
+        // Every buffer request of the second pass is served by the arena
+        // (misses are the only path that heap-allocates).
+        assert_eq!(
+            g.arena().misses(),
+            misses,
+            "steady-state pass must draw every buffer from the arena"
+        );
+        assert!(g.arena().hits() > 0);
+        // Recycling swaps buffer identity, never arithmetic: bits match.
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reset_reclaims_every_node_buffer() {
+        let (mut store, p) = store_with("emb", Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0]]));
+        let mut g = Graph::new();
+        let x = g.gather(&store, p, vec![0, 1, 0]);
+        let n = g.l2_norm_rows(x, 1e-9);
+        let loss = g.mean(n);
+        g.backward(loss, &mut store);
+        assert!(
+            g.arena().pooled_buffers() > 0,
+            "backward temporaries recycle"
+        );
+        let nodes = g.len();
+        g.reset();
+        assert!(g.is_empty());
+        // At least one value and one grad buffer per node went back.
+        assert!(g.arena().pooled_buffers() >= nodes);
+        assert!(g.arena().held_bytes() > 0);
     }
 }

@@ -7,6 +7,10 @@
 //! * [`Tensor`] — owned row-major `f32` matrices with parallel elementwise /
 //!   reduction / norm kernels and global **peak-memory accounting**
 //!   ([`memory`]), the stand-in for `torch.cuda.max_memory_allocated`.
+//! * [`Arena`] — a recycling buffer pool that makes the steady-state
+//!   training step allocation-free: every [`Graph`] owns one, draws node
+//!   values/gradients and backward temporaries from it, and returns them on
+//!   [`Graph::reset`] instead of dropping them.
 //! * [`Graph`] / [`Var`] — a define-by-run tape. Forward values are computed
 //!   eagerly as ops are recorded; [`Graph::backward`] replays the tape in
 //!   reverse. Embedding tables live outside the tape in a [`ParamStore`] so
@@ -44,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+mod arena;
 pub mod gradcheck;
 mod graph;
 pub mod init;
@@ -54,6 +59,7 @@ pub mod profile;
 mod store;
 mod tensor;
 
+pub use arena::Arena;
 pub use graph::{Graph, Var};
 
 /// Low-level kernels re-exported for benchmarks and cross-crate tests.

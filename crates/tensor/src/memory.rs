@@ -6,6 +6,21 @@
 //! totals. Peak can be reset per phase (e.g. per training run) just like
 //! `torch.cuda.reset_peak_memory_stats`.
 //!
+//! Two counters with distinct meanings:
+//!
+//! * **Bytes** ([`current_bytes`] / [`peak_bytes`]) measure the live working
+//!   set. Buffers recycled through an [`crate::Arena`] **stay registered**
+//!   while pooled — recycling changes who holds a buffer, not whether it is
+//!   part of the working set — so `peak_bytes` keeps its Table-5 meaning
+//!   under the allocation-free training step.
+//! * **Allocations** ([`alloc_count`]) count real heap allocations of
+//!   tensor buffers. An arena pool *hit* does not bump it; only fresh
+//!   allocations (pool misses included) do. The steady-state training step
+//!   is required to keep this counter flat once every batch shape has been
+//!   seen once — from batch 2 onward with uniform batches; a smaller
+//!   ragged final batch warms the pool for its shapes on its first
+//!   occurrence only. The regression tests assert exactly that.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,9 +38,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static CURRENT: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// Registers an allocation of `bytes`.
 pub(crate) fn register(bytes: u64) {
+    if bytes > 0 {
+        // Zero-length tensors never touch the heap; don't count them.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
     let cur = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
     PEAK.fetch_max(cur, Ordering::Relaxed);
 }
@@ -48,6 +68,17 @@ pub fn peak_bytes() -> u64 {
 /// Resets the peak to the current live total.
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Monotone count of tensor-buffer heap allocations since process start.
+///
+/// Snapshot before and after a region and subtract to measure its
+/// allocation traffic; an arena-served (recycled) buffer does not count.
+/// This is process-global and monotone, so concurrent tests only ever
+/// *overcount* a region's delta — an assertion that a delta is zero is
+/// therefore conservative.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
 }
 
 /// RAII scope that reports the peak-over-scope delta.

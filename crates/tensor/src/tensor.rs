@@ -1,6 +1,7 @@
 //! The dense tensor type.
 
 use crate::memory;
+use crate::Arena;
 
 /// An owned, row-major `rows × cols` matrix of `f32` with tracked allocation.
 ///
@@ -42,6 +43,38 @@ impl Tensor {
             rows,
             cols,
             data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a zero-filled tensor, recycling a buffer from `arena` when
+    /// one of the right length is pooled (falling back to a fresh, counted
+    /// heap allocation otherwise).
+    ///
+    /// Recycled buffers are zero-filled, so the result is indistinguishable
+    /// from [`Tensor::zeros`] — only the allocation traffic differs.
+    pub fn zeros_in(arena: &mut Arena, rows: usize, cols: usize) -> Self {
+        match arena.take(rows * cols) {
+            Some(mut data) => {
+                data.fill(0.0);
+                Self { rows, cols, data }
+            }
+            None => Self::zeros(rows, cols),
+        }
+    }
+
+    /// Creates a tensor with **unspecified contents**, recycling a buffer
+    /// from `arena` when possible (a pool miss zero-fills, a hit returns the
+    /// previous occupant's stale values).
+    ///
+    /// This is safe — the buffer is always initialized `f32` data, never
+    /// uninitialized memory — but callers **must fully overwrite** the
+    /// tensor before reading it, or results become dependent on recycling
+    /// history. Reserved for kernels that write every output element (SpMM,
+    /// gathers, elementwise maps, row reductions).
+    pub fn uninit_in(arena: &mut Arena, rows: usize, cols: usize) -> Self {
+        match arena.take(rows * cols) {
+            Some(data) => Self { rows, cols, data },
+            None => Self::zeros(rows, cols),
         }
     }
 
@@ -181,6 +214,28 @@ impl Tensor {
         self.zip_map_with(&xparallel::PoolHandle::global(), other, f)
     }
 
+    /// Like [`Tensor::map_with`] but writing into a caller-provided tensor
+    /// (every element of `out` is overwritten) — the allocation-free variant
+    /// the autograd tape pairs with [`Tensor::uninit_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not share this tensor's shape.
+    pub fn map_into_with(
+        &self,
+        pool: &xparallel::PoolHandle,
+        f: impl Fn(f32) -> f32 + Sync,
+        out: &mut Tensor,
+    ) {
+        assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
+        let src = &self.data;
+        pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                *d = f(src[offset + k]);
+            }
+        });
+    }
+
     /// Like [`Tensor::zip_map`] but dispatched on an explicit pool handle.
     ///
     /// # Panics
@@ -201,6 +256,29 @@ impl Tensor {
             }
         });
         out
+    }
+
+    /// Like [`Tensor::zip_map_with`] but writing into a caller-provided
+    /// tensor (every element of `out` is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands or `out` differ in shape.
+    pub fn zip_map_into_with(
+        &self,
+        pool: &xparallel::PoolHandle,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+        out: &mut Tensor,
+    ) {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_map output shape mismatch");
+        let (a, b) = (&self.data, &other.data);
+        pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                *d = f(a[offset + k], b[offset + k]);
+            }
+        });
     }
 
     /// In-place `self += alpha * other`.
@@ -292,6 +370,15 @@ impl Tensor {
         // The Drop impl will see an empty buffer, so deregister here.
         memory::deregister((data.len() * 4) as u64);
         data
+    }
+
+    /// Consumes the tensor, returning the buffer **without** deregistering:
+    /// the bytes stay counted as live. This is the [`Arena`] reclamation
+    /// path — registration ownership moves to the pool (and back out again
+    /// on the next [`Tensor::zeros_in`] / [`Tensor::uninit_in`] hit).
+    pub(crate) fn into_raw_registered(mut self) -> Vec<f32> {
+        // The Drop impl sees an empty buffer and deregisters nothing.
+        std::mem::take(&mut self.data)
     }
 }
 

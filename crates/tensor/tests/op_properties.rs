@@ -63,7 +63,7 @@ proptest! {
             let mut store = ParamStore::new();
             let p = store.add_param("p", Tensor::from_vec(m, n, data.clone()));
             let mut g = Graph::new();
-            let x = g.gather(&store, p, (0..m as u32).collect());
+            let x = g.gather(&store, p, (0..m as u32).collect::<Vec<u32>>());
             let y = g.scale(x, scale);
             let loss = g.mean(y);
             g.backward(loss, &mut store);
@@ -83,7 +83,7 @@ proptest! {
         let p = store.add_param("p", Tensor::from_vec(m, n, data));
         let backward_once = |store: &mut ParamStore| {
             let mut g = Graph::new();
-            let x = g.gather(store, p, (0..m as u32).collect());
+            let x = g.gather(store, p, (0..m as u32).collect::<Vec<u32>>());
             let loss = g.mean(x);
             g.backward(loss, store);
         };
