@@ -1,0 +1,110 @@
+//! Entity-count scaling of the per-batch training step — the touched-row
+//! gradient contract's acceptance bench.
+//!
+//! The paper's premise is that TransX training is row-sparse: a batch of
+//! `B` triples touches `O(B)` embedding rows out of `N`. With the
+//! touched-row pipeline (sparse `zero_grads`, listed backward kernels,
+//! touched-row SGD), per-batch step time depends on the **batch**, not the
+//! table: the `sparse` arm must stay flat (±20%) across a 10k → 1M entity
+//! sweep at fixed batch size. The `dense-grads` ablation arm
+//! (`TrainConfig::dense_grads` / `ParamStore::set_dense_grads`, the same
+//! switch as `sptx train --dense-grads true`) restores the pre-contract
+//! full-table sweeps and must grow roughly linearly in `N` — the two arms
+//! are bit-identical in results (see `tests/sparse_grad_properties.rs`),
+//! so the gap is pure bookkeeping cost.
+//!
+//! The loop body is one synchronous training step (zero grads, tape reset,
+//! forward, loss, backward, SGD) on a single fixed-size batch. Per-epoch
+//! model constraints (entity renormalization) are excluded: they are
+//! `O(N · d)` by definition and amortize over an epoch's many batches in
+//! real runs — this bench isolates the *per-batch* cost the contract
+//! bounds.
+//!
+//! **Controlled variable:** the batch is held **byte-identical** across the
+//! sweep — every dataset uses the same triples over entities `0..10k`
+//! (negatives included), and only the declared entity count (and therefore
+//! the embedding-table height) grows. Sampling triples from the full range
+//! instead would shrink duplicate-row collisions and scatter the touched
+//! rows across a larger working set as `N` grows — real effects, but
+//! cache-locality ones that any gather-based implementation pays per
+//! *distinct touched row*; the contract under test is about `O(N)`
+//! full-table sweeps, so the sweep isolates exactly those.
+//!
+//! Run with `cargo bench -p sptx-bench --bench scale`. The flat-vs-linear
+//! separation shows on any machine — it is allocator/memory-bound, not
+//! core-count-bound.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, UniformSampler};
+use sptransx::{KgeModel, SpTransE, TrainConfig};
+use tensor::optim::{Optimizer, Sgd};
+use tensor::Graph;
+use xparallel::PoolHandle;
+
+/// Positive triples per batch; the whole (train-split) plan is one batch so
+/// every size in the sweep steps over an identically-sized batch.
+const TRIPLES: usize = 2_048;
+const DIM: usize = 16;
+/// Entity range the fixed batch actually references (see module docs).
+const ACTIVE_ENTITIES: usize = 10_000;
+
+fn bench_entity_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // One batch over entities 0..10k, reused verbatim at every table size.
+    let base = SyntheticKgBuilder::new(ACTIVE_ENTITIES, 8)
+        .triples(TRIPLES)
+        .seed(0x5CA1E)
+        .build();
+    let known = base.all_known();
+    // Negatives stay inside the active range too, keeping the batch
+    // byte-identical while the table grows.
+    let sampler = UniformSampler::new(ACTIVE_ENTITIES);
+
+    for &(entities, label) in &[(10_000usize, "10k"), (100_000, "100k"), (1_000_000, "1M")] {
+        let mut ds = base.clone();
+        ds.num_entities = entities;
+        for dense_grads in [false, true] {
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: TRIPLES, // one batch per epoch: fixed batch size
+                dim: DIM,
+                rel_dim: DIM / 2,
+                lr: 0.01,
+                dense_grads,
+                ..Default::default()
+            };
+            let plan = BatchPlan::build(&ds.train, &known, &sampler, cfg.batch_size, cfg.seed);
+            let batch_rows = plan.batch(0).len() as u64;
+            let mut model = SpTransE::from_config(&ds, &cfg).expect("model");
+            model.attach_plan(&plan).expect("plan");
+            model.store_mut().set_dense_grads(cfg.dense_grads);
+            let mut opt = Sgd::new(cfg.lr);
+            opt.set_pool(&PoolHandle::global());
+            let mut graph = Graph::new();
+
+            let arm = if dense_grads { "dense-grads" } else { "sparse" };
+            group.throughput(Throughput::Elements(batch_rows));
+            group.bench_with_input(BenchmarkId::new(arm, label), &entities, |b, _| {
+                b.iter(|| {
+                    model.store_mut().zero_grads();
+                    graph.reset();
+                    let (pos, neg) = model.score_batch(&mut graph, 0);
+                    let loss = graph.margin_ranking_loss(pos, neg, cfg.margin);
+                    graph.backward(loss, model.store_mut());
+                    opt.step(model.store_mut());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entity_scaling);
+criterion_main!(benches);

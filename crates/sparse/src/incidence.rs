@@ -152,18 +152,38 @@ pub struct IncidencePair {
     pub forward: CsrMatrix,
     /// Cached transpose `Aᵀ` (`cols × M`).
     pub transpose: CsrMatrix,
+    /// Sorted, deduplicated nonzero columns of `A` — the embedding rows this
+    /// batch touches. Cached once per pair (the same `O(cols)` pass the
+    /// transpose construction already pays) so the backward pass and the
+    /// touched-row gradient contract never rescan the matrix.
+    touched: Vec<u32>,
 }
 
 impl IncidencePair {
     /// Builds the pair from a forward matrix.
     pub fn new(forward: CsrMatrix) -> Self {
         let transpose = forward.transpose();
-        Self { forward, transpose }
+        // Occupied rows of Aᵀ == nonzero columns of A, read in O(cols) off
+        // the transpose's indptr instead of an O(nnz log nnz) sort.
+        let touched = transpose.occupied_rows();
+        Self {
+            forward,
+            transpose,
+            touched,
+        }
     }
 
     /// Number of triplets (rows of the forward matrix).
     pub fn num_triples(&self) -> usize {
         self.forward.rows()
+    }
+
+    /// Sorted, deduplicated column indices of `forward` with at least one
+    /// nonzero — exactly the parameter rows whose gradients a batch using
+    /// this incidence matrix can touch. Consumers union it into their
+    /// `RowSet`s per batch.
+    pub fn touched_columns(&self) -> &[u32] {
+        &self.touched
     }
 }
 
@@ -256,5 +276,15 @@ mod tests {
         let pair = IncidencePair::new(a.clone());
         assert_eq!(pair.num_triples(), 2);
         assert_eq!(pair.transpose, a.transpose());
+    }
+
+    #[test]
+    fn incidence_pair_caches_touched_columns() {
+        // Triples (0, r0, 2) and (1, r1, 3) over 5 entities + 2 relations:
+        // columns 0..=3 plus relation columns 5 and 6; entity 4 untouched.
+        let a = hrt(5, 2, &[0, 1], &[0, 1], &[2, 3], TailSign::Negative).unwrap();
+        let pair = IncidencePair::new(a.clone());
+        assert_eq!(pair.touched_columns(), &[0, 1, 2, 3, 5, 6]);
+        assert_eq!(pair.touched_columns(), a.nonzero_columns());
     }
 }

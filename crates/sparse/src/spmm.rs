@@ -267,6 +267,76 @@ pub fn csr_spmm_acc_into_with(
     });
 }
 
+/// Like [`csr_spmm_acc_into_with`] but restricted to an explicit sorted list
+/// of output rows — the touched-row backward kernel.
+///
+/// `rows` must be strictly ascending indices into `A`'s rows. Only listed
+/// rows are processed (each by exactly one worker, accumulating its
+/// nonzeros in CSR order, so results are bit-identical to the dense sweep
+/// at any pool width); listed rows with no nonzeros cost nothing. **Rows
+/// outside the list are not touched at all** — the caller must guarantee
+/// every nonempty row of `A` is listed (for an incidence transpose, the
+/// [`crate::incidence::IncidencePair::touched_columns`] list or any
+/// superset of it), otherwise their contributions are silently dropped.
+///
+/// This is what makes the backward pass `O(batch)` instead of `O(N)`: the
+/// dense sweep scans every parameter row's `indptr` entry, this kernel only
+/// walks the touched list.
+///
+/// # Panics
+///
+/// Same conditions as [`csr_spmm_into`], plus (debug only) an unsorted row
+/// list.
+pub fn csr_spmm_acc_rows_into_with(
+    pool: &xparallel::PoolHandle,
+    a: &CsrMatrix,
+    rows: &[u32],
+    b: DenseView<'_>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.cols(), b.rows(), "spmm shape mismatch");
+    let n = b.cols();
+    assert_eq!(out.len(), a.rows() * n, "output buffer has wrong length");
+    metrics::record_spmm_call();
+    let indptr = a.indptr();
+    let nnz_listed: u64 = rows
+        .iter()
+        .map(|&r| u64::from(indptr[r as usize + 1] - indptr[r as usize]))
+        .sum();
+    let flops = if a.has_unit_coefficients() {
+        nnz_listed * n as u64
+    } else {
+        2 * nnz_listed * n as u64
+    };
+    metrics::add_flops(flops);
+    // Same traffic model as the dense accumulating kernel, but only the
+    // listed rows' nonzeros move bytes.
+    metrics::add_bytes(
+        (nnz_listed * (4 + 4)) + (nnz_listed * n as u64 * 4) + 2 * (nnz_listed * n as u64 * 4),
+    );
+    if n == 0 || rows.is_empty() {
+        return;
+    }
+    let bdata = b.as_slice();
+    let indices = a.indices();
+    let values = a.values();
+    pool.for_listed_rows(out, n, rows, MIN_ROWS_PER_CHUNK, |listed, first, window| {
+        for &r in listed {
+            let i = r as usize;
+            let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
+            if s == e {
+                continue;
+            }
+            let off = (i - first) * n;
+            let dst = &mut window[off..off + n];
+            for k in s..e {
+                let c = indices[k] as usize;
+                axpy(values[k], &bdata[c * n..(c + 1) * n], dst);
+            }
+        }
+    });
+}
+
 /// Like [`csr_spmm_into`] but always takes the general (tiled axpy) path,
 /// skipping the 1/2/3-nonzero incidence fast paths — used by the ablation
 /// benchmarks to quantify the fast path's contribution.
@@ -470,6 +540,52 @@ mod tests {
         for (x, w) in acc.iter().zip(want.as_slice()) {
             assert!((x - (w + 0.5)).abs() < 1e-4, "{x} vs {}", w + 0.5);
         }
+    }
+
+    #[test]
+    fn acc_rows_kernel_matches_dense_sweep_bitwise() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let a = random_csr(&mut rng, 120, 25, 4);
+        let b = random_dense(&mut rng, 25, 9);
+        let mut dense = vec![0.25f32; 120 * 9];
+        let mut listed = dense.clone();
+        csr_spmm_acc_into(&a, b.view(), &mut dense);
+        let rows = a.occupied_rows();
+        csr_spmm_acc_rows_into_with(
+            &xparallel::PoolHandle::global(),
+            &a,
+            &rows,
+            b.view(),
+            &mut listed,
+        );
+        // Bit-identical: the listed kernel performs the exact per-row
+        // accumulation of the dense sweep, skipping only empty rows.
+        for (x, y) in listed.iter().zip(&dense) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+        // A superset list (extra empty rows) changes nothing, and unlisted
+        // rows are left alone entirely.
+        let mut superset = vec![0.25f32; 120 * 9];
+        let all: Vec<u32> = (0..120).collect();
+        csr_spmm_acc_rows_into_with(
+            &xparallel::PoolHandle::global().with_width(5),
+            &a,
+            &all,
+            b.view(),
+            &mut superset,
+        );
+        for (x, y) in superset.iter().zip(&dense) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut none = vec![0.25f32; 120 * 9];
+        csr_spmm_acc_rows_into_with(
+            &xparallel::PoolHandle::global(),
+            &a,
+            &[],
+            b.view(),
+            &mut none,
+        );
+        assert!(none.iter().all(|&x| x == 0.25));
     }
 
     #[test]

@@ -31,7 +31,6 @@
 use std::time::{Duration, Instant};
 
 use kg::{BatchPlan, Dataset, UniformSampler};
-use tensor::optim::{Optimizer, Sgd};
 use tensor::{Graph, ParamId, Tensor};
 use xparallel::PoolHandle;
 
@@ -138,16 +137,30 @@ where
     for (w, shard) in shards.iter().enumerate() {
         let mut m = make_model(dataset, config)?;
         m.attach_plan(shard)?;
+        m.store_mut().set_dense_grads(config.dense_grads);
         let _ = w;
         replicas.push(m);
     }
     let shard_sizes: Vec<usize> = shards.iter().map(BatchPlan::num_batches).collect();
 
     let pool = PoolHandle::global();
-    let mut optimizer = Sgd::new(config.lr).with_pool(pool.clone());
+    // One optimizer *instance per replica*, as DDP gives each rank its own:
+    // every replica steps on the same averaged gradient, so per-replica
+    // state (Adagrad accumulators, Adam moments) stays bit-identical and
+    // the replicas remain in lock-step. A single shared stateful optimizer
+    // would advance its state once per replica per synchronous step and
+    // desynchronize them (SGD, being stateless, would mask the bug).
+    let mut optimizers: Vec<_> = (0..workers)
+        .map(|_| {
+            let mut opt = config.optimizer.build(config.lr);
+            opt.set_pool(&pool);
+            opt
+        })
+        .collect();
     // One persistent sequential tape per replica (reset per step, buffers
     // recycled through its arena) plus a reusable all-reduce accumulator per
-    // parameter: the steady-state synchronous step is allocation-free.
+    // parameter and a reusable row-union buffer: the steady-state
+    // synchronous step is allocation-free.
     let mut graphs: Vec<Graph> = (0..workers)
         .map(|_| Graph::with_pool(PoolHandle::sequential()))
         .collect();
@@ -159,12 +172,25 @@ where
             Tensor::zeros(g.rows(), g.cols())
         })
         .collect();
+    let mut union_scratch: Vec<u32> = Vec::new();
+    let scheduler = config
+        .lr_schedule
+        .map(|(step, gamma)| tensor::optim::StepLr::new(config.lr, step, gamma));
     let started = Instant::now();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut steps = 0usize;
     let margin = config.margin;
 
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
+        if let Some(sched) = &scheduler {
+            // Same decayed rate on every replica's optimizer — identical
+            // state keeps the replicas in lock-step, and the distributed
+            // run honors `TrainConfig::lr_schedule` exactly as `Trainer`
+            // does.
+            for opt in optimizers.iter_mut() {
+                sched.apply(opt.as_mut(), epoch as u32);
+            }
+        }
         let mut loss_sum = 0f64;
         let mut loss_count = 0usize;
         for step in 0..steps_per_epoch {
@@ -204,12 +230,21 @@ where
 
             // Phase 2: all-reduce (average) gradients into replica 0.
             let active = shard_sizes.iter().filter(|&&s| s > 0).count().max(1) as f32;
-            all_reduce_grads(&mut replicas, active, &param_ids, &mut reduce_scratch);
+            all_reduce_grads(
+                &mut replicas,
+                active,
+                &param_ids,
+                &mut reduce_scratch,
+                &mut union_scratch,
+            );
 
-            // Phase 3: identical optimizer step on every replica.
-            for m in replicas.iter_mut() {
-                optimizer.step(m.store_mut());
+            // Phase 3: identical optimizer step on every replica, each
+            // through its own (bit-identical) optimizer state.
+            for (m, opt) in replicas.iter_mut().zip(optimizers.iter_mut()) {
+                opt.step(m.store_mut());
             }
+            #[cfg(debug_assertions)]
+            assert_replicas_in_lockstep(&replicas, &param_ids);
             steps += 1;
         }
         for m in replicas.iter_mut() {
@@ -232,37 +267,133 @@ where
     Ok((report, rank0))
 }
 
+/// Debug-build enforcement of the DDP contract: after each synchronous
+/// step, every replica must hold bit-identical parameters (they all applied
+/// the same mean gradient through identical optimizer state). A shared
+/// stateful optimizer, or a non-broadcast reduction, fails here on the
+/// first divergent step instead of silently returning a rank-0 model that
+/// no longer represents "the" trained model.
+#[cfg(debug_assertions)]
+fn assert_replicas_in_lockstep<M: KgeModel>(replicas: &[M], param_ids: &[ParamId]) {
+    let Some((rank0, rest)) = replicas.split_first() else {
+        return;
+    };
+    for (w, other) in rest.iter().enumerate() {
+        for &id in param_ids {
+            let a = rank0.store().value(id).as_slice();
+            let b = other.store().value(id).as_slice();
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "replica {} desynchronized from rank 0 on parameter {:?}",
+                w + 1,
+                id
+            );
+        }
+    }
+}
+
 /// Averages gradients across replicas and broadcasts the result, so every
 /// replica holds the same (mean) gradient — the all-reduce of DDP.
 ///
 /// `scratch` holds one long-lived accumulator per parameter (same order as
-/// `param_ids`), so the per-step reduction copies bits instead of cloning a
-/// fresh tensor — same arithmetic, zero allocations.
+/// `param_ids`) and `union_scratch` one reusable row buffer, so the
+/// per-step reduction copies bits instead of cloning tensors — same
+/// arithmetic, zero allocations at steady state.
+///
+/// **Touched-row path:** when every replica's row set is sparse, the
+/// reduction runs over the **union** of the replica sets — `O(union · d)`
+/// per step instead of copying whole gradient tables — and each replica's
+/// set is widened to that union (after the broadcast every replica holds
+/// gradient exactly on the union rows). Rows outside the union are `+0.0`
+/// on every replica, which is precisely what the dense path computes for
+/// them, so both paths are bit-identical. Any replica in the dense state
+/// falls the whole parameter back to the dense reduction.
 fn all_reduce_grads<M: KgeModel>(
     replicas: &mut [M],
     active_workers: f32,
     param_ids: &[ParamId],
     scratch: &mut [Tensor],
+    union_scratch: &mut Vec<u32>,
 ) {
     if replicas.len() < 2 {
         return;
     }
+    let scale = 1.0 / active_workers;
     for (&id, acc) in param_ids.iter().zip(scratch.iter_mut()) {
-        // Seed the accumulator with replica 0's gradient bits (the
-        // allocation-free equivalent of cloning it).
-        acc.as_mut_slice()
-            .copy_from_slice(replicas[0].store().grad(id).as_slice());
-        for other in replicas.iter().skip(1) {
-            acc.add_scaled(other.store().grad(id), 1.0);
+        union_scratch.clear();
+        let mut dense = false;
+        for m in replicas.iter() {
+            match m.store().touched(id).as_slice() {
+                None => {
+                    dense = true;
+                    break;
+                }
+                Some(rows) => union_scratch.extend_from_slice(rows),
+            }
         }
-        let scale = 1.0 / active_workers;
-        for x in acc.as_mut_slice() {
-            *x *= scale;
+        if dense {
+            // Seed the accumulator with replica 0's gradient bits (the
+            // allocation-free equivalent of cloning it).
+            acc.as_mut_slice()
+                .copy_from_slice(replicas[0].store().grad(id).as_slice());
+            for other in replicas.iter().skip(1) {
+                acc.add_scaled(other.store().grad(id), 1.0);
+            }
+            for x in acc.as_mut_slice() {
+                *x *= scale;
+            }
+            for m in replicas.iter_mut() {
+                // grad_mut marks the replica's row set dense — correct:
+                // after a dense broadcast any row may be nonzero.
+                let g = m.store_mut().grad_mut(id);
+                g.zero_();
+                g.add_scaled(acc, 1.0);
+            }
+            continue;
         }
+        union_scratch.sort_unstable();
+        union_scratch.dedup();
+        let n = acc.cols();
+        if n == 0 || union_scratch.is_empty() {
+            continue;
+        }
+        // Reduce the union rows into the scratch, element-for-element the
+        // same expressions as the dense path (seed-copy, `+= 1.0 · g`,
+        // `*= 1/active`), restricted to rows that can be nonzero.
+        {
+            let accd = acc.as_mut_slice();
+            let g0 = replicas[0].store().grad(id).as_slice();
+            for &r in union_scratch.iter() {
+                let span = r as usize * n..(r as usize + 1) * n;
+                accd[span.clone()].copy_from_slice(&g0[span]);
+            }
+            for other in replicas.iter().skip(1) {
+                let gd = other.store().grad(id).as_slice();
+                for &r in union_scratch.iter() {
+                    for j in r as usize * n..(r as usize + 1) * n {
+                        accd[j] += 1.0 * gd[j];
+                    }
+                }
+            }
+            for &r in union_scratch.iter() {
+                for x in &mut accd[r as usize * n..(r as usize + 1) * n] {
+                    *x *= scale;
+                }
+            }
+        }
+        // Broadcast: every replica's gradient becomes the mean on exactly
+        // the union rows, and its row set is widened to the union so the
+        // optimizer step and the next zero_grads cover them.
+        let accd = acc.as_slice();
         for m in replicas.iter_mut() {
-            let g = m.store_mut().grad_mut(id);
-            g.zero_();
-            g.add_scaled(acc, 1.0);
+            let g = m.store_mut().grad_rows_mut(id, union_scratch);
+            let gd = g.as_mut_slice();
+            for &r in union_scratch.iter() {
+                for j in r as usize * n..(r as usize + 1) * n {
+                    gd[j] = 0.0;
+                    gd[j] += 1.0 * accd[j];
+                }
+            }
         }
     }
 }

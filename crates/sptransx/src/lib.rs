@@ -51,7 +51,7 @@ mod scorer;
 pub mod tasks;
 mod train;
 
-pub use model::{KgeModel, Norm, SamplerKind, TrainConfig};
+pub use model::{KgeModel, Norm, OptimizerKind, SamplerKind, TrainConfig};
 pub use models::dense::{DenseTorusE, DenseTransE, DenseTransH, DenseTransR};
 pub use models::extensions::{SpTransC, SpTransM};
 pub use models::spcomplex::SpComplEx;

@@ -72,6 +72,31 @@ pub enum SamplerKind {
     Bernoulli,
 }
 
+/// Optimizer selector, wired from [`TrainConfig`] through [`crate::Trainer`]
+/// and the data-parallel driver down to `sptx train --optimizer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerKind {
+    /// Plain SGD (the paper's optimizer, §5.3). Touched-row sparse step.
+    #[default]
+    Sgd,
+    /// Adagrad. Touched-row sparse step.
+    Adagrad,
+    /// Adam. **Always dense**: its moments decay on zero gradients, so the
+    /// touched-row fast path does not apply (see `tensor::optim::Adam`).
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer at learning rate `lr`.
+    pub fn build(self, lr: f32) -> Box<dyn tensor::optim::Optimizer> {
+        match self {
+            OptimizerKind::Sgd => Box::new(tensor::optim::Sgd::new(lr)),
+            OptimizerKind::Adagrad => Box::new(tensor::optim::Adagrad::new(lr)),
+            OptimizerKind::Adam => Box::new(tensor::optim::Adam::new(lr)),
+        }
+    }
+}
+
 /// Hyperparameters shared by all models and the trainer.
 ///
 /// Defaults follow the paper's training configuration (§5.3): learning rate
@@ -101,6 +126,13 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Optional step LR schedule `(step_epochs, gamma)` (Appendix E).
     pub lr_schedule: Option<(u32, f32)>,
+    /// Optimizer driving the parameter update.
+    pub optimizer: OptimizerKind,
+    /// Forces every gradient sweep dense (`ParamStore::set_dense_grads`) —
+    /// the ablation arm of the touched-row contract. Training is
+    /// bit-identical either way; only the per-batch cost changes from
+    /// `O(batch · d)` to `O(N · d)`.
+    pub dense_grads: bool,
 }
 
 impl Default for TrainConfig {
@@ -116,6 +148,8 @@ impl Default for TrainConfig {
             sampler: SamplerKind::Uniform,
             seed: 42,
             lr_schedule: None,
+            optimizer: OptimizerKind::Sgd,
+            dense_grads: false,
         }
     }
 }

@@ -6,7 +6,7 @@ use kg::eval::{
     evaluate, evaluate_batched, BatchScorer, EvalConfig, LinkPredictionReport, TripleScorer,
 };
 use kg::{BatchPlan, BernoulliSampler, Dataset, UniformSampler};
-use tensor::optim::{Optimizer, Sgd, StepLr};
+use tensor::optim::{Optimizer, StepLr};
 use tensor::{memory, Graph};
 use xparallel::PoolHandle;
 
@@ -62,7 +62,15 @@ pub struct TrainReport {
 }
 
 /// Drives a [`KgeModel`] over a [`BatchPlan`] with margin-ranking loss and
-/// SGD, recording the paper's metrics.
+/// the configured optimizer ([`crate::OptimizerKind`], default SGD),
+/// recording the paper's metrics.
+///
+/// The gradient plumbing is **row-sparse end to end** (the touched-row
+/// contract, see `tensor::ParamStore`): per batch, zeroing, backward
+/// scatters and the SGD/Adagrad update walk only the rows the batch
+/// touches, so step cost is `O(batch · d)` regardless of entity count.
+/// `TrainConfig::dense_grads` restores the dense sweeps (bit-identical,
+/// just `O(N · d)`) for ablation.
 ///
 /// # Examples
 ///
@@ -84,7 +92,7 @@ pub struct Trainer<M: KgeModel> {
     model: M,
     config: TrainConfig,
     num_batches: usize,
-    optimizer: Sgd,
+    optimizer: Box<dyn Optimizer>,
     scheduler: Option<StepLr>,
     pool: PoolHandle,
     /// One long-lived tape, [`Graph::reset`] per batch: its arena serves
@@ -137,6 +145,10 @@ impl<M: KgeModel> Trainer<M> {
     pub fn with_plan(mut model: M, plan: BatchPlan, config: &TrainConfig) -> Result<Self> {
         config.validate()?;
         model.attach_plan(&plan)?;
+        // The dense-gradient ablation switch: forces every touched-row
+        // sweep (zeroing, backward scatters, optimizer, all-reduce) onto
+        // its full-table path. Bit-identical to the sparse walks.
+        model.store_mut().set_dense_grads(config.dense_grads);
         let scheduler = config
             .lr_schedule
             .map(|(step, gamma)| StepLr::new(config.lr, step, gamma));
@@ -144,7 +156,7 @@ impl<M: KgeModel> Trainer<M> {
             num_batches: plan.num_batches(),
             model,
             config: config.clone(),
-            optimizer: Sgd::new(config.lr),
+            optimizer: config.optimizer.build(config.lr),
             scheduler,
             pool: PoolHandle::global(),
             graph: Graph::new(),
@@ -160,10 +172,26 @@ impl<M: KgeModel> Trainer<M> {
     /// schedule on a narrow one.
     #[must_use]
     pub fn with_pool(mut self, pool: PoolHandle) -> Self {
-        self.optimizer = Sgd::new(self.optimizer.learning_rate()).with_pool(pool.clone());
+        self.optimizer.set_pool(&pool);
         self.graph = Graph::with_pool(pool.clone());
         self.pool = pool;
         self
+    }
+
+    /// Replaces the optimizer (keeping the configured schedule, which acts
+    /// through [`tensor::optim::Optimizer::set_learning_rate`]). Prefer
+    /// [`TrainConfig::optimizer`]; this hook exists for custom
+    /// implementations.
+    #[must_use]
+    pub fn with_optimizer(mut self, optimizer: impl Optimizer + 'static) -> Self {
+        self.optimizer = Box::new(optimizer);
+        self.optimizer.set_pool(&self.pool);
+        self
+    }
+
+    /// Borrows the optimizer (e.g. to inspect the scheduled learning rate).
+    pub fn optimizer(&self) -> &dyn Optimizer {
+        self.optimizer.as_ref()
     }
 
     /// Runs the configured number of epochs.
@@ -195,7 +223,7 @@ impl<M: KgeModel> Trainer<M> {
 
         for epoch in 0..epochs {
             if let Some(sched) = &self.scheduler {
-                sched.apply(&mut self.optimizer, epoch as u32);
+                sched.apply(self.optimizer.as_mut(), epoch as u32);
             }
             let mut loss_sum = 0f64;
             for b in 0..self.num_batches {

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use sparse::incidence::IncidencePair;
-use sparse::spmm::{csr_spmm_acc_into_with, csr_spmm_into_with};
+use sparse::spmm::{csr_spmm_acc_into_with, csr_spmm_acc_rows_into_with, csr_spmm_into_with};
 use xparallel::PoolHandle;
 
 use crate::profile;
@@ -758,19 +758,39 @@ impl Graph {
             Op::Input => {}
             Op::Gather { param, indices } => {
                 let _t = profile::scope("op::gather_backward");
-                scatter_add_rows_with(&self.pool, store.grad_mut(param), &indices, g);
+                store.touch(param, &indices);
+                let (grad, rows) = store.grad_and_rows_mut(param);
+                match rows.as_slice() {
+                    Some(rows) => scatter_add_rows_listed_with(&self.pool, grad, rows, &indices, g),
+                    None => scatter_add_rows_with(&self.pool, grad, &indices, g),
+                }
                 sparse::metrics::add_flops(g.len() as u64);
             }
             Op::Spmm { param, pair } => {
                 let _t = profile::scope("op::spmm_backward");
                 // grad += Aᵀ · g, accumulated in place: untouched parameter
                 // rows cost nothing (Appendix G, without the dense delta).
-                csr_spmm_acc_into_with(
-                    &self.pool,
-                    &pair.transpose,
-                    g.view(),
-                    store.grad_mut(param).as_mut_slice(),
-                );
+                // The pair's cached nonzero-column list feeds the touched-row
+                // contract, and the listed kernel walks only those rows
+                // (plus any rows other ops already touched, whose Aᵀ rows
+                // are empty here) instead of scanning the whole table.
+                store.touch(param, pair.touched_columns());
+                let (grad, rows) = store.grad_and_rows_mut(param);
+                match rows.as_slice() {
+                    Some(rows) => csr_spmm_acc_rows_into_with(
+                        &self.pool,
+                        &pair.transpose,
+                        rows,
+                        g.view(),
+                        grad.as_mut_slice(),
+                    ),
+                    None => csr_spmm_acc_into_with(
+                        &self.pool,
+                        &pair.transpose,
+                        g.view(),
+                        grad.as_mut_slice(),
+                    ),
+                }
             }
             Op::Add(a, b) => {
                 self.accum(a, g, 1.0);
@@ -935,8 +955,14 @@ impl Graph {
                 }
                 // d mats[r] += g_i ⊗ vecs[i], scattered by relation index.
                 let vv = self.value(vecs);
-                let gm = store.grad_mut(mats);
-                scatter_add_outer(&self.pool, gm, &rels, g, vv, d_out, d_in);
+                store.touch(mats, &rels);
+                let (gm, mat_rows) = store.grad_and_rows_mut(mats);
+                match mat_rows.as_slice() {
+                    Some(rows) => {
+                        scatter_add_outer_listed(&self.pool, gm, rows, &rels, g, vv, d_out, d_in)
+                    }
+                    None => scatter_add_outer(&self.pool, gm, &rels, g, vv, d_out, d_in),
+                }
                 sparse::metrics::add_flops(4 * (m * d_out * d_in) as u64);
                 self.accum(vecs, &dv, 1.0);
                 self.arena.reclaim(dv);
@@ -1009,41 +1035,65 @@ impl Graph {
                 // For entity/relation row `e`, each incident triple row `i`
                 // contributes g_i ⊙ Π_{c ≠ e} E[c]. Traverse Aᵀ so each
                 // parameter-gradient row is owned by exactly one worker.
-                let (pv, grad) = store.value_and_grad_mut(param);
+                store.touch(param, pair.touched_columns());
+                let (pv, grad, rows) = store.value_grad_rows_mut(param);
                 let pd = pv.as_slice();
                 let gd = g.as_slice();
                 let indptr = fwd.indptr();
                 let indices = fwd.indices();
-                self.pool
-                    .for_rows(grad.as_mut_slice(), d.max(1), 64, |first, chunk| {
-                        let rows_here = chunk.len() / d.max(1);
-                        for local in 0..rows_here {
-                            let e = first + local;
-                            let dst = &mut chunk[local * d..(local + 1) * d];
-                            for (i, _) in tr.row(e) {
-                                let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
-                                debug_assert_eq!(epos - s, 3);
-                                // The two sibling columns of triple i (CSR column
-                                // indices are strictly ascending, so `e` appears
-                                // exactly once).
-                                let mut others = [0usize; 2];
-                                let mut k = 0;
-                                for &c in &indices[s..epos] {
-                                    if c as usize != e && k < 2 {
-                                        others[k] = c as usize;
-                                        k += 1;
-                                    }
-                                }
-                                debug_assert_eq!(k, 2);
-                                let a = &pd[others[0] * d..others[0] * d + d];
-                                let b = &pd[others[1] * d..others[1] * d + d];
-                                let gr = &gd[i * d..(i + 1) * d];
-                                for j in 0..d {
-                                    dst[j] += gr[j] * a[j] * b[j];
-                                }
+                let process = |e: usize, dst: &mut [f32]| {
+                    for (i, _) in tr.row(e) {
+                        let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
+                        debug_assert_eq!(epos - s, 3);
+                        // The two sibling columns of triple i (CSR column
+                        // indices are strictly ascending, so `e` appears
+                        // exactly once).
+                        let mut others = [0usize; 2];
+                        let mut k = 0;
+                        for &c in &indices[s..epos] {
+                            if c as usize != e && k < 2 {
+                                others[k] = c as usize;
+                                k += 1;
                             }
                         }
-                    });
+                        debug_assert_eq!(k, 2);
+                        let a = &pd[others[0] * d..others[0] * d + d];
+                        let b = &pd[others[1] * d..others[1] * d + d];
+                        let gr = &gd[i * d..(i + 1) * d];
+                        for j in 0..d {
+                            dst[j] += gr[j] * a[j] * b[j];
+                        }
+                    }
+                };
+                match rows.as_slice() {
+                    // Touched-row walk: identical per-row accumulation, but
+                    // only over the rows the batch can reach (rows touched
+                    // by other ops have empty Aᵀ rows here and cost one
+                    // indptr lookup).
+                    Some(rows) => self.pool.for_listed_rows(
+                        grad.as_mut_slice(),
+                        d.max(1),
+                        rows,
+                        64,
+                        |listed, first, window| {
+                            for &e in listed {
+                                let e = e as usize;
+                                let off = (e - first) * d;
+                                process(e, &mut window[off..off + d.max(1)]);
+                            }
+                        },
+                    ),
+                    None => {
+                        self.pool
+                            .for_rows(grad.as_mut_slice(), d.max(1), 64, |first, chunk| {
+                                let rows_here = chunk.len() / d.max(1);
+                                for local in 0..rows_here {
+                                    let e = first + local;
+                                    process(e, &mut chunk[local * d..(local + 1) * d]);
+                                }
+                            })
+                    }
+                }
                 sparse::metrics::add_flops(3 * (fwd.nnz() * d) as u64);
             }
         }
@@ -1183,6 +1233,52 @@ pub fn scatter_add_rows_with(pool: &PoolHandle, dst: &mut Tensor, indices: &[u32
     sparse::metrics::add_bytes(3 * (indices.len() * n * 4) as u64);
 }
 
+/// Like [`scatter_add_rows_with`] but restricted to the sorted destination
+/// rows in `rows` — the touched-row variant of the gather backward.
+///
+/// Every index in `indices` **must** appear in `rows` (callers pass the
+/// parameter's [`crate::RowSet`], a superset of the index list by
+/// construction); listed rows that no index targets are never written.
+/// Contributions land in global index-scan order per destination row, the
+/// same order as the dense sweep, so the two are bit-identical.
+fn scatter_add_rows_listed_with(
+    pool: &PoolHandle,
+    dst: &mut Tensor,
+    rows: &[u32],
+    indices: &[u32],
+    src: &Tensor,
+) {
+    let n = dst.cols();
+    debug_assert_eq!(src.cols(), n);
+    debug_assert_eq!(src.rows(), indices.len());
+    debug_assert!(
+        indices.iter().all(|i| rows.binary_search(i).is_ok()),
+        "every scatter index must be in the touched-row list"
+    );
+    if n == 0 || indices.is_empty() {
+        return;
+    }
+    let sd = src.as_slice();
+    pool.for_listed_rows(dst.as_mut_slice(), n, rows, 128, |listed, first, window| {
+        // The window spans [listed[0], listed.last()] contiguously; any
+        // index inside that span is a listed row of *this* chunk (the list
+        // is sorted and chunks partition it), so a range test suffices.
+        let lo = listed[0];
+        let hi = *listed.last().expect("chunks are non-empty");
+        for (k, &idx) in indices.iter().enumerate() {
+            if idx >= lo && idx <= hi {
+                let r = idx as usize - first;
+                let dst_row = &mut window[r * n..(r + 1) * n];
+                let src_row = &sd[k * n..(k + 1) * n];
+                for (d, s) in dst_row.iter_mut().zip(src_row) {
+                    *d += *s;
+                }
+            }
+        }
+    });
+    sparse::metrics::add_bytes(3 * (indices.len() * n * 4) as u64);
+}
+
 /// `dst[rels[i]] += g_i ⊗ v_i` where `dst` is `(R, d_out*d_in)`.
 fn scatter_add_outer(
     pool: &PoolHandle,
@@ -1213,6 +1309,55 @@ fn scatter_add_outer(
             }
         }
     });
+}
+
+/// Touched-row variant of [`scatter_add_outer`]: only the sorted relation
+/// rows in `rows` are visited. Same preconditions and determinism argument
+/// as [`scatter_add_rows_listed_with`].
+#[allow(clippy::too_many_arguments)]
+fn scatter_add_outer_listed(
+    pool: &PoolHandle,
+    dst: &mut Tensor,
+    rows: &[u32],
+    rels: &[u32],
+    g: &Tensor,
+    v: &Tensor,
+    d_out: usize,
+    d_in: usize,
+) {
+    let width = d_out * d_in;
+    debug_assert_eq!(dst.cols(), width);
+    debug_assert!(
+        rels.iter().all(|r| rows.binary_search(r).is_ok()),
+        "every relation index must be in the touched-row list"
+    );
+    if width == 0 || rels.is_empty() {
+        return;
+    }
+    let (gd, vd) = (g.as_slice(), v.as_slice());
+    pool.for_listed_rows(
+        dst.as_mut_slice(),
+        width,
+        rows,
+        8,
+        |listed, first, window| {
+            let lo = listed[0];
+            let hi = *listed.last().expect("chunks are non-empty");
+            for (i, &rel) in rels.iter().enumerate() {
+                if rel >= lo && rel <= hi {
+                    let r = rel as usize - first;
+                    let mat = &mut window[r * width..(r + 1) * width];
+                    for o in 0..d_out {
+                        let go = gd[i * d_out + o];
+                        let row = &mut mat[o * d_in..(o + 1) * d_in];
+                        for (j, m) in row.iter_mut().enumerate() {
+                            *m += go * vd[i * d_in + j];
+                        }
+                    }
+                }
+            }
+        },
+    );
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1299,7 +1444,8 @@ fn complex_score_backward(
 ) {
     let fwd = &pair.forward;
     let tr = &pair.transpose;
-    let (pv, grad) = store.value_and_grad_mut(param);
+    store.touch(param, pair.touched_columns());
+    let (pv, grad, rows) = store.value_grad_rows_mut(param);
     let d2 = pv.cols();
     let half = d2 / 2;
     let pd = pv.as_slice();
@@ -1307,47 +1453,64 @@ fn complex_score_backward(
     let indptr = fwd.indptr();
     let indices = fwd.indices();
     let values = fwd.values();
-    pool.for_rows(grad.as_mut_slice(), d2.max(1), 32, |first, chunk| {
-        let rows_here = chunk.len() / d2.max(1);
-        for local in 0..rows_here {
-            let e = first + local;
-            let dst = &mut chunk[local * d2..(local + 1) * d2];
-            for (i, _) in tr.row(e) {
-                let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
-                let (a, b, t) = split_hrt_row(&indices[s..epos], &values[s..epos]);
-                let gi = gd[i];
-                for j in 0..half {
-                    let hv = complex_at(pd, a, j, d2);
-                    let rv = complex_at(pd, b, j, d2);
-                    let tv = complex_at(pd, t, j, d2);
-                    // Per-component upstream direction.
-                    let gz = match kernel {
-                        ComplexKernel::Rotate => {
-                            let hr = cmul(hv, rv);
-                            let z = (hr.0 - tv.0, hr.1 - tv.1);
-                            let norm = (z.0 * z.0 + z.1 * z.1).sqrt().max(1e-12);
-                            (z.0 / norm, z.1 / norm)
-                        }
-                        ComplexKernel::ComplEx => tv,
-                    };
-                    let delta = if e == t {
-                        match kernel {
-                            ComplexKernel::Rotate => (-gz.0, -gz.1),
-                            ComplexKernel::ComplEx => cmul(hv, rv),
-                        }
-                    } else {
-                        // e is one of the two positive columns; the partner
-                        // is the other one. ∇e = conj(partner)·gz for both
-                        // kernels (ComplEx: gz = t).
-                        let partner = if e == a { rv } else { hv };
-                        cmul((partner.0, -partner.1), gz)
-                    };
-                    dst[2 * j] += gi * delta.0;
-                    dst[2 * j + 1] += gi * delta.1;
-                }
+    let process = |e: usize, dst: &mut [f32]| {
+        for (i, _) in tr.row(e) {
+            let (s, epos) = (indptr[i] as usize, indptr[i + 1] as usize);
+            let (a, b, t) = split_hrt_row(&indices[s..epos], &values[s..epos]);
+            let gi = gd[i];
+            for j in 0..half {
+                let hv = complex_at(pd, a, j, d2);
+                let rv = complex_at(pd, b, j, d2);
+                let tv = complex_at(pd, t, j, d2);
+                // Per-component upstream direction.
+                let gz = match kernel {
+                    ComplexKernel::Rotate => {
+                        let hr = cmul(hv, rv);
+                        let z = (hr.0 - tv.0, hr.1 - tv.1);
+                        let norm = (z.0 * z.0 + z.1 * z.1).sqrt().max(1e-12);
+                        (z.0 / norm, z.1 / norm)
+                    }
+                    ComplexKernel::ComplEx => tv,
+                };
+                let delta = if e == t {
+                    match kernel {
+                        ComplexKernel::Rotate => (-gz.0, -gz.1),
+                        ComplexKernel::ComplEx => cmul(hv, rv),
+                    }
+                } else {
+                    // e is one of the two positive columns; the partner
+                    // is the other one. ∇e = conj(partner)·gz for both
+                    // kernels (ComplEx: gz = t).
+                    let partner = if e == a { rv } else { hv };
+                    cmul((partner.0, -partner.1), gz)
+                };
+                dst[2 * j] += gi * delta.0;
+                dst[2 * j + 1] += gi * delta.1;
             }
         }
-    });
+    };
+    match rows.as_slice() {
+        Some(rows) => pool.for_listed_rows(
+            grad.as_mut_slice(),
+            d2.max(1),
+            rows,
+            32,
+            |listed, first, window| {
+                for &e in listed {
+                    let e = e as usize;
+                    let off = (e - first) * d2;
+                    process(e, &mut window[off..off + d2.max(1)]);
+                }
+            },
+        ),
+        None => pool.for_rows(grad.as_mut_slice(), d2.max(1), 32, |first, chunk| {
+            let rows_here = chunk.len() / d2.max(1);
+            for local in 0..rows_here {
+                let e = first + local;
+                process(e, &mut chunk[local * d2..(local + 1) * d2]);
+            }
+        }),
+    }
     sparse::metrics::add_flops(12 * (fwd.nnz() * half) as u64);
 }
 

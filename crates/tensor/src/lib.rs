@@ -66,7 +66,7 @@ pub use graph::{Graph, Var};
 pub mod kernels {
     pub use crate::graph::scatter_add_rows;
 }
-pub use store::{ParamId, ParamStore};
+pub use store::{ParamId, ParamStore, RowSet};
 pub use tensor::Tensor;
 
 /// Convenience alias for fallible tensor operations.

@@ -14,7 +14,18 @@ use crate::{ParamStore, Tensor};
 /// Implementors read accumulated gradients and update parameter values in
 /// place; [`step`](Optimizer::step) does **not** zero gradients — call
 /// [`ParamStore::zero_grads`] per batch, as PyTorch does.
-pub trait Optimizer {
+///
+/// # Touched-row contract
+///
+/// [`ParamStore::iter_mut`] hands each parameter's [`crate::RowSet`]
+/// alongside its gradient. Optimizers whose update is a fixed point on zero
+/// gradients (`SGD`: `x + (−lr · 0) = x`; `Adagrad`: the accumulator and
+/// value are both unchanged by `g = 0`, bit for bit under IEEE-754) walk
+/// only the touched rows, making the step `O(batch · d)` instead of
+/// `O(N · d)`. `Adam` is **not** such a fixed point — its moments decay
+/// (`m ← β₁m`) even when `g = 0` — so it always sweeps densely; see
+/// [`Adam`].
+pub trait Optimizer: std::fmt::Debug {
     /// Applies one update using the gradients currently in `store`.
     fn step(&mut self, store: &mut ParamStore);
 
@@ -23,6 +34,13 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (used by schedulers).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Re-targets pool-dispatched updates onto an explicit handle. Default:
+    /// no-op (serial optimizers ignore it). Results are bit-identical at
+    /// any handle width either way — the knob trades wall-clock only.
+    fn set_pool(&mut self, pool: &PoolHandle) {
+        let _ = pool;
+    }
 }
 
 /// Plain stochastic gradient descent: `p ← p − lr · g`.
@@ -71,8 +89,40 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let lr = self.lr;
-        for (_, value, grad) in store.iter_mut() {
-            value.add_scaled_with(&self.pool, grad, -lr);
+        for (_, value, grad, rows) in store.iter_mut() {
+            debug_assert_eq!(
+                value.shape(),
+                grad.shape(),
+                "value/grad shape mismatch in Sgd::step"
+            );
+            let n = value.cols();
+            match rows.as_slice() {
+                None => value.add_scaled_with(&self.pool, grad, -lr),
+                // Touched-row walk: untouched rows hold exact +0.0
+                // gradients, and `x + (−lr · 0.0) = x` bit for bit, so
+                // skipping them reproduces the dense sweep exactly.
+                Some(rows) if n > 0 => {
+                    let gd = grad.as_slice();
+                    self.pool.for_listed_rows(
+                        value.as_mut_slice(),
+                        n,
+                        rows,
+                        64,
+                        |listed, first, window| {
+                            for &r in listed {
+                                let r = r as usize;
+                                let off = (r - first) * n;
+                                let dst = &mut window[off..off + n];
+                                let src = &gd[r * n..(r + 1) * n];
+                                for (d, s) in dst.iter_mut().zip(src) {
+                                    *d += -lr * *s;
+                                }
+                            }
+                        },
+                    );
+                }
+                Some(_) => {}
+            }
         }
     }
 
@@ -83,9 +133,17 @@ impl Optimizer for Sgd {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn set_pool(&mut self, pool: &PoolHandle) {
+        self.pool = pool.clone();
+    }
 }
 
 /// Adagrad: per-coordinate adaptive learning rates.
+///
+/// Like [`Sgd`], the update is a bitwise fixed point on zero gradients
+/// (`a + 0·0 = a`, `v − lr·0/(√a + ε) = v`), so the step walks only the
+/// touched rows of each parameter and stays bit-identical to a dense sweep.
 #[derive(Debug, Clone)]
 pub struct Adagrad {
     lr: f32,
@@ -104,20 +162,59 @@ impl Adagrad {
     }
 }
 
+/// Borrows lazily-allocated optimizer state for one parameter, re-allocating
+/// (and thereby resetting) it when its shape no longer matches the value —
+/// the guard that keeps state keyed by dense [`crate::ParamId`] index valid
+/// when parameters are registered after the optimizer's first `step`.
+fn validated_state<'a, T>(
+    slot: &'a mut Option<T>,
+    value: &Tensor,
+    shape_of: impl Fn(&T) -> (usize, usize),
+    fresh: impl FnOnce() -> T,
+) -> &'a mut T {
+    let stale = slot.as_ref().is_some_and(|s| shape_of(s) != value.shape());
+    if stale {
+        *slot = None;
+    }
+    slot.get_or_insert_with(fresh)
+}
+
 impl Optimizer for Adagrad {
     fn step(&mut self, store: &mut ParamStore) {
         let (lr, eps) = (self.lr, self.eps);
         let n = store.len();
         self.accum.resize_with(n, || None);
-        for (id, value, grad) in store.iter_mut() {
-            let acc = self.accum[id_index(id)]
-                .get_or_insert_with(|| Tensor::zeros(value.rows(), value.cols()));
+        for (id, value, grad, rows) in store.iter_mut() {
+            debug_assert_eq!(
+                value.shape(),
+                grad.shape(),
+                "value/grad shape mismatch in Adagrad::step"
+            );
+            let acc = validated_state(&mut self.accum[id_index(id)], value, Tensor::shape, || {
+                Tensor::zeros(value.rows(), value.cols())
+            });
+            let cols = value.cols();
             let (vd, gd, ad) = (value.as_mut_slice(), grad.as_slice(), acc.as_mut_slice());
-            for i in 0..vd.len() {
+            let update = |i: usize, vd: &mut [f32], ad: &mut [f32]| {
                 let g = gd[i];
                 let a = ad[i] + g * g;
                 ad[i] = a;
                 vd[i] -= lr * g / (a.sqrt() + eps);
+            };
+            match rows.as_slice() {
+                None => {
+                    for i in 0..vd.len() {
+                        update(i, vd, ad);
+                    }
+                }
+                Some(rows) => {
+                    for &r in rows {
+                        let r = r as usize;
+                        for i in r * cols..(r + 1) * cols {
+                            update(i, vd, ad);
+                        }
+                    }
+                }
             }
         }
     }
@@ -132,6 +229,15 @@ impl Optimizer for Adagrad {
 }
 
 /// Adam (Kingma & Ba) with bias correction.
+///
+/// **Dense by design:** Adam's moments decay on every step (`m ← β₁·m`,
+/// `v ← β₂·v`) even where the gradient is zero, so a zero-gradient row is
+/// *not* a fixed point — skipping untouched rows would change results (the
+/// "dense Adam vs sparse Adam" semantics gap PyTorch exposes as
+/// `SparseAdam`). This implementation keeps the reference dense-Adam
+/// semantics and therefore ignores the touched-row sets: its step is
+/// `O(N · d)` regardless of batch sparsity. Use [`Sgd`] or [`Adagrad`] when
+/// the touched-row fast path matters.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
@@ -171,13 +277,23 @@ impl Optimizer for Adam {
         let bias2 = 1.0 - b2.powi(t as i32);
         let n = store.len();
         self.moments.resize_with(n, || None);
-        for (id, value, grad) in store.iter_mut() {
-            let (m, v) = self.moments[id_index(id)].get_or_insert_with(|| {
-                (
-                    Tensor::zeros(value.rows(), value.cols()),
-                    Tensor::zeros(value.rows(), value.cols()),
-                )
-            });
+        for (id, value, grad, _rows) in store.iter_mut() {
+            debug_assert_eq!(
+                value.shape(),
+                grad.shape(),
+                "value/grad shape mismatch in Adam::step"
+            );
+            let (m, v) = validated_state(
+                &mut self.moments[id_index(id)],
+                value,
+                |(m, _)| m.shape(),
+                || {
+                    (
+                        Tensor::zeros(value.rows(), value.cols()),
+                        Tensor::zeros(value.rows(), value.cols()),
+                    )
+                },
+            );
             let (vd, gd) = (value.as_mut_slice(), grad.as_slice());
             let (md, sd) = (m.as_mut_slice(), v.as_mut_slice());
             for i in 0..vd.len() {
@@ -302,5 +418,77 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.5);
         opt.set_learning_rate(0.1);
         assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    /// Registering a parameter after the first `step` must lazily allocate
+    /// its state instead of indexing out of bounds, and shape-mismatched
+    /// state (dense-index reuse across stores) must be re-validated.
+    #[test]
+    fn stateful_optimizers_survive_late_params_and_store_swaps() {
+        for make in [
+            (|| Box::new(Adagrad::new(0.1)) as Box<dyn Optimizer>) as fn() -> Box<dyn Optimizer>,
+            || Box::new(Adam::new(0.1)),
+        ] {
+            let mut opt = make();
+            let mut s = ParamStore::new();
+            let a = s.add_param("a", Tensor::full(1, 1, 2.0));
+            s.grad_mut(a).set(0, 0, 1.0);
+            opt.step(&mut s);
+            // Late registration: the state vector must grow.
+            let b = s.add_param("b", Tensor::full(2, 3, 1.0));
+            s.grad_mut(b).row_mut(1).fill(0.5);
+            opt.step(&mut s);
+            assert!(s.value(b).get(1, 0) < 1.0, "late param must train");
+
+            // Same optimizer against a store whose param 0 has a different
+            // shape: stale state must be dropped, not indexed against.
+            let mut other = ParamStore::new();
+            let w = other.add_param("w", Tensor::full(4, 2, 1.0));
+            other.grad_mut(w).row_mut(0).fill(0.25);
+            opt.step(&mut other);
+            assert!(other.value(w).get(0, 0) < 1.0);
+        }
+    }
+
+    /// The sparse (touched-row) step must be bit-identical to the dense
+    /// sweep for SGD and Adagrad — the IEEE fixed-point argument, asserted.
+    #[test]
+    fn sparse_step_matches_dense_bitwise() {
+        let runs: [fn() -> Box<dyn Optimizer>; 2] =
+            [|| Box::new(Sgd::new(0.1)), || Box::new(Adagrad::new(0.1))];
+        for make in runs {
+            let mut dense_store = ParamStore::new();
+            let mut sparse_store = ParamStore::new();
+            let init = Tensor::from_rows(&[[1.0, -2.0], [0.5, 0.25], [3.0, -0.125], [0.0, 7.5]]);
+            let pd = dense_store.add_param("p", init.clone());
+            let ps = sparse_store.add_param("p", init);
+            let mut dense_opt = make();
+            let mut sparse_opt = make();
+            for round in 0..3 {
+                dense_store.zero_grads();
+                sparse_store.zero_grads();
+                let g = 0.5 + round as f32;
+                // Dense store: untracked write marks everything.
+                let gd = dense_store.grad_mut(pd);
+                gd.row_mut(1).fill(g);
+                gd.set(3, 0, -g);
+                // Sparse store: tracked write on rows {1, 3} only.
+                let gs = sparse_store.grad_rows_mut(ps, &[1, 3]);
+                gs.row_mut(1).fill(g);
+                gs.set(3, 0, -g);
+                assert!(dense_store.touched(pd).is_dense());
+                assert!(!sparse_store.touched(ps).is_dense());
+                dense_opt.step(&mut dense_store);
+                sparse_opt.step(&mut sparse_store);
+                for (x, y) in dense_store
+                    .value(pd)
+                    .as_slice()
+                    .iter()
+                    .zip(sparse_store.value(ps).as_slice())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+                }
+            }
+        }
     }
 }

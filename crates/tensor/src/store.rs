@@ -1,4 +1,5 @@
-//! Parameter storage: the model's learnable tensors and their gradients.
+//! Parameter storage: the model's learnable tensors, their gradients, and
+//! the touched-row sets that make every downstream gradient sweep sparse.
 
 use crate::{Error, Result, Tensor};
 
@@ -14,12 +15,126 @@ impl ParamId {
     }
 }
 
+/// The set of parameter rows whose gradient may be nonzero — the
+/// **touched-row contract** threaded from the autograd tape to the
+/// optimizers and the data-parallel all-reduce.
+///
+/// Two states:
+///
+/// * **Sparse** — a sorted, deduplicated list of row indices. Maintained by
+///   [`ParamStore::touch`]; downstream sweeps (`zero_grads`, `Sgd`,
+///   `Adagrad`, `all_reduce_grads`) walk only these rows, so per-batch cost
+///   is `O(batch · d)` instead of `O(N · d)`.
+/// * **Dense** — [`RowSet::mark_all`]: every row may hold gradient. This is
+///   the fallback for writers without row structure (anything going through
+///   [`ParamStore::grad_mut`]) and the explicit
+///   [`ParamStore::set_dense_grads`] ablation mode; all sweeps take their
+///   full-table path, which is bit-identical to the sparse walk.
+///
+/// The backing vector keeps its capacity across [`RowSet::clear`], so the
+/// steady-state training step reuses it batch after batch (arena-style —
+/// no per-batch allocation once the largest batch has been seen).
+///
+/// # Examples
+///
+/// ```
+/// use tensor::RowSet;
+///
+/// let mut rows = RowSet::new();
+/// rows.insert_slice(&[5, 1, 5, 3]);
+/// rows.insert_slice(&[2, 3]);
+/// assert_eq!(rows.as_slice(), Some(&[1, 2, 3, 5][..]));
+/// rows.mark_all();
+/// assert!(rows.is_dense());
+/// assert_eq!(rows.as_slice(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RowSet {
+    rows: Vec<u32>,
+    dense: bool,
+}
+
+impl RowSet {
+    /// Creates an empty (sparse) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set is in the dense (all-rows) state.
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Whether no row is marked (and the set is not dense).
+    pub fn is_empty(&self) -> bool {
+        !self.dense && self.rows.is_empty()
+    }
+
+    /// Number of listed rows (meaningless when dense).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Switches to the dense state: every row may hold gradient.
+    pub fn mark_all(&mut self) {
+        self.dense = true;
+        self.rows.clear();
+    }
+
+    /// Resets to the empty sparse state, **retaining capacity** so the next
+    /// batch's inserts are allocation-free once the high-water mark is
+    /// reached.
+    pub fn clear(&mut self) {
+        self.dense = false;
+        self.rows.clear();
+    }
+
+    /// Unions `rows` (any order, duplicates allowed) into the set, keeping
+    /// it sorted and deduplicated. A no-op in the dense state.
+    pub fn insert_slice(&mut self, rows: &[u32]) {
+        if self.dense || rows.is_empty() {
+            return;
+        }
+        let already_sorted_extension = self
+            .rows
+            .last()
+            .is_none_or(|&last| rows.first().is_some_and(|&f| last < f))
+            && rows.windows(2).all(|w| w[0] < w[1]);
+        self.rows.extend_from_slice(rows);
+        if !already_sorted_extension {
+            self.rows.sort_unstable();
+            self.rows.dedup();
+        }
+    }
+
+    /// The sorted row list, or `None` in the dense state (callers take
+    /// their full-table path).
+    pub fn as_slice(&self) -> Option<&[u32]> {
+        if self.dense {
+            None
+        } else {
+            Some(&self.rows)
+        }
+    }
+}
+
 /// Owns a model's learnable tensors and their gradient accumulators.
 ///
 /// Parameters live *outside* the autograd tape: per-batch [`crate::Graph`]s
 /// reference them by [`ParamId`] so the (potentially huge) embedding matrices
 /// are never copied into the graph. Gradients accumulate across
 /// [`crate::Graph::backward`] calls until [`ParamStore::zero_grads`].
+///
+/// # Touched-row invariant
+///
+/// Each parameter carries a [`RowSet`] of rows whose gradient may be
+/// nonzero. The invariant every writer upholds: **outside the set, gradient
+/// rows are exactly `+0.0`**. [`crate::Graph::backward`] records rows from
+/// the ops that know the sparsity (gather index lists, incidence nonzero
+/// columns, projection relation lists); [`ParamStore::grad_mut`] — the only
+/// untracked mutable entry point — conservatively marks the whole parameter
+/// dense. [`ParamStore::zero_grads`] clears only the set's rows and then
+/// resets the set.
 ///
 /// # Examples
 ///
@@ -30,12 +145,15 @@ impl ParamId {
 /// let w = store.add_param("weights", Tensor::zeros(4, 2));
 /// assert_eq!(store.value(w).shape(), (4, 2));
 /// assert_eq!(store.lookup("weights"), Some(w));
+/// assert!(store.touched(w).is_empty());
 /// ```
 #[derive(Debug, Default)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Tensor>,
     grads: Vec<Tensor>,
+    touched: Vec<RowSet>,
+    dense_grads: bool,
 }
 
 impl ParamStore {
@@ -56,9 +174,14 @@ impl ParamStore {
             "duplicate parameter name: {name}"
         );
         let grad = Tensor::zeros(value.rows(), value.cols());
+        let mut rows = RowSet::new();
+        if self.dense_grads {
+            rows.mark_all();
+        }
         self.names.push(name);
         self.values.push(value);
         self.grads.push(grad);
+        self.touched.push(rows);
         ParamId(self.values.len() - 1)
     }
 
@@ -110,22 +233,95 @@ impl ParamStore {
     }
 
     /// Mutably borrows a parameter's gradient accumulator.
+    ///
+    /// This entry point carries no row information, so it conservatively
+    /// [`RowSet::mark_all`]s the parameter — the dense fallback of the
+    /// touched-row contract. Structured writers inside the crate use the
+    /// tracked accessors instead; external writers with row knowledge can
+    /// re-tighten via [`ParamStore::touch`] after a `zero_grads`.
     pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.touched[id.0].mark_all();
         &mut self.grads[id.0]
     }
 
-    /// Simultaneously borrows value immutably and gradient mutably.
-    pub(crate) fn value_and_grad_mut(&mut self, id: ParamId) -> (&Tensor, &mut Tensor) {
-        (&self.values[id.0], &mut self.grads[id.0])
+    /// Mutably borrows a parameter's gradient for writes **restricted to
+    /// `rows`**, which are recorded in the touched set first — the tracked
+    /// counterpart of [`ParamStore::grad_mut`] for external writers with
+    /// row structure (e.g. the data-parallel all-reduce). Writing outside
+    /// `rows` breaks the touched-row invariant; use
+    /// [`ParamStore::grad_mut`] when the write pattern is unknown.
+    pub fn grad_rows_mut(&mut self, id: ParamId, rows: &[u32]) -> &mut Tensor {
+        self.touch(id, rows);
+        &mut self.grads[id.0]
     }
 
-    /// Iterates over `(id, value, grad)` triples mutably (optimizer hook).
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor)> {
+    /// Borrows a parameter's touched-row set.
+    pub fn touched(&self, id: ParamId) -> &RowSet {
+        &self.touched[id.0]
+    }
+
+    /// Records that `rows` of `id`'s gradient may now be nonzero (any
+    /// order, duplicates fine). In dense-gradient mode this marks the whole
+    /// parameter instead.
+    pub fn touch(&mut self, id: ParamId, rows: &[u32]) {
+        if self.dense_grads {
+            self.touched[id.0].mark_all();
+        } else {
+            self.touched[id.0].insert_slice(rows);
+        }
+    }
+
+    /// Forces every parameter's row set dense, now and for all future
+    /// [`ParamStore::touch`] calls — the `--dense-grads` ablation mode.
+    ///
+    /// Every sweep (zeroing, optimizer steps, all-reduce) then takes its
+    /// full-table path, which is **bit-identical** to the sparse walks (the
+    /// per-row arithmetic is the same and untouched rows carry exact
+    /// `+0.0` gradients); only the per-batch cost changes from
+    /// `O(batch · d)` to `O(N · d)`.
+    pub fn set_dense_grads(&mut self, dense: bool) {
+        self.dense_grads = dense;
+        if dense {
+            for rows in &mut self.touched {
+                rows.mark_all();
+            }
+        }
+    }
+
+    /// Whether the store is in forced dense-gradient mode.
+    pub fn dense_grads(&self) -> bool {
+        self.dense_grads
+    }
+
+    /// Tracked gradient access: the mutable gradient plus the row set a
+    /// structured writer should restrict itself to (callers [`touch`]
+    /// (Self::touch) first, then walk the returned set or a subset of it).
+    pub(crate) fn grad_and_rows_mut(&mut self, id: ParamId) -> (&mut Tensor, &RowSet) {
+        (&mut self.grads[id.0], &self.touched[id.0])
+    }
+
+    /// Like [`grad_and_rows_mut`](Self::grad_and_rows_mut) with the value
+    /// borrowed alongside (the fused backward kernels read it).
+    pub(crate) fn value_grad_rows_mut(&mut self, id: ParamId) -> (&Tensor, &mut Tensor, &RowSet) {
+        (
+            &self.values[id.0],
+            &mut self.grads[id.0],
+            &self.touched[id.0],
+        )
+    }
+
+    /// Iterates over `(id, value, grad, touched)` tuples mutably — the
+    /// optimizer hook. The row set tells the optimizer which rows can carry
+    /// gradient; dense sets mean "sweep everything".
+    pub fn iter_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor, &RowSet)> {
         self.values
             .iter_mut()
             .zip(self.grads.iter_mut())
+            .zip(self.touched.iter())
             .enumerate()
-            .map(|(i, (v, g))| (ParamId(i), v, g))
+            .map(|(i, ((v, g), r))| (ParamId(i), v, g, r))
     }
 
     /// Handles of all registered parameters, in registration order.
@@ -133,10 +329,28 @@ impl ParamStore {
         (0..self.values.len()).map(ParamId).collect()
     }
 
-    /// Zeroes all gradient accumulators.
+    /// Zeroes gradient accumulators and resets the touched-row sets.
+    ///
+    /// Sparse sets are walked row by row (`O(touched · d)`); dense sets
+    /// memset the full table. Because untouched rows are already exact
+    /// `+0.0` (the touched-row invariant), both paths leave identical bits.
     pub fn zero_grads(&mut self) {
-        for g in &mut self.grads {
-            g.zero_();
+        for (g, rows) in self.grads.iter_mut().zip(&mut self.touched) {
+            match rows.as_slice() {
+                None => g.zero_(),
+                Some(listed) => {
+                    let n = g.cols();
+                    let data = g.as_mut_slice();
+                    for &r in listed {
+                        let r = r as usize;
+                        data[r * n..(r + 1) * n].fill(0.0);
+                    }
+                }
+            }
+            rows.clear();
+            if self.dense_grads {
+                rows.mark_all();
+            }
         }
     }
 
@@ -180,5 +394,75 @@ mod tests {
         let mut s = ParamStore::new();
         s.add_param("x", Tensor::zeros(1, 1));
         s.add_param("x", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn row_set_sorts_dedups_and_retains_capacity() {
+        let mut rs = RowSet::new();
+        assert!(rs.is_empty());
+        rs.insert_slice(&[7, 2, 2, 9]);
+        rs.insert_slice(&[3, 7]);
+        assert_eq!(rs.as_slice(), Some(&[2, 3, 7, 9][..]));
+        assert_eq!(rs.len(), 4);
+        // Appending a strictly-greater sorted run skips the re-sort but
+        // stays correct.
+        rs.insert_slice(&[11, 12]);
+        assert_eq!(rs.as_slice(), Some(&[2, 3, 7, 9, 11, 12][..]));
+        let cap = rs.rows.capacity();
+        rs.clear();
+        assert!(rs.is_empty());
+        assert_eq!(rs.rows.capacity(), cap, "clear must retain capacity");
+        rs.mark_all();
+        assert!(rs.is_dense());
+        rs.insert_slice(&[1]); // no-op when dense
+        assert_eq!(rs.as_slice(), None);
+        rs.clear();
+        assert!(!rs.is_dense());
+    }
+
+    #[test]
+    fn touch_tracks_and_grad_mut_marks_dense() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(6, 2));
+        s.touch(a, &[4, 1, 4]);
+        assert_eq!(s.touched(a).as_slice(), Some(&[1, 4][..]));
+        // The untracked accessor falls back to dense.
+        let _ = s.grad_mut(a);
+        assert!(s.touched(a).is_dense());
+        // zero_grads resets the set to empty sparse.
+        s.zero_grads();
+        assert!(s.touched(a).is_empty());
+    }
+
+    #[test]
+    fn sparse_zero_grads_clears_only_touched_rows_and_matches_invariant() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(4, 2));
+        // Simulate a tracked writer: rows 1 and 3 carry gradient.
+        s.touch(a, &[1, 3]);
+        {
+            let (g, rows) = s.grad_and_rows_mut(a);
+            assert_eq!(rows.as_slice(), Some(&[1, 3][..]));
+            g.row_mut(1).fill(2.5);
+            g.row_mut(3).fill(-1.0);
+        }
+        s.zero_grads();
+        assert!(s.grad(a).as_slice().iter().all(|&x| x.to_bits() == 0));
+        assert!(s.touched(a).is_empty());
+    }
+
+    #[test]
+    fn dense_grads_mode_forces_mark_all() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(3, 1));
+        s.set_dense_grads(true);
+        assert!(s.dense_grads());
+        assert!(s.touched(a).is_dense());
+        s.zero_grads();
+        assert!(s.touched(a).is_dense(), "dense mode survives zero_grads");
+        s.touch(a, &[0]);
+        assert!(s.touched(a).is_dense());
+        let b = s.add_param("b", Tensor::zeros(2, 1));
+        assert!(s.touched(b).is_dense(), "late params start dense too");
     }
 }

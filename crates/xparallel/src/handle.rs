@@ -47,6 +47,10 @@ use crate::{
     ThreadPool, WindowSlot,
 };
 
+/// One-shot handoff slot for [`PoolHandle::for_listed_rows`] carrying a
+/// worker's `(listed_rows, window_first_row, window)` triple.
+type ListedWindowSlot<'a, T> = Mutex<Option<(&'a [u32], usize, &'a mut [T])>>;
+
 /// Which pool a [`PoolHandle`] dispatches onto.
 #[derive(Clone, Debug, Default)]
 enum PoolRef {
@@ -201,6 +205,86 @@ impl PoolHandle {
             });
     }
 
+    /// Runs `body(listed_rows, window_first_row, window)` over chunks of an
+    /// explicit **sorted** row list — the sparse-sweep counterpart of
+    /// [`PoolHandle::for_rows`].
+    ///
+    /// `rows` must be strictly ascending row indices into the row-major
+    /// buffer `data` (row width `stride`). The list is partitioned into at
+    /// most `width()` contiguous chunks of at least `min_rows` listed rows;
+    /// each chunk receives the smallest contiguous window of `data` covering
+    /// its listed rows (`window` spans rows `window_first_row ..=
+    /// listed_rows.last()`, so a listed row `r` lives at
+    /// `window[(r - window_first_row) * stride ..]`). Windows of adjacent
+    /// chunks never overlap, so each listed row is owned by exactly one
+    /// chunk and results are bit-identical at any width — the same
+    /// destination-sharding contract as `for_rows`, restricted to a subset
+    /// of rows.
+    ///
+    /// Bodies may also *read* (but should not write) the unlisted rows that
+    /// happen to fall inside their window; the touched-row gradient kernels
+    /// rely on windows covering the gaps so range tests are cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`, `data.len() % stride != 0`, or (debug only)
+    /// `rows` is not strictly ascending / indexes past the last row.
+    pub fn for_listed_rows<T, F>(
+        &self,
+        data: &mut [T],
+        stride: usize,
+        rows: &[u32],
+        min_rows: usize,
+        body: F,
+    ) where
+        T: Send,
+        F: Fn(&[u32], usize, &mut [T]) + Sync,
+    {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(data.len() % stride, 0, "buffer not a whole number of rows");
+        if rows.is_empty() {
+            return;
+        }
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "row list must be strictly ascending"
+        );
+        debug_assert!(
+            (*rows.last().expect("non-empty") as usize) < data.len() / stride,
+            "row list indexes past the buffer"
+        );
+        let ranges = chunk_ranges(rows.len(), min_rows.max(1), self.width());
+        if ranges.len() == 1 {
+            let first = rows[0] as usize;
+            let end = *rows.last().expect("non-empty") as usize + 1;
+            body(rows, first, &mut data[first * stride..end * stride]);
+            return;
+        }
+        let mut windows: Vec<(&[u32], usize, &mut [T])> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        let mut consumed_rows = 0usize;
+        for r in &ranges {
+            let listed = &rows[r.clone()];
+            let w_first = listed[0] as usize;
+            let w_end = *listed.last().expect("chunks are non-empty") as usize + 1;
+            let (_, tail) = rest.split_at_mut((w_first - consumed_rows) * stride);
+            let (window, tail) = tail.split_at_mut((w_end - w_first) * stride);
+            windows.push((listed, w_first, window));
+            consumed_rows = w_end;
+            rest = tail;
+        }
+        let windows: Vec<ListedWindowSlot<'_, T>> =
+            windows.into_iter().map(|w| Mutex::new(Some(w))).collect();
+        self.pool()
+            .scope_run(&singleton_ranges(windows.len()), &|r: Range<usize>| {
+                for i in r {
+                    let (listed, first, window) =
+                        windows[i].lock().take().expect("window taken twice");
+                    body(listed, first, window);
+                }
+            });
+    }
+
     /// Runs `body(index, item)` once per slice element, one task per item.
     ///
     /// This is the data-parallel driver primitive: each item (e.g. a model
@@ -333,6 +417,52 @@ mod tests {
             // fixed order.
             assert_eq!(run(width).to_bits(), base.to_bits(), "width {width}");
         }
+    }
+
+    #[test]
+    fn for_listed_rows_touches_only_listed_rows_at_any_width() {
+        let stride = 3;
+        let nrows = 200;
+        let rows: Vec<u32> = (0..nrows as u32).filter(|r| r % 7 == 2).collect();
+        let run = |width: usize| {
+            let mut data = vec![-1.0f32; stride * nrows];
+            PoolHandle::global().with_width(width).for_listed_rows(
+                &mut data,
+                stride,
+                &rows,
+                1,
+                |listed, first, window| {
+                    for &r in listed {
+                        let off = (r as usize - first) * stride;
+                        for (j, v) in window[off..off + stride].iter_mut().enumerate() {
+                            *v = r as f32 + j as f32 * 0.25;
+                        }
+                    }
+                },
+            );
+            data
+        };
+        let base = run(1);
+        for (i, &v) in base.iter().enumerate() {
+            let r = (i / stride) as u32;
+            if rows.contains(&r) {
+                assert_eq!(v, r as f32 + (i % stride) as f32 * 0.25);
+            } else {
+                assert_eq!(v, -1.0, "unlisted row {r} was written");
+            }
+        }
+        for width in [2usize, 3, 4, 8, 16] {
+            assert_eq!(run(width), base, "width {width}");
+        }
+    }
+
+    #[test]
+    fn for_listed_rows_empty_list_is_a_noop() {
+        let mut data = vec![1.0f32; 12];
+        PoolHandle::global()
+            .with_width(4)
+            .for_listed_rows(&mut data, 3, &[], 1, |_, _, _| panic!("should not run"));
+        assert!(data.iter().all(|&x| x == 1.0));
     }
 
     #[test]

@@ -23,8 +23,8 @@ use kg::eval::EvalConfig;
 use kg::stream::EmbeddingStore;
 use kg::{load_tsv, write_tsv, Dataset, Vocab};
 use sptransx::{
-    KgeModel, Norm, SamplerKind, SpDistMult, SpTorusE, SpTransE, SpTransH, SpTransR, TrainConfig,
-    Trainer,
+    KgeModel, Norm, OptimizerKind, SamplerKind, SpDistMult, SpTorusE, SpTransE, SpTransH, SpTransR,
+    TrainConfig, Trainer,
 };
 
 /// Parsed command line: subcommand plus `--key value` options.
@@ -254,6 +254,22 @@ fn config_from_args(args: &Args) -> Result<TrainConfig, CliError> {
             )))
         }
     };
+    let optimizer = match args.str_or("optimizer", "sgd").as_str() {
+        "sgd" => OptimizerKind::Sgd,
+        "adagrad" => OptimizerKind::Adagrad,
+        "adam" => OptimizerKind::Adam,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --optimizer {other:?} (sgd|adagrad|adam)"
+            )))
+        }
+    };
+    // `--lr-decay STEP:GAMMA` hooks the Appendix E step scheduler up:
+    // every STEP epochs the learning rate is multiplied by GAMMA.
+    let lr_schedule = match args.options.get("lr-decay") {
+        None => None,
+        Some(raw) => Some(parse_lr_decay(raw)?),
+    };
     Ok(TrainConfig {
         epochs: args.parse_or("epochs", 50)?,
         batch_size: args.parse_or("batch-size", 1024)?,
@@ -264,8 +280,33 @@ fn config_from_args(args: &Args) -> Result<TrainConfig, CliError> {
         norm,
         sampler,
         seed: args.parse_or("seed", 42)?,
-        lr_schedule: None,
+        lr_schedule,
+        optimizer,
+        dense_grads: args.parse_or("dense-grads", false)?,
     })
+}
+
+/// Parses `STEP:GAMMA` (e.g. `10:0.5`) into a step-LR schedule.
+fn parse_lr_decay(raw: &str) -> Result<(u32, f32), CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "--lr-decay needs STEP:GAMMA with STEP ≥ 1 and GAMMA > 0 (e.g. 10:0.5), got {raw:?}"
+        ))
+    };
+    let (step, gamma) = raw.split_once(':').ok_or_else(bad)?;
+    let step: u32 = step
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&s| s >= 1)
+        .ok_or_else(bad)?;
+    let gamma: f32 = gamma
+        .trim()
+        .parse()
+        .ok()
+        .filter(|g: &f32| g.is_finite() && *g > 0.0)
+        .ok_or_else(bad)?;
+    Ok((step, gamma))
 }
 
 type EmbeddingDump = Option<(usize, usize, Vec<f32>)>;
@@ -367,12 +408,17 @@ USAGE:
   sptx generate --entities N --relations R --triples M --out DIR
   sptx train    --train FILE.tsv [--model transe|toruse|transr|transh|distmult]
                 [--epochs E] [--dim D] [--lr LR] [--margin M] [--norm l1|l2]
-                [--sampler uniform|bernoulli] [--out embeddings.bin]
+                [--optimizer sgd|adagrad|adam] [--lr-decay STEP:GAMMA]
+                [--sampler uniform|bernoulli] [--dense-grads true|false]
+                [--out embeddings.bin]
   sptx stats    --train FILE.tsv
   sptx help
 
 Any subcommand also accepts --threads N (worker-pool size; results are
-bit-identical at any N, only wall-clock changes).";
+bit-identical at any N, only wall-clock changes). --dense-grads true disables
+the touched-row sparse gradient path (an ablation switch: training is
+bit-identical, each batch just sweeps whole embedding tables). --lr-decay
+multiplies the learning rate by GAMMA every STEP epochs.";
 
 #[cfg(test)]
 mod tests {
@@ -471,6 +517,81 @@ mod tests {
         let train_file = dir.join("train.tsv").to_string_lossy().to_string();
         let bad = parse_args(&strs(&["train", "--train", &train_file, "--model", "nope"])).unwrap();
         assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn optimizer_and_lr_decay_flags_parse() {
+        let args = parse_args(&strs(&[
+            "train",
+            "--optimizer",
+            "adagrad",
+            "--lr-decay",
+            "10:0.5",
+            "--dense-grads",
+            "true",
+        ]))
+        .unwrap();
+        let cfg = config_from_args(&args).unwrap();
+        assert_eq!(cfg.optimizer, OptimizerKind::Adagrad);
+        assert_eq!(cfg.lr_schedule, Some((10, 0.5)));
+        assert!(cfg.dense_grads);
+
+        let defaults = config_from_args(&parse_args(&strs(&["train"])).unwrap()).unwrap();
+        assert_eq!(defaults.optimizer, OptimizerKind::Sgd);
+        assert_eq!(defaults.lr_schedule, None);
+        assert!(!defaults.dense_grads);
+
+        let bad = parse_args(&strs(&["train", "--optimizer", "lbfgs"])).unwrap();
+        assert!(matches!(config_from_args(&bad), Err(CliError::Usage(_))));
+        for decay in ["0:0.5", "10", "10:-1", "x:0.5", "10:nan"] {
+            let bad = parse_args(&strs(&["train", "--lr-decay", decay])).unwrap();
+            assert!(
+                matches!(config_from_args(&bad), Err(CliError::Usage(_))),
+                "--lr-decay {decay} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn train_with_adam_and_decay_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("sptx-cli-test-opt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate",
+            "--entities",
+            "60",
+            "--relations",
+            "3",
+            "--triples",
+            "300",
+            "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
+        let train = parse_args(&strs(&[
+            "train",
+            "--train",
+            &train_file,
+            "--epochs",
+            "2",
+            "--dim",
+            "8",
+            "--batch-size",
+            "64",
+            "--optimizer",
+            "adam",
+            "--lr-decay",
+            "1:0.5",
+            "--out",
+            &emb_out,
+        ]))
+        .unwrap();
+        let msg = run(&train).unwrap();
+        assert!(msg.contains("SpTransE"), "{msg}");
     }
 
     #[test]
