@@ -1,0 +1,191 @@
+//! Serving-path benchmark: full-scan vs ANN top-K completion latency.
+//!
+//! Two layers of measurement:
+//!
+//! 1. Criterion arms timing one query through the exact full scan and
+//!    through the IVF arm at several `nprobe` settings (the cost axis of the
+//!    recall/cost knob).
+//! 2. A printed latency report (`p50/p95/p99`, mean, QPS, recall@10, scan
+//!    fraction, cache hit rate) over a Zipf-skewed request stream, computed
+//!    with [`LatencySummary`] — the vendored criterion shim has no
+//!    percentile output, and serving SLOs are percentile-shaped.
+//!
+//! Run with `cargo bench -p sptx-bench --bench serve`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg::synthetic::SyntheticKgBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sptransx::serve::{
+    recall_at_k, IvfConfig, IvfIndex, LatencySummary, ServeEngine, ServeModel, ZipfWorkload,
+};
+use sptransx::Norm;
+use xparallel::PoolHandle;
+
+const K: usize = 10;
+
+/// A serving-scale stacked matrix: clustered entity embeddings (the regime
+/// IVF exploits) over a synthetic vocabulary, plus small relation vectors.
+fn build_model(entities: usize, relations: usize, dim: usize) -> ServeModel {
+    let ds = SyntheticKgBuilder::new(entities, relations)
+        .triples(entities)
+        .seed(5)
+        .build();
+    let mut rng = StdRng::seed_from_u64(11);
+    let clusters = 64usize;
+    let centers: Vec<f32> = (0..clusters * dim)
+        .map(|_| rng.gen_range(-3.0f32..3.0))
+        .collect();
+    let mut stack = vec![0f32; (ds.num_entities + ds.num_relations) * dim];
+    for e in 0..ds.num_entities {
+        let c = e % clusters;
+        for j in 0..dim {
+            stack[e * dim + j] = centers[c * dim + j] + rng.gen_range(-0.3f32..0.3);
+        }
+    }
+    for v in &mut stack[ds.num_entities * dim..] {
+        *v = rng.gen_range(-0.05f32..0.05);
+    }
+    ServeModel::from_stacked(stack, ds.num_entities, ds.num_relations, dim, Norm::L2).unwrap()
+}
+
+fn build_engine(model: &ServeModel, clusters: usize) -> ServeEngine {
+    let index = IvfIndex::build(
+        model.embeddings(),
+        model.num_entities(),
+        model.dim(),
+        &IvfConfig {
+            clusters,
+            iters: 8,
+            seed: 3,
+        },
+        &PoolHandle::global(),
+    )
+    .unwrap();
+    ServeEngine::new(model.clone(), index).unwrap()
+}
+
+fn bench_query_arms(c: &mut Criterion) {
+    let model = build_model(20_000, 32, 64);
+    let clusters = 128usize;
+    let mut engine = build_engine(&model, clusters);
+    let mut group = c.benchmark_group("serve_query");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let mut wl = ZipfWorkload::new(model.num_entities(), model.num_relations(), 1.1, 21);
+    let queries = wl.take(256);
+
+    group.bench_function("full_scan", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            engine.answer_exact(q, K)
+        })
+    });
+    for nprobe in [1usize, 4, 16, clusters] {
+        group.bench_with_input(BenchmarkId::new("ivf", nprobe), &nprobe, |b, &nprobe| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engine.answer_ann(q, K, nprobe)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One measured serving run: replay `queries` through an arm, collecting
+/// per-query latency samples.
+fn run_arm(
+    engine: &mut ServeEngine,
+    queries: &[sptransx::serve::Query],
+    mut answer: impl FnMut(&mut ServeEngine, &sptransx::serve::Query) -> usize,
+) -> (LatencySummary, usize) {
+    let mut samples = Vec::with_capacity(queries.len());
+    let mut scored = 0usize;
+    for q in queries {
+        let t0 = Instant::now();
+        scored += answer(engine, q);
+        samples.push(t0.elapsed());
+    }
+    (LatencySummary::from_samples(&samples).unwrap(), scored)
+}
+
+fn fmt(s: &LatencySummary) -> String {
+    format!(
+        "p50 {:>8.1?}  p95 {:>8.1?}  p99 {:>8.1?}  mean {:>8.1?}  {:>9.0} qps",
+        s.p50, s.p95, s.p99, s.mean, s.qps
+    )
+}
+
+fn latency_report(c: &mut Criterion) {
+    // Piggyback on the bench binary without registering a criterion group:
+    // the report prints once, before criterion's own output.
+    let _ = c;
+    let model = build_model(20_000, 32, 64);
+    let n = model.num_entities();
+    let clusters = 128usize;
+    let mut wl = ZipfWorkload::new(n, model.num_relations(), 1.1, 33);
+    let queries = wl.take(2_000);
+
+    println!(
+        "\nserving latency report — {} entities, dim {}, {} clusters, {} Zipf(1.1) queries, k={}",
+        n,
+        model.dim(),
+        clusters,
+        queries.len(),
+        K
+    );
+
+    let mut exact_engine = build_engine(&model, clusters);
+    let (exact_lat, _) = run_arm(&mut exact_engine, &queries, |e, q| {
+        e.answer_exact(q, K);
+        n
+    });
+    println!("  exact full scan       {}", fmt(&exact_lat));
+
+    // Ground truth for recall: the exact answers.
+    let truth: Vec<_> = queries
+        .iter()
+        .map(|q| exact_engine.answer_exact(q, K))
+        .collect();
+
+    for nprobe in [1usize, 2, 4, 8, 16, 32] {
+        let mut engine = build_engine(&model, clusters);
+        let mut recall_sum = 0.0;
+        let mut qi = 0usize;
+        let (lat, scored) = run_arm(&mut engine, &queries, |e, q| {
+            let ans = e.answer_ann(q, K, nprobe);
+            recall_sum += recall_at_k(&truth[qi], &ans.hits);
+            qi += 1;
+            ans.scored
+        });
+        println!(
+            "  ivf nprobe={:<3}        {}  recall@{} {:.3}  scan {:>5.1}%",
+            nprobe,
+            fmt(&lat),
+            K,
+            recall_sum / queries.len() as f64,
+            100.0 * scored as f64 / (queries.len() * n) as f64
+        );
+    }
+
+    // Cached arm: same stream, hot head absorbed by the LRU.
+    let mut engine = build_engine(&model, clusters).with_cache(1024);
+    let (lat, _) = run_arm(&mut engine, &queries, |e, q| e.answer_ann(q, K, 8).scored);
+    let stats = engine.cache_stats().unwrap();
+    println!(
+        "  ivf nprobe=8 + cache  {}  cache hit rate {:.1}%\n",
+        fmt(&lat),
+        100.0 * stats.hit_rate()
+    );
+}
+
+criterion_group!(benches, latency_report, bench_query_arms);
+criterion_main!(benches);

@@ -82,14 +82,19 @@ impl EmbeddingStore {
         Ok(())
     }
 
-    /// Opens an embedding file, validating the header.
+    /// Opens an embedding file, validating the header **and** the file
+    /// length: a truncated or padded file is rejected here rather than
+    /// surfacing as a confusing short-read error (or stale data) later.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] on read failure and [`Error::Parse`] on a bad
-    /// magic number.
+    /// magic number or when the file size disagrees with the declared
+    /// `rows × cols` shape.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let mut file = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
         let mut header = [0u8; 24];
         file.read_exact(&mut header)?;
         if &header[..8] != MAGIC {
@@ -101,7 +106,20 @@ impl EmbeddingStore {
         let mut rest = &header[8..];
         let rows = rest.get_u64_le() as usize;
         let cols = rest.get_u64_le() as usize;
-        Ok(Self { file, rows, cols })
+        let expected = (rows as u64)
+            .checked_mul(cols as u64)
+            .and_then(|cells| cells.checked_mul(4))
+            .and_then(|body| body.checked_add(24));
+        match expected {
+            Some(expected) if expected == file_len => Ok(Self { file, rows, cols }),
+            _ => Err(Error::Parse {
+                line: 0,
+                context: format!(
+                    "embedding file is {file_len} bytes but the header declares {rows} x {cols} \
+                     rows (corrupt or truncated)"
+                ),
+            }),
+        }
     }
 
     /// Number of embedding rows.
@@ -231,6 +249,38 @@ mod tests {
     fn bad_magic_rejected() {
         let path = temp_path("bad_magic.bin");
         std::fs::write(&path, b"NOTMAGIC________________").unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&path),
+            Err(Error::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected_at_open() {
+        let path = temp_path("truncated.bin");
+        EmbeddingStore::write(&path, 6, 4, |r, out| out.fill(r as f32)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Chop half the body off; the header still claims 6 x 4.
+        std::fs::write(&path, &full[..full.len() - 48]).unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&path),
+            Err(Error::Parse { .. })
+        ));
+        // A header-only file is equally rejected.
+        std::fs::write(&path, &full[..24]).unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&path),
+            Err(Error::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_at_open() {
+        let path = temp_path("padded.bin");
+        EmbeddingStore::write(&path, 2, 2, |_, out| out.fill(1.0)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 7]);
+        std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             EmbeddingStore::open(&path),
             Err(Error::Parse { .. })

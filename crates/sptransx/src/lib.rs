@@ -48,6 +48,7 @@ pub mod distributed;
 mod model;
 mod models;
 mod scorer;
+pub mod serve;
 pub mod tasks;
 mod train;
 
@@ -80,6 +81,11 @@ pub enum Error {
     Sparse(sparse::Error),
     /// Propagated dataset error.
     Kg(kg::Error),
+    /// Serving-layer failure (index I/O, corrupt files, shape mismatches).
+    Serve {
+        /// What went wrong.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -88,6 +94,7 @@ impl std::fmt::Display for Error {
             Error::Config { context } => write!(f, "invalid configuration: {context}"),
             Error::Sparse(e) => write!(f, "sparse matrix error: {e}"),
             Error::Kg(e) => write!(f, "dataset error: {e}"),
+            Error::Serve { context } => write!(f, "serving error: {context}"),
         }
     }
 }
@@ -117,6 +124,15 @@ impl From<kg::Error> for Error {
 impl Error {
     pub(crate) fn config(context: impl Into<String>) -> Self {
         Error::Config {
+            context: context.into(),
+        }
+    }
+
+    /// A serving-layer error with the given context (public so callers
+    /// layering CLI/deployment checks on top of [`serve`] can produce
+    /// uniform errors).
+    pub fn serve(context: impl Into<String>) -> Self {
+        Error::Serve {
             context: context.into(),
         }
     }

@@ -1,0 +1,237 @@
+//! Exact LRU cache for hot query results.
+//!
+//! Zipf-skewed serving traffic concentrates on a small set of hot
+//! (entity, relation) pairs, so a modest result cache absorbs a large share
+//! of queries. This is a *real* cache (it stores answers), but its
+//! replacement policy is plain LRU so its hit behaviour can be
+//! cross-validated against the `simcache` hit-rate model: replaying the same
+//! key stream through a fully-associative `simcache::Cache` (one set,
+//! `ways == capacity`, one distinct address per distinct key) must predict
+//! exactly the hit count reported by [`QueryCache::stats`]. The serving
+//! tests pin that equivalence.
+
+use std::collections::HashMap;
+
+/// Cache key: `(direction, entity, relation, k, nprobe)`.
+///
+/// `k` and `nprobe` are part of the key because answers differ across them;
+/// two queries agreeing on all five fields are by construction answered
+/// identically (the whole pipeline is deterministic), so serving a cached
+/// answer never changes observable results.
+pub type QueryKey = (u8, u32, u32, u32, u32);
+
+/// Hit/miss counters for a [`QueryCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl QueryCacheStats {
+    /// Hits over total lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Doubly-linked LRU list node backed by a slab (`usize::MAX` = null).
+#[derive(Debug)]
+struct Node {
+    key: QueryKey,
+    value: Vec<(u32, f32)>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity exact-LRU map from [`QueryKey`] to top-K answers.
+///
+/// Lookup and insert are O(1): a `HashMap` finds the slab slot, and an
+/// intrusive doubly-linked list maintains recency order.
+#[derive(Debug)]
+pub struct QueryCache {
+    map: HashMap<QueryKey, usize>,
+    slab: Vec<Node>,
+    /// Most-recently-used node.
+    head: usize,
+    /// Least-recently-used node (the eviction victim).
+    tail: usize,
+    capacity: usize,
+    stats: QueryCacheStats,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` answers (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: QueryCacheStats::default(),
+        }
+    }
+
+    /// Maximum number of cached answers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached answers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss counters accumulated by [`QueryCache::get`].
+    pub fn stats(&self) -> QueryCacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency on hit.
+    pub fn get(&mut self, key: &QueryKey) -> Option<&[(u32, f32)]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: QueryKey, value: Vec<(u32, f32)>) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        let idx = if self.map.len() < self.capacity {
+            self.slab.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Reuse the LRU victim's slot.
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim].key = key;
+            self.slab[victim].value = value;
+            victim
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    /// Links `idx` as the most-recently-used node.
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(e: u32) -> QueryKey {
+        (0, e, 0, 10, 4)
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = QueryCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), vec![(7, 0.5)]);
+        assert_eq!(c.get(&key(1)), Some(&[(7, 0.5)][..]));
+        assert_eq!(c.stats(), QueryCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = QueryCache::new(2);
+        c.insert(key(1), vec![]);
+        c.insert(key(2), vec![]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), vec![]);
+        assert!(c.get(&key(2)).is_none(), "2 should have been evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = QueryCache::new(2);
+        c.insert(key(1), vec![(1, 1.0)]);
+        c.insert(key(2), vec![]);
+        c.insert(key(1), vec![(9, 9.0)]);
+        c.insert(key(3), vec![]);
+        // 2 was LRU after 1's refresh.
+        assert!(c.get(&key(2)).is_none());
+        assert_eq!(c.get(&key(1)), Some(&[(9, 9.0)][..]));
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut c = QueryCache::new(1);
+        for e in 0..10 {
+            c.insert(key(e), vec![]);
+            assert!(c.get(&key(e)).is_some());
+            if e > 0 {
+                assert!(c.get(&key(e - 1)).is_none());
+            }
+        }
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! IVF-style (inverted-file) ANN candidate index over entity embeddings.
+//!
+//! The serving engine must not score all `N` entities per query. Following
+//! the clustering/IVF recipe Helmsman applies at billion scale, the entity
+//! embeddings are partitioned by k-means into `K` clusters; a query probes
+//! the `nprobe` nearest cluster centroids and rescorest only the entities in
+//! those clusters — `nprobe` is the cost/recall knob (`nprobe == K` degrades
+//! to an exact full scan).
+//!
+//! **Determinism contract:** [`IvfIndex::build`] produces a bit-identical
+//! index at any [`PoolHandle`] width (and therefore any `SPTX_NUM_THREADS`):
+//! the parallel assignment step computes each entity's nearest centroid
+//! independently (per-element work, destination-sharded writes), and the
+//! centroid update folds entities serially in index order into `f64`
+//! accumulators. Ties (equidistant centroids) resolve to the lowest cluster
+//! index; empty clusters are re-seeded on the farthest entity, lowest index
+//! first.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use xparallel::PoolHandle;
+
+use crate::{Error, Result};
+
+/// On-disk magic of a serialized [`IvfIndex`].
+const MAGIC: &[u8; 8] = b"SPTXIVF1";
+
+/// K-means build parameters for [`IvfIndex::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Number of clusters `K` (clamped to the entity count).
+    pub clusters: usize,
+    /// Lloyd iterations (assignment + centroid update rounds).
+    pub iters: usize,
+    /// Seed for the initial centroid draw.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 64,
+            iters: 8,
+            seed: 0x1DF,
+        }
+    }
+}
+
+impl IvfConfig {
+    /// A square-root-of-`N` cluster count — the usual IVF starting point —
+    /// with the default iteration count and seed.
+    pub fn sqrt_clusters(num_entities: usize) -> Self {
+        let clusters = ((num_entities as f64).sqrt().round() as usize).max(1);
+        Self {
+            clusters,
+            ..Default::default()
+        }
+    }
+}
+
+/// A k-means inverted-file index over the first `N` rows of an embedding
+/// matrix.
+///
+/// Inverted lists are stored CSR-style (`indptr` / `entities`), entities
+/// ascending within each cluster, so serialization is canonical: two builds
+/// that agree on assignments produce byte-identical files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfIndex {
+    dim: usize,
+    /// `K × dim`, row-major.
+    centroids: Vec<f32>,
+    /// `K + 1` offsets into `entities`.
+    indptr: Vec<u32>,
+    /// Concatenated per-cluster entity ids, ascending within each cluster.
+    entities: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Builds the index by k-means over rows `0..num_entities` of the
+    /// row-major `emb` buffer (row width `dim`).
+    ///
+    /// `emb` may be the stacked `(N + R) × d` serving matrix; only the
+    /// leading entity rows are clustered. Results are bit-identical at any
+    /// `handle` width — see the module docs for the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `num_entities == 0`, `dim == 0`,
+    /// `cfg.clusters == 0`, or `emb` is shorter than `num_entities * dim`.
+    pub fn build(
+        emb: &[f32],
+        num_entities: usize,
+        dim: usize,
+        cfg: &IvfConfig,
+        handle: &PoolHandle,
+    ) -> Result<Self> {
+        if num_entities == 0 || dim == 0 {
+            return Err(Error::config("IVF index needs entities and a dimension"));
+        }
+        if cfg.clusters == 0 {
+            return Err(Error::config("IVF cluster count must be positive"));
+        }
+        if emb.len() < num_entities * dim {
+            return Err(Error::config(format!(
+                "embedding buffer holds {} values, need {} for {num_entities} x {dim}",
+                emb.len(),
+                num_entities * dim
+            )));
+        }
+        let k = cfg.clusters.min(num_entities);
+        let ent = &emb[..num_entities * dim];
+
+        // Initial centroids: k distinct seeded-random entities (partial
+        // Fisher–Yates over the id range).
+        let mut centroids = vec![0f32; k * dim];
+        {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+            let mut pool: Vec<u32> = (0..num_entities as u32).collect();
+            for (c, centroid) in centroids.chunks_exact_mut(dim).enumerate() {
+                let j = rng.gen_range(c..num_entities);
+                pool.swap(c, j);
+                let e = pool[c] as usize;
+                centroid.copy_from_slice(&ent[e * dim..(e + 1) * dim]);
+            }
+        }
+
+        // Per-entity (nearest cluster, squared distance) pairs; one slice so
+        // the parallel pass needs a single destination-sharded loop.
+        let mut assign: Vec<(u32, f32)> = vec![(0, 0.0); num_entities];
+        for _ in 0..cfg.iters.max(1) {
+            assign_nearest(ent, dim, &centroids, k, handle, &mut assign);
+            update_centroids(ent, dim, k, &assign, &mut centroids);
+        }
+        // Final assignment against the final centroids, so the inverted
+        // lists match what `probe` will compute at query time.
+        assign_nearest(ent, dim, &centroids, k, handle, &mut assign);
+
+        // Inverted lists: one counting pass, one placement pass in entity
+        // order — ascending ids within each cluster by construction.
+        let mut counts = vec![0u32; k];
+        for &(c, _) in &assign {
+            counts[c as usize] += 1;
+        }
+        let mut indptr = vec![0u32; k + 1];
+        for c in 0..k {
+            indptr[c + 1] = indptr[c] + counts[c];
+        }
+        let mut cursor = indptr[..k].to_vec();
+        let mut entities = vec![0u32; num_entities];
+        for (e, &(c, _)) in assign.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            entities[*slot as usize] = e as u32;
+            *slot += 1;
+        }
+        Ok(Self {
+            dim,
+            centroids,
+            indptr,
+            entities,
+        })
+    }
+
+    /// Embedding dimension the index was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Total number of indexed entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// The entity ids assigned to cluster `c`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= num_clusters()`.
+    pub fn cluster(&self, c: usize) -> &[u32] {
+        &self.entities[self.indptr[c] as usize..self.indptr[c + 1] as usize]
+    }
+
+    /// Centroid `c` as a `dim`-length row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= num_clusters()`.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// The `nprobe` clusters nearest to `q` under squared L2 distance,
+    /// nearest first; equidistant centroids resolve to the lower index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != dim()`.
+    pub fn nearest_clusters(&self, q: &[f32], nprobe: usize) -> Vec<u32> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let k = self.num_clusters();
+        let mut order: Vec<(u32, f32)> = (0..k as u32)
+            .map(|c| (c, l2_sq(q, self.centroid(c as usize))))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        order.truncate(nprobe.clamp(1, k));
+        order.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Appends the candidate entities of the `nprobe` clusters nearest to
+    /// `q` onto `out` (cleared first). Candidate count is the per-query
+    /// scan cost the `nprobe` knob trades against recall.
+    pub fn probe(&self, q: &[f32], nprobe: usize, out: &mut Vec<u32>) {
+        out.clear();
+        for c in self.nearest_clusters(q, nprobe) {
+            out.extend_from_slice(self.cluster(c as usize));
+        }
+    }
+
+    /// Serializes the index: magic, `u64` dim / clusters / entity count,
+    /// centroids (`f32` LE), indptr and entity lists (`u32` LE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on any I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let io = |e: std::io::Error| Error::serve(format!("writing IVF index: {e}"));
+        let mut w = BufWriter::new(File::create(path).map_err(io)?);
+        w.write_all(MAGIC).map_err(io)?;
+        for v in [
+            self.dim as u64,
+            self.num_clusters() as u64,
+            self.entities.len() as u64,
+        ] {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+        for &v in &self.centroids {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+        for &v in &self.indptr {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+        for &v in &self.entities {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+        w.flush().map_err(io)?;
+        Ok(())
+    }
+
+    /// Deserializes an index written by [`IvfIndex::save`], validating the
+    /// magic, the exact file length, and inverted-list consistency — a
+    /// corrupt or truncated file is an error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on I/O failure or any consistency violation.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let io = |e: std::io::Error| Error::serve(format!("reading IVF index: {e}"));
+        let file = File::open(&path).map_err(io)?;
+        let file_len = file.metadata().map_err(io)?.len();
+        let mut r = BufReader::new(file);
+        let mut header = [0u8; 8 + 3 * 8];
+        r.read_exact(&mut header)
+            .map_err(|_| Error::serve("truncated IVF index header"))?;
+        if &header[..8] != MAGIC {
+            return Err(Error::serve("not an SPTXIVF1 index file"));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(header[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"))
+        };
+        let (dim, k, n) = (word(0) as usize, word(1) as usize, word(2) as usize);
+        if dim == 0 || k == 0 {
+            return Err(Error::serve("IVF index with zero dim or clusters"));
+        }
+        let expected = (header.len() as u64)
+            + 4 * (k as u64 * dim as u64)
+            + 4 * (k as u64 + 1)
+            + 4 * (n as u64);
+        if file_len != expected {
+            return Err(Error::serve(format!(
+                "IVF index file is {file_len} bytes, header implies {expected} (corrupt or truncated)"
+            )));
+        }
+        let mut centroids = vec![0f32; k * dim];
+        read_f32s(&mut r, &mut centroids)?;
+        let mut indptr = vec![0u32; k + 1];
+        read_u32s(&mut r, &mut indptr)?;
+        let mut entities = vec![0u32; n];
+        read_u32s(&mut r, &mut entities)?;
+        if indptr[0] != 0 || indptr[k] as usize != n || indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::serve("IVF index inverted lists are inconsistent"));
+        }
+        Ok(Self {
+            dim,
+            centroids,
+            indptr,
+            entities,
+        })
+    }
+}
+
+fn read_f32s(r: &mut impl Read, out: &mut [f32]) -> Result<()> {
+    let mut buf = [0u8; 4];
+    for v in out {
+        r.read_exact(&mut buf)
+            .map_err(|_| Error::serve("truncated IVF index body"))?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+fn read_u32s(r: &mut impl Read, out: &mut [u32]) -> Result<()> {
+    let mut buf = [0u8; 4];
+    for v in out {
+        r.read_exact(&mut buf)
+            .map_err(|_| Error::serve("truncated IVF index body"))?;
+        *v = u32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+/// Squared L2 distance (monotone in L2, cheaper — ranking is unaffected).
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Parallel nearest-centroid assignment. Each entity's argmin is computed
+/// independently with a serial inner loop (ties → lowest cluster index) and
+/// written to exactly one destination slot, so the result is identical at
+/// any handle width.
+fn assign_nearest(
+    ent: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    k: usize,
+    handle: &PoolHandle,
+    assign: &mut [(u32, f32)],
+) {
+    handle.for_mut(assign, 64, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let e = offset + i;
+            let row = &ent[e * dim..(e + 1) * dim];
+            let mut best_c = 0u32;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = l2_sq(row, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c as u32;
+                }
+            }
+            *slot = (best_c, best_d);
+        }
+    });
+}
+
+/// Serial centroid update in entity order (`f64` accumulators), then
+/// deterministic re-seeding of empty clusters on the farthest entities.
+fn update_centroids(
+    ent: &[f32],
+    dim: usize,
+    k: usize,
+    assign: &[(u32, f32)],
+    centroids: &mut [f32],
+) {
+    let mut sums = vec![0f64; k * dim];
+    let mut counts = vec![0u64; k];
+    for (e, &(c, _)) in assign.iter().enumerate() {
+        let c = c as usize;
+        counts[c] += 1;
+        let row = &ent[e * dim..(e + 1) * dim];
+        for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+            *s += f64::from(x);
+        }
+    }
+    let mut reseeded: Vec<u32> = Vec::new();
+    for c in 0..k {
+        if counts[c] == 0 {
+            // Farthest entity not already used for another empty cluster,
+            // lowest id on ties — deterministic.
+            let mut best_e = 0usize;
+            let mut best_d = f32::NEG_INFINITY;
+            for (e, &(_, d)) in assign.iter().enumerate() {
+                if d > best_d && !reseeded.contains(&(e as u32)) {
+                    best_d = d;
+                    best_e = e;
+                }
+            }
+            reseeded.push(best_e as u32);
+            centroids[c * dim..(c + 1) * dim]
+                .copy_from_slice(&ent[best_e * dim..(best_e + 1) * dim]);
+        } else {
+            let inv = 1.0 / counts[c] as f64;
+            for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(&sums[c * dim..(c + 1) * dim])
+            {
+                *dst = (s * inv) as f32;
+            }
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Online link-prediction serving: top-K completion queries over a trained
+//! model, with an ANN candidate index so a query does not score all `N`
+//! entities.
+//!
+//! Training ends with `sptx train` writing the stacked `(N + R) × d`
+//! embedding matrix of the translational models to disk; this module is the
+//! inference path the ROADMAP's "millions of users" north star needs on top
+//! of it:
+//!
+//! * [`ServeModel`] loads that matrix back and implements
+//!   [`kg::eval::BatchScorer`] through the **same** shared kernels training
+//!   evaluation uses (the scorer module's `stacked_query_rows` SpMM +
+//!   pool-parallel distance pass) — so the serving engine's exact arm is
+//!   bit-identical to `evaluate_batched`'s scoring by construction.
+//! * [`IvfIndex`] clusters the entity embeddings (deterministic k-means on
+//!   the shared `xparallel` pool) into inverted lists; a query probes the
+//!   `nprobe` nearest centroids and rescores only those candidates. `nprobe`
+//!   is the cost/recall knob: candidate scores are computed with the same
+//!   `Norm::distance` arithmetic as the full scan, so `nprobe == clusters`
+//!   *is* the full scan, and recall@K against the exact arm is a pure
+//!   candidate-coverage measure.
+//! * [`QueryCache`] absorbs the hot head of Zipf-skewed traffic
+//!   ([`ZipfWorkload`]); its exact-LRU policy is cross-validated against a
+//!   fully-associative `simcache` model in the serving tests.
+//!
+//! **Determinism scope:** index build, query answers, cache behaviour and
+//! the workload stream are all bit-identical at any `SPTX_NUM_THREADS`.
+//! Only *latency* (what `benches/serve.rs` measures) varies with threads.
+
+mod cache;
+mod index;
+mod workload;
+
+pub use cache::{QueryCache, QueryCacheStats, QueryKey};
+pub use index::{IvfConfig, IvfIndex};
+pub use workload::ZipfWorkload;
+
+use std::path::Path;
+use std::time::Duration;
+
+use kg::eval::BatchScorer;
+use kg::stream::EmbeddingStore;
+
+use crate::model::Norm;
+use crate::scorer::{stacked_query_rows, translational_scores_into, QueryDir};
+use crate::{Error, Result};
+
+/// Which slot of a triple a completion query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Given `(h, r, ?)`, rank candidate tails.
+    Tail,
+    /// Given `(?, r, t)`, rank candidate heads.
+    Head,
+}
+
+/// One top-K completion request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Which slot to complete.
+    pub dir: Direction,
+    /// The known entity (head for [`Direction::Tail`], tail for
+    /// [`Direction::Head`]).
+    pub entity: u32,
+    /// The relation.
+    pub rel: u32,
+}
+
+impl Query {
+    /// The `(u32, u32)` pair in the order the [`BatchScorer`] API expects:
+    /// `(head, rel)` for tail queries, `(rel, tail)` for head queries.
+    fn pair(&self) -> (u32, u32) {
+        match self.dir {
+            Direction::Tail => (self.entity, self.rel),
+            Direction::Head => (self.rel, self.entity),
+        }
+    }
+
+    fn query_dir(&self) -> QueryDir {
+        match self.dir {
+            Direction::Tail => QueryDir::Tails,
+            Direction::Head => QueryDir::Heads,
+        }
+    }
+}
+
+/// A loaded stacked-translational model (TransE / TorusE family) ready to
+/// answer queries.
+///
+/// Holds the `(N + R) × d` matrix `sptx train` saves — entity rows first,
+/// relation rows below — plus the distance norm, which the save format does
+/// not record and must therefore match the training configuration.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    emb: Vec<f32>,
+    num_entities: usize,
+    num_relations: usize,
+    dim: usize,
+    norm: Norm,
+}
+
+impl ServeModel {
+    /// Wraps an in-memory stacked embedding matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the buffer length disagrees with
+    /// `(num_entities + num_relations) * dim`, or any count is zero.
+    pub fn from_stacked(
+        emb: Vec<f32>,
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        norm: Norm,
+    ) -> Result<Self> {
+        if num_entities == 0 || num_relations == 0 || dim == 0 {
+            return Err(Error::config(
+                "serve model needs entities, relations and a positive dimension",
+            ));
+        }
+        let expected = (num_entities + num_relations) * dim;
+        if emb.len() != expected {
+            return Err(Error::config(format!(
+                "embedding buffer has {} floats, expected {expected} for ({num_entities} + {num_relations}) x {dim}",
+                emb.len()
+            )));
+        }
+        Ok(Self {
+            emb,
+            num_entities,
+            num_relations,
+            dim,
+            norm,
+        })
+    }
+
+    /// Loads the `sptx train` embedding dump at `path`.
+    ///
+    /// The file stores its own row/column counts; `num_entities` fixes where
+    /// entity rows end and relation rows begin, and is validated against the
+    /// stored row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kg`] on I/O or format failures and [`Error::Serve`]
+    /// when the stored shape cannot be a stacked `(N + R) × d` matrix for
+    /// the given `num_entities`.
+    pub fn load(path: impl AsRef<Path>, num_entities: usize, norm: Norm) -> Result<Self> {
+        let mut store = EmbeddingStore::open(path).map_err(Error::Kg)?;
+        let rows = store.rows();
+        let dim = store.cols();
+        if rows <= num_entities {
+            return Err(Error::serve(format!(
+                "embedding file has {rows} rows but the vocabulary has {num_entities} entities — no relation rows left"
+            )));
+        }
+        let num_relations = rows - num_entities;
+        let emb = store.read_rows(0, rows).map_err(Error::Kg)?;
+        Self::from_stacked(emb, num_entities, num_relations, dim, norm)
+    }
+
+    /// Number of candidate entities.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Distance norm used for scoring.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+
+    /// The stacked `(N + R) × d` matrix, row-major (entities first).
+    pub fn embeddings(&self) -> &[f32] {
+        &self.emb
+    }
+
+    /// Materializes the query vector `q = h + r` (tail queries) or
+    /// `q = t − r` (head queries) through the same SpMM kernel the batched
+    /// evaluation engine uses — the root of the exact/ANN bit-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's entity or relation is out of range.
+    pub fn query_vector(&self, query: &Query) -> Vec<f32> {
+        stacked_query_rows(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            &[query.pair()],
+            query.query_dir(),
+        )
+    }
+}
+
+impl BatchScorer for ServeModel {
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn score_tails_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        translational_scores_into(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Tails,
+            out,
+        );
+    }
+
+    fn score_heads_into(&self, queries: &[(u32, u32)], out: &mut [f32]) {
+        translational_scores_into(
+            &self.emb,
+            self.num_entities,
+            self.num_relations,
+            self.dim,
+            self.norm,
+            queries,
+            QueryDir::Heads,
+            out,
+        );
+    }
+}
+
+/// The deterministic score order used everywhere in this module: primary by
+/// score ascending (lower distance = better) under IEEE total order (NaN
+/// ranks worst among non-negative distances), ties by entity id ascending.
+fn score_order(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// The `k` best `(entity, score)` pairs under the deterministic score order,
+/// best first. The result depends only on the *set* of input pairs, never on
+/// their iteration order.
+pub fn top_k(pairs: impl IntoIterator<Item = (u32, f32)>, k: usize) -> Vec<(u32, f32)> {
+    let mut v: Vec<(u32, f32)> = pairs.into_iter().collect();
+    if k == 0 || v.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(v.len());
+    if k < v.len() {
+        v.select_nth_unstable_by(k - 1, score_order);
+        v.truncate(k);
+    }
+    v.sort_unstable_by(score_order);
+    v
+}
+
+/// Fraction of `exact`'s entity ids that `approx` also returned
+/// (`|ids(exact) ∩ ids(approx)| / |exact|`; 1.0 when `exact` is empty).
+pub fn recall_at_k(exact: &[(u32, f32)], approx: &[(u32, f32)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let found = exact
+        .iter()
+        .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+        .count();
+    found as f64 / exact.len() as f64
+}
+
+/// One ANN answer plus its cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnAnswer {
+    /// The top-K `(entity, score)` pairs, best first.
+    pub hits: Vec<(u32, f32)>,
+    /// How many candidate entities were scored (0 on a cache hit).
+    pub scored: usize,
+    /// Whether the answer came from the query cache.
+    pub cache_hit: bool,
+}
+
+/// The serving engine: a [`ServeModel`], its [`IvfIndex`], and an optional
+/// [`QueryCache`], with reusable scratch buffers so steady-state queries
+/// allocate only their answer vectors.
+#[derive(Debug)]
+pub struct ServeEngine {
+    model: ServeModel,
+    index: IvfIndex,
+    cache: Option<QueryCache>,
+    /// Full-scan score buffer (`N` entries).
+    scan_buf: Vec<f32>,
+    /// ANN candidate ids.
+    cand_buf: Vec<u32>,
+    /// ANN candidate scores.
+    score_buf: Vec<f32>,
+}
+
+impl ServeEngine {
+    /// Couples a model with an index built over its entity embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] when the index disagrees with the model on
+    /// dimension or entity count.
+    pub fn new(model: ServeModel, index: IvfIndex) -> Result<Self> {
+        if index.dim() != model.dim() {
+            return Err(Error::serve(format!(
+                "index dimension {} does not match model dimension {}",
+                index.dim(),
+                model.dim()
+            )));
+        }
+        if index.num_entities() != model.num_entities() {
+            return Err(Error::serve(format!(
+                "index covers {} entities, model has {}",
+                index.num_entities(),
+                model.num_entities()
+            )));
+        }
+        Ok(Self {
+            model,
+            index,
+            cache: None,
+            scan_buf: Vec::new(),
+            cand_buf: Vec::new(),
+            score_buf: Vec::new(),
+        })
+    }
+
+    /// Enables an exact-LRU answer cache holding `capacity` entries.
+    #[must_use]
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(QueryCache::new(capacity));
+        self
+    }
+
+    /// The loaded model.
+    pub fn model(&self) -> &ServeModel {
+        &self.model
+    }
+
+    /// The candidate index.
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    /// Cache hit/miss counters, if a cache is enabled.
+    pub fn cache_stats(&self) -> Option<QueryCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Ground-truth arm: scores **all** `N` entities through the
+    /// [`BatchScorer`] kernels and returns the top-K, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's entity or relation is out of range.
+    pub fn answer_exact(&mut self, query: &Query, k: usize) -> Vec<(u32, f32)> {
+        let n = self.model.num_entities();
+        self.scan_buf.resize(n, 0.0);
+        match query.dir {
+            Direction::Tail => self
+                .model
+                .score_tails_into(&[query.pair()], &mut self.scan_buf),
+            Direction::Head => self
+                .model
+                .score_heads_into(&[query.pair()], &mut self.scan_buf),
+        }
+        top_k(
+            self.scan_buf
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as u32, s)),
+            k,
+        )
+    }
+
+    /// ANN arm: probes the `nprobe` nearest clusters and rescores only their
+    /// entities, with the exact same distance arithmetic as the full scan —
+    /// so every returned score equals the full scan's score for that entity
+    /// bit-for-bit, and `nprobe == num_clusters` reproduces
+    /// [`ServeEngine::answer_exact`] exactly.
+    ///
+    /// With a cache enabled, repeated `(dir, entity, rel, k, nprobe)` keys
+    /// are answered from the cache (`scored == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's entity or relation is out of range.
+    pub fn answer_ann(&mut self, query: &Query, k: usize, nprobe: usize) -> AnnAnswer {
+        let key: QueryKey = (
+            query.dir as u8,
+            query.entity,
+            query.rel,
+            k as u32,
+            nprobe as u32,
+        );
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.get(&key) {
+                return AnnAnswer {
+                    hits: hit.to_vec(),
+                    scored: 0,
+                    cache_hit: true,
+                };
+            }
+        }
+        let qv = self.model.query_vector(query);
+        self.index.probe(&qv, nprobe, &mut self.cand_buf);
+        let scored = self.cand_buf.len();
+        self.score_buf.resize(scored, 0.0);
+        let (emb, d) = (self.model.embeddings(), self.model.dim());
+        let (norm, cands) = (self.model.norm(), &self.cand_buf);
+        xparallel::parallel_for_mut(&mut self.score_buf, 256, |offset, chunk| {
+            for (i, dst) in chunk.iter_mut().enumerate() {
+                let e = cands[offset + i] as usize;
+                *dst = norm.distance(&qv, &emb[e * d..(e + 1) * d]);
+            }
+        });
+        let hits = top_k(
+            self.cand_buf
+                .iter()
+                .zip(&self.score_buf)
+                .map(|(&id, &s)| (id, s)),
+            k,
+        );
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, hits.clone());
+        }
+        AnnAnswer {
+            hits,
+            scored,
+            cache_hit: false,
+        }
+    }
+}
+
+/// Latency percentiles plus throughput over a set of per-query samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Arithmetic mean latency.
+    pub mean: Duration,
+    /// Queries per second implied by the total time (`len / sum`).
+    pub qps: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes per-query latency samples (nearest-rank percentiles).
+    /// Returns `None` for an empty sample set.
+    pub fn from_samples(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let total: Duration = sorted.iter().sum();
+        let qps = if total.as_secs_f64() > 0.0 {
+            sorted.len() as f64 / total.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        Some(Self {
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            mean: total / sorted.len() as u32,
+            qps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_is_order_independent_and_tie_broken_by_id() {
+        let pairs = vec![(3u32, 1.0f32), (1, 0.5), (2, 0.5), (0, 2.0)];
+        let mut rev = pairs.clone();
+        rev.reverse();
+        let a = top_k(pairs, 3);
+        let b = top_k(rev, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(1, 0.5), (2, 0.5), (3, 1.0)]);
+    }
+
+    #[test]
+    fn top_k_handles_nan_pessimistically() {
+        let pairs = vec![(0u32, f32::NAN), (1, 5.0), (2, 1.0)];
+        let got = top_k(pairs, 2);
+        assert_eq!(got, vec![(2, 1.0), (1, 5.0)]);
+    }
+
+    #[test]
+    fn top_k_clamps_k() {
+        assert_eq!(top_k(vec![(0, 1.0)], 10), vec![(0, 1.0)]);
+        assert!(top_k(vec![(0, 1.0)], 0).is_empty());
+        assert!(top_k(Vec::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn recall_counts_id_overlap() {
+        let exact = vec![(1u32, 0.1f32), (2, 0.2), (3, 0.3), (4, 0.4)];
+        let approx = vec![(2u32, 0.2f32), (4, 0.4), (9, 9.0)];
+        assert!((recall_at_k(&exact, &approx) - 0.5).abs() < 1e-12);
+        assert_eq!(recall_at_k(&[], &approx), 1.0);
+    }
+
+    #[test]
+    fn serve_model_validates_shape() {
+        assert!(ServeModel::from_stacked(vec![0.0; 10], 3, 2, 2, Norm::L2).is_ok());
+        assert!(ServeModel::from_stacked(vec![0.0; 9], 3, 2, 2, Norm::L2).is_err());
+        assert!(ServeModel::from_stacked(vec![], 0, 2, 2, Norm::L2).is_err());
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.p50, Duration::from_micros(50));
+        assert_eq!(s.p95, Duration::from_micros(95));
+        assert_eq!(s.p99, Duration::from_micros(99));
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+}

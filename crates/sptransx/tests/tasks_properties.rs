@@ -1,0 +1,162 @@
+//! Tests for the downstream-task layer (`sptransx::tasks`): fit/predict
+//! roundtrips, per-relation threshold correctness, and accuracy on separable
+//! synthetic data — plus property tests pinning the invariants the unit
+//! tests only spot-check.
+
+use proptest::prelude::*;
+
+use kg::{Triple, TripleStore};
+use rand::{Rng, SeedableRng};
+use sptransx::tasks::{EntityClassifier, TripleClassifier};
+use tensor::Tensor;
+
+/// An embedding matrix of `classes` well-separated Gaussian blobs;
+/// entity `e` belongs to class `e % classes`.
+fn blob_embeddings(entities: usize, classes: usize, dim: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<f32> = (0..classes * dim)
+        .map(|_| rng.gen_range(-5.0f32..5.0))
+        .collect();
+    let mut t = Tensor::zeros(entities, dim);
+    for e in 0..entities {
+        let c = e % classes;
+        for j in 0..dim {
+            t.as_mut_slice()[e * dim + j] = centers[c * dim + j] + rng.gen_range(-0.3f32..0.3);
+        }
+    }
+    t
+}
+
+#[test]
+fn entity_classifier_fit_predict_roundtrip() {
+    // Every *training* example must be classified as its own label when the
+    // clusters are separated — the fit/predict roundtrip.
+    let emb = blob_embeddings(40, 4, 6, 1);
+    let labeled: Vec<(u32, u32)> = (0..40).map(|e| (e as u32, (e % 4) as u32)).collect();
+    let clf = EntityClassifier::fit(&emb, &labeled).unwrap();
+    assert_eq!(clf.num_classes(), 4);
+    for &(e, label) in &labeled {
+        assert_eq!(clf.predict(emb.row(e as usize)), Some(label), "entity {e}");
+    }
+    assert_eq!(clf.accuracy(&emb, &labeled), 1.0);
+}
+
+#[test]
+fn entity_classifier_generalizes_to_held_out_entities() {
+    let emb = blob_embeddings(120, 3, 8, 2);
+    // Train on the first 60 entities, test on the rest.
+    let train: Vec<(u32, u32)> = (0..60).map(|e| (e as u32, (e % 3) as u32)).collect();
+    let test: Vec<(u32, u32)> = (60..120).map(|e| (e as u32, (e % 3) as u32)).collect();
+    let clf = EntityClassifier::fit(&emb, &train).unwrap();
+    let acc = clf.accuracy(&emb, &test);
+    assert_eq!(acc, 1.0, "well-separated blobs must classify perfectly");
+    // Empty test set is defined as 0 accuracy, not a panic.
+    assert_eq!(clf.accuracy(&emb, &[]), 0.0);
+}
+
+#[test]
+fn triple_classifier_thresholds_sit_between_the_classes() {
+    // Per relation, positives score below 1.0 and negatives above 2.0; the
+    // fitted threshold must land in the gap and classify perfectly.
+    let positives: TripleStore = (0..30).map(|i| Triple::new(i, i % 3, i + 1)).collect();
+    let negatives: TripleStore = (0..30)
+        .map(|i| Triple::new(i + 100, i % 3, i + 101))
+        .collect();
+    let score = |t: Triple| -> f32 {
+        let scale = 1.0 + t.rel as f32; // relation-specific score scale
+        if t.head < 100 {
+            scale * (0.5 + 0.01 * t.head as f32)
+        } else {
+            scale * (2.5 + 0.01 * (t.head - 100) as f32)
+        }
+    };
+    let clf = TripleClassifier::fit(&positives, &negatives, score);
+    for rel in 0..3u32 {
+        let t = clf.threshold(rel);
+        let scale = 1.0 + rel as f32;
+        assert!(
+            t > scale * 0.8 && t < scale * 2.5,
+            "relation {rel}: threshold {t} outside the class gap"
+        );
+        // is_true is exactly "distance <= threshold".
+        assert!(clf.is_true(rel, t));
+        assert!(!clf.is_true(rel, t + 1e-3));
+    }
+    assert_eq!(clf.accuracy(&positives, &negatives, score), 1.0);
+}
+
+#[test]
+fn triple_classifier_unseen_relation_uses_global_default() {
+    let positives: TripleStore = (0..10).map(|i| Triple::new(i, 0, i + 1)).collect();
+    let negatives: TripleStore = (0..10).map(|i| Triple::new(i + 50, 0, i + 51)).collect();
+    let score = |t: Triple| if t.head < 50 { 0.1 } else { 0.9 };
+    let clf = TripleClassifier::fit(&positives, &negatives, score);
+    // Relation 7 was never fitted: it falls back to the global threshold,
+    // which here equals relation 0's (same score pool).
+    assert_eq!(clf.threshold(7), clf.threshold(0));
+    assert!(clf.is_true(7, 0.1));
+    assert!(!clf.is_true(7, 0.9));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Nearest-centroid fit is permutation-invariant: shuffling the labeled
+    /// examples never changes any prediction.
+    #[test]
+    fn entity_classifier_is_permutation_invariant(
+        entities in 6usize..40,
+        classes in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let classes = classes.min(entities);
+        let emb = blob_embeddings(entities, classes, 4, seed);
+        let labeled: Vec<(u32, u32)> =
+            (0..entities).map(|e| (e as u32, (e % classes) as u32)).collect();
+        let mut shuffled = labeled.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(entities / 3);
+        let a = EntityClassifier::fit(&emb, &labeled).unwrap();
+        let b = EntityClassifier::fit(&emb, &shuffled).unwrap();
+        for e in 0..entities {
+            prop_assert_eq!(a.predict(emb.row(e)), b.predict(emb.row(e)));
+        }
+    }
+
+    /// The fitted threshold is optimal: no other cut point achieves strictly
+    /// higher accuracy on the fitting data.
+    #[test]
+    fn triple_threshold_is_optimal_on_fitting_data(
+        pos_scores in proptest::collection::vec(0.0f32..10.0, 1..20),
+        neg_scores in proptest::collection::vec(0.0f32..10.0, 1..20),
+    ) {
+        let positives: TripleStore =
+            (0..pos_scores.len()).map(|i| Triple::new(i as u32, 0, 1)).collect();
+        let negatives: TripleStore =
+            (0..neg_scores.len()).map(|i| Triple::new(100 + i as u32, 0, 1)).collect();
+        let score = |t: Triple| -> f32 {
+            if t.head < 100 {
+                pos_scores[t.head as usize]
+            } else {
+                neg_scores[(t.head - 100) as usize]
+            }
+        };
+        let clf = TripleClassifier::fit(&positives, &negatives, score);
+        let fitted_acc = clf.accuracy(&positives, &negatives, score);
+        // Sweep every candidate cut (below, between, above each score).
+        let mut all: Vec<f32> = pos_scores.iter().chain(&neg_scores).copied().collect();
+        all.sort_by(f32::total_cmp);
+        let mut cuts = vec![all[0] - 1.0, all[all.len() - 1] + 1.0];
+        cuts.extend(all.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+        cuts.extend(all.iter().copied());
+        for cut in cuts {
+            let correct = pos_scores.iter().filter(|&&s| s <= cut).count()
+                + neg_scores.iter().filter(|&&s| s > cut).count();
+            let acc = correct as f32 / (pos_scores.len() + neg_scores.len()) as f32;
+            prop_assert!(
+                fitted_acc >= acc - 1e-6,
+                "cut {} beats the fitted threshold: {} > {}", cut, acc, fitted_acc
+            );
+        }
+    }
+}

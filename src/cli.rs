@@ -7,6 +7,10 @@
 //! * `train` — train a model on a TSV file and save embeddings
 //!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`).
 //! * `stats` — print dataset statistics (degrees, relation classes).
+//! * `serve` — load saved embeddings, build (or load) an IVF candidate
+//!   index, replay a Zipf-skewed query workload through the ANN and exact
+//!   arms, and report recall@K, latency percentiles, QPS, scan fraction and
+//!   cache hit rates (`--emb`, `--train`, `--clusters`, `--nprobe`, …).
 //!
 //! Every subcommand accepts `--threads N` to pin the worker-pool size. The
 //! training and evaluation engines are bit-identical at any thread count
@@ -22,6 +26,10 @@ use std::path::{Path, PathBuf};
 use kg::eval::EvalConfig;
 use kg::stream::EmbeddingStore;
 use kg::{load_tsv, write_tsv, Dataset, Vocab};
+use sptransx::serve::{
+    recall_at_k, IvfConfig, IvfIndex, LatencySummary, QueryKey, ServeEngine, ServeModel,
+    ZipfWorkload,
+};
 use sptransx::{
     KgeModel, Norm, OptimizerKind, SamplerKind, SpDistMult, SpTorusE, SpTransE, SpTransH, SpTransR,
     TrainConfig, Trainer,
@@ -78,7 +86,9 @@ pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
     let mut iter = raw.iter();
     let command = iter
         .next()
-        .ok_or_else(|| CliError::Usage("expected a subcommand (generate|train|stats)".into()))?
+        .ok_or_else(|| {
+            CliError::Usage("expected a subcommand (generate|train|stats|serve)".into())
+        })?
         .clone();
     let mut options = HashMap::new();
     while let Some(key) = iter.next() {
@@ -207,6 +217,174 @@ pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
         100.0 * stats.top1pct_degree_share,
         stats.class_counts
     ))
+}
+
+/// The `serve` subcommand: load embeddings, build/load the IVF index,
+/// replay a Zipf workload through the ANN (cached) and exact arms, report
+/// quality and latency, and optionally enforce `--min-recall` /
+/// `--max-scan-frac` thresholds (nonzero exit on violation — the CI smoke
+/// hook).
+///
+/// # Errors
+///
+/// Propagates I/O, parse and serving errors; threshold violations surface
+/// as [`CliError::Library`] serving errors.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let emb_path = args.required("emb")?;
+    let train_path = args.required("train")?;
+    let norm = match args.str_or("norm", "l2").as_str() {
+        "l1" => Norm::L1,
+        "l2" => Norm::L2,
+        other => return Err(CliError::Usage(format!("unknown --norm {other:?} (l1|l2)"))),
+    };
+    // The embedding dump stores only the stacked matrix; the training TSV
+    // recovers the entity/relation split of its rows.
+    let mut vocab = Vocab::new();
+    let file = std::fs::File::open(&train_path).map_err(kg::Error::from)?;
+    load_tsv(file, &mut vocab)?;
+    let n = vocab.num_entities();
+    if n == 0 {
+        return Err(CliError::Usage(format!(
+            "training file {train_path:?} has no triples"
+        )));
+    }
+    let model = ServeModel::load(&emb_path, n, norm)?;
+    let r = model.num_relations();
+    if r != vocab.num_relations() {
+        return Err(CliError::Library(Box::new(sptransx::Error::serve(
+            format!(
+                "embedding file implies {r} relations but the training file has {} — \
+             wrong file pair, or a non-translational model dump",
+                vocab.num_relations()
+            ),
+        ))));
+    }
+
+    let clusters: usize = args.parse_or("clusters", IvfConfig::sqrt_clusters(n).clusters)?;
+    let kmeans_iters: usize = args.parse_or("kmeans-iters", 8)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let k: usize = args.parse_or("k", 10)?;
+    let num_queries: usize = args.parse_or("queries", 2_000)?;
+    let zipf: f64 = args.parse_or("zipf", 1.1)?;
+    let cache_size: usize = args.parse_or("cache-size", 1_024)?;
+
+    let index = match args.options.get("index") {
+        Some(path) => IvfIndex::load(path)?,
+        None => IvfIndex::build(
+            model.embeddings(),
+            n,
+            model.dim(),
+            &IvfConfig {
+                clusters,
+                iters: kmeans_iters,
+                seed,
+            },
+            &xparallel::PoolHandle::global(),
+        )?,
+    };
+    if let Some(path) = args.options.get("index-out") {
+        index.save(path)?;
+    }
+    let num_clusters = index.num_clusters();
+    let nprobe: usize = args.parse_or("nprobe", num_clusters.div_ceil(8))?;
+    let nprobe = nprobe.clamp(1, num_clusters);
+
+    let mut engine = ServeEngine::new(model, index)?.with_cache(cache_size);
+    let mut workload = ZipfWorkload::new(n, r, zipf, seed);
+
+    // First-principles cache model: the same key stream replayed through a
+    // fully-associative simcache LRU (one distinct line per distinct key)
+    // must predict the real cache's hit count exactly.
+    let mut sim = simcache::Cache::new(simcache::CacheConfig {
+        size_bytes: cache_size * 64,
+        line_bytes: 64,
+        ways: cache_size,
+    });
+    let mut key_addrs: HashMap<QueryKey, u64> = HashMap::new();
+
+    let mut ann_lat = Vec::with_capacity(num_queries);
+    let mut exact_lat = Vec::with_capacity(num_queries);
+    let mut recall_sum = 0.0f64;
+    let mut scored_total = 0usize;
+    let mut computed = 0usize;
+    for _ in 0..num_queries {
+        let q = workload.next_query();
+        let key: QueryKey = (q.dir as u8, q.entity, q.rel, k as u32, nprobe as u32);
+        let next_addr = key_addrs.len() as u64 * 64;
+        sim.access(*key_addrs.entry(key).or_insert(next_addr));
+
+        let t = std::time::Instant::now();
+        let ann = engine.answer_ann(&q, k, nprobe);
+        ann_lat.push(t.elapsed());
+        let t = std::time::Instant::now();
+        let exact = engine.answer_exact(&q, k);
+        exact_lat.push(t.elapsed());
+
+        recall_sum += recall_at_k(&exact, &ann.hits);
+        if !ann.cache_hit {
+            scored_total += ann.scored;
+            computed += 1;
+        }
+    }
+
+    let recall = recall_sum / num_queries.max(1) as f64;
+    let scan_frac = if computed == 0 {
+        0.0
+    } else {
+        scored_total as f64 / (computed * n) as f64
+    };
+    let cache_stats = engine.cache_stats().unwrap_or_default();
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let arm = |name: &str, s: &LatencySummary| {
+        format!(
+            "{name} p50 {:.1}us p95 {:.1}us p99 {:.1}us, {:.0} qps",
+            us(s.p50),
+            us(s.p95),
+            us(s.p99),
+            s.qps
+        )
+    };
+    let ann_sum = LatencySummary::from_samples(&ann_lat)
+        .ok_or_else(|| CliError::Usage("--queries must be positive".into()))?;
+    let exact_sum = LatencySummary::from_samples(&exact_lat).expect("same sample count");
+    let mut out = format!(
+        "serving {n} entities / {r} relations, dim {}, norm {}\n\
+         index: {num_clusters} clusters, nprobe {nprobe}, kmeans iters {kmeans_iters}, seed {seed}\n\
+         workload: {num_queries} queries, zipf({zipf}), k {k}, cache {cache_size}\n\
+         recall@{k} vs exact arm: {recall:.4}\n\
+         scan fraction (cache misses): {:.1}% of entities\n\
+         cache hit rate: {:.1}% (simcache model: {:.1}%)\n\
+         {}\n\
+         {}",
+        engine.model().dim(),
+        args.str_or("norm", "l2"),
+        100.0 * scan_frac,
+        100.0 * cache_stats.hit_rate(),
+        100.0 * (1.0 - sim.stats().miss_rate()),
+        arm("ann  ", &ann_sum),
+        arm("exact", &exact_sum),
+    );
+    if cache_stats.hits != sim.stats().hits {
+        out.push_str(&format!(
+            "\nWARNING: simcache model predicted {} hits, cache saw {}",
+            sim.stats().hits,
+            cache_stats.hits
+        ));
+    }
+
+    let min_recall: f64 = args.parse_or("min-recall", 0.0)?;
+    if recall < min_recall {
+        return Err(CliError::Library(Box::new(sptransx::Error::serve(
+            format!("recall@{k} {recall:.4} is below --min-recall {min_recall} ({out})"),
+        ))));
+    }
+    let max_scan_frac: f64 = args.parse_or("max-scan-frac", 1.0)?;
+    if scan_frac > max_scan_frac {
+        return Err(CliError::Library(Box::new(sptransx::Error::serve(
+            format!("scan fraction {scan_frac:.4} exceeds --max-scan-frac {max_scan_frac} ({out})"),
+        ))));
+    }
+    Ok(out)
 }
 
 fn numeric_vocab(entities: usize, relations: usize) -> Vocab {
@@ -393,6 +571,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "generate" => cmd_generate(args),
         "train" => cmd_train(args),
         "stats" => cmd_stats(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n{USAGE}"
@@ -412,13 +591,26 @@ USAGE:
                 [--sampler uniform|bernoulli] [--dense-grads true|false]
                 [--out embeddings.bin]
   sptx stats    --train FILE.tsv
+  sptx serve    --emb FILE.bin --train FILE.tsv [--norm l1|l2] [--k K]
+                [--clusters C] [--nprobe P] [--kmeans-iters I]
+                [--queries Q] [--zipf S] [--cache-size N] [--seed S]
+                [--index FILE] [--index-out FILE]
+                [--min-recall R] [--max-scan-frac F]
   sptx help
 
 Any subcommand also accepts --threads N (worker-pool size; results are
 bit-identical at any N, only wall-clock changes). --dense-grads true disables
 the touched-row sparse gradient path (an ablation switch: training is
 bit-identical, each batch just sweeps whole embedding tables). --lr-decay
-multiplies the learning rate by GAMMA every STEP epochs.";
+multiplies the learning rate by GAMMA every STEP epochs.
+
+serve loads the stacked embedding matrix train saves (TransE/TorusE layout;
+--norm must match training), answers top-K completion queries through an
+IVF candidate index (nprobe = cost/recall knob; nprobe = clusters is an
+exact full scan), measures recall@K against the exact full-scan arm, and
+reports latency percentiles, QPS, scan fraction and cache hit rates.
+--min-recall / --max-scan-frac turn quality regressions into a nonzero
+exit status for CI.";
 
 #[cfg(test)]
 mod tests {
@@ -592,6 +784,180 @@ mod tests {
         .unwrap();
         let msg = run(&train).unwrap();
         assert!(msg.contains("SpTransE"), "{msg}");
+    }
+
+    #[test]
+    fn serve_end_to_end_with_index_roundtrip() {
+        let dir = std::env::temp_dir().join("sptx-cli-test-serve");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate",
+            "--entities",
+            "120",
+            "--relations",
+            "4",
+            "--triples",
+            "600",
+            "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "train",
+            "--train",
+            &train_file,
+            "--epochs",
+            "2",
+            "--dim",
+            "8",
+            "--batch-size",
+            "64",
+            "--out",
+            &emb_out,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        // Build the index, serve a small workload, and persist the index.
+        let index_path = dir.join("index.ivf").to_string_lossy().to_string();
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--queries",
+            "200",
+            "--clusters",
+            "12",
+            "--nprobe",
+            "12", // nprobe == clusters: the ANN arm IS the exact scan
+            "--min-recall",
+            "0.999",
+            "--index-out",
+            &index_path,
+        ]))
+        .unwrap();
+        let msg = run(&serve).unwrap();
+        assert!(msg.contains("recall@10 vs exact arm: 1.0000"), "{msg}");
+        assert!(!msg.contains("WARNING"), "cache model diverged: {msg}");
+
+        // Reload the saved index and serve again with a selective probe.
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--queries",
+            "200",
+            "--nprobe",
+            "3",
+            "--index",
+            &index_path,
+        ]))
+        .unwrap();
+        let msg = run(&serve).unwrap();
+        assert!(msg.contains("index: 12 clusters, nprobe 3"), "{msg}");
+
+        // An impossible recall floor must fail the command.
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--queries",
+            "50",
+            "--nprobe",
+            "1",
+            "--min-recall",
+            "1.1",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&serve), Err(CliError::Library(_))));
+    }
+
+    #[test]
+    fn serve_rejects_mismatched_and_corrupt_inputs() {
+        let dir = std::env::temp_dir().join("sptx-cli-test-serve-bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate",
+            "--entities",
+            "50",
+            "--relations",
+            "3",
+            "--triples",
+            "200",
+            "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+
+        // Missing embedding file.
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            "/nonexistent.bin",
+            "--train",
+            &train_file,
+        ]))
+        .unwrap();
+        assert!(run(&serve).is_err());
+
+        // Truncated embedding file: rejected at open, not a panic.
+        let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "train",
+            "--train",
+            &train_file,
+            "--epochs",
+            "1",
+            "--dim",
+            "8",
+            "--batch-size",
+            "64",
+            "--out",
+            &emb_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let bytes = std::fs::read(&emb_out).unwrap();
+        let cut = dir.join("cut.bin");
+        std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &cut.to_string_lossy(),
+            "--train",
+            &train_file,
+        ]))
+        .unwrap();
+        assert!(matches!(run(&serve), Err(CliError::Library(_))));
+
+        // Corrupt index file.
+        let bad_index = dir.join("bad.ivf");
+        std::fs::write(&bad_index, b"SPTXIVF1 not really").unwrap();
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--index",
+            &bad_index.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(matches!(run(&serve), Err(CliError::Library(_))));
     }
 
     #[test]
