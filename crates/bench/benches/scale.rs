@@ -13,12 +13,20 @@
 //! are bit-identical in results (see `tests/sparse_grad_properties.rs`),
 //! so the gap is pure bookkeeping cost.
 //!
-//! The loop body is one synchronous training step (zero grads, tape reset,
-//! forward, loss, backward, SGD) on a single fixed-size batch. Per-epoch
-//! model constraints (entity renormalization) are excluded: they are
-//! `O(N · d)` by definition and amortize over an epoch's many batches in
-//! real runs — this bench isolates the *per-batch* cost the contract
-//! bounds.
+//! Two benchmark groups share the controlled batch:
+//!
+//! * `scale` — one synchronous training step (zero grads, tape reset,
+//!   forward, loss, backward, SGD) on a single fixed-size batch. Per-epoch
+//!   model constraints (entity renormalization) are excluded to isolate the
+//!   *per-batch* cost the gradient contract bounds.
+//! * `scale_epoch` — a whole epoch (the same triples split into 8 batches)
+//!   **including** `end_epoch()` renormalization. With the touched-row
+//!   dirty sets the renorm sweep visits `O(batch · epochs)` rows, so the
+//!   `sparse` arm stays flat (±20%) across the sweep; the `dense-grads`
+//!   ablation re-marks every row dirty each step and its `O(N · d)`
+//!   full-table renorm grows roughly linearly in `N`. (The first epoch
+//!   after construction renormalizes every row — all rows start dirty —
+//!   and criterion's warm-up absorbs it.)
 //!
 //! **Controlled variable:** the batch is held **byte-identical** across the
 //! sweep — every dataset uses the same triples over entities `0..10k`
@@ -106,5 +114,67 @@ fn bench_entity_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_entity_scaling);
+/// Positive triples per `scale_epoch` batch: the same 2 048-triple plan as
+/// the per-batch group, split into 8 batches so the epoch loop exercises
+/// multi-batch dirty-set accumulation before the renorm sweep.
+const EPOCH_BATCH: usize = 256;
+
+fn bench_epoch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_epoch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let base = SyntheticKgBuilder::new(ACTIVE_ENTITIES, 8)
+        .triples(TRIPLES)
+        .seed(0x5CA1E)
+        .build();
+    let known = base.all_known();
+    let sampler = UniformSampler::new(ACTIVE_ENTITIES);
+
+    for &(entities, label) in &[(10_000usize, "10k"), (100_000, "100k"), (1_000_000, "1M")] {
+        let mut ds = base.clone();
+        ds.num_entities = entities;
+        for dense_grads in [false, true] {
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: EPOCH_BATCH,
+                dim: DIM,
+                rel_dim: DIM / 2,
+                lr: 0.01,
+                dense_grads,
+                ..Default::default()
+            };
+            let plan = BatchPlan::build(&ds.train, &known, &sampler, cfg.batch_size, cfg.seed);
+            let epoch_rows: u64 = (0..plan.num_batches())
+                .map(|b| plan.batch(b).len() as u64)
+                .sum();
+            let mut model = SpTransE::from_config(&ds, &cfg).expect("model");
+            model.attach_plan(&plan).expect("plan");
+            model.store_mut().set_dense_grads(cfg.dense_grads);
+            let mut opt = Sgd::new(cfg.lr);
+            opt.set_pool(&PoolHandle::global());
+            let mut graph = Graph::new();
+
+            let arm = if dense_grads { "dense-grads" } else { "sparse" };
+            group.throughput(Throughput::Elements(epoch_rows));
+            group.bench_with_input(BenchmarkId::new(arm, label), &entities, |b, _| {
+                b.iter(|| {
+                    for bi in 0..model.num_batches() {
+                        model.store_mut().zero_grads();
+                        graph.reset();
+                        let (pos, neg) = model.score_batch(&mut graph, bi);
+                        let loss = graph.margin_ranking_loss(pos, neg, cfg.margin);
+                        graph.backward(loss, model.store_mut());
+                        opt.step(model.store_mut());
+                    }
+                    model.end_epoch();
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entity_scaling, bench_epoch_scaling);
 criterion_main!(benches);

@@ -162,7 +162,11 @@ where
     // parameter and a reusable row-union buffer: the steady-state
     // synchronous step is allocation-free.
     let mut graphs: Vec<Graph> = (0..workers)
-        .map(|_| Graph::with_pool(PoolHandle::sequential()))
+        .map(|_| {
+            let mut g = Graph::with_pool(PoolHandle::sequential());
+            g.set_fused(config.fused);
+            g
+        })
         .collect();
     let param_ids: Vec<ParamId> = replicas[0].store().param_ids();
     let mut reduce_scratch: Vec<Tensor> = param_ids
@@ -285,6 +289,17 @@ fn assert_replicas_in_lockstep<M: KgeModel>(replicas: &[M], param_ids: &[ParamId
             assert!(
                 a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
                 "replica {} desynchronized from rank 0 on parameter {:?}",
+                w + 1,
+                id
+            );
+            // The dirty sets drive the epoch renormalization sweeps: the
+            // all-reduce widens every replica's touched set to the union
+            // before the optimizer marks dirty rows, so the sets — and
+            // therefore the renorm walks — must be identical too.
+            assert_eq!(
+                rank0.store().dirty(id).as_slice(),
+                other.store().dirty(id).as_slice(),
+                "replica {} dirty set desynchronized from rank 0 on parameter {:?}",
                 w + 1,
                 id
             );
@@ -442,6 +457,39 @@ mod tests {
         let cfg = config();
         let r = train_data_parallel(&ds, &cfg, 3, SpTransE::from_config).unwrap();
         assert!(r.epoch_losses.last().unwrap() <= r.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn touched_row_renorm_stays_in_lockstep_at_2_and_3_workers() {
+        // The all-reduce widens every replica's touched set to the union, so
+        // the per-param dirty sets — and the epoch renormalization sweeps
+        // they drive — must stay identical across replicas, and the
+        // touched-row sweep must remain bit-identical to the dense ablation.
+        // Running under debug assertions this also exercises the dirty-set
+        // comparison inside `assert_replicas_in_lockstep`.
+        let ds = dataset();
+        for workers in [2, 3] {
+            let sparse_cfg = config();
+            let dense_cfg = TrainConfig {
+                dense_grads: true,
+                ..config()
+            };
+            let (_, m_sparse) =
+                train_data_parallel_returning(&ds, &sparse_cfg, workers, SpTransE::from_config)
+                    .unwrap();
+            let (_, m_dense) =
+                train_data_parallel_returning(&ds, &dense_cfg, workers, SpTransE::from_config)
+                    .unwrap();
+            let a = m_sparse.store().value(m_sparse.embedding_param());
+            let b = m_dense.store().value(m_dense.embedding_param());
+            assert!(
+                a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "touched-row renorm diverged from dense ablation at {workers} workers"
+            );
+        }
     }
 
     #[test]

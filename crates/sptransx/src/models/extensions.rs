@@ -94,10 +94,9 @@ impl KgeModel for SpTransC {
     }
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let cache = &self.batches[batch_idx];
-        let pos_expr = g.spmm(&self.store, self.emb, cache.pos.clone());
-        let pos = g.squared_l2_norm_rows(pos_expr);
-        let neg_expr = g.spmm(&self.store, self.emb, cache.neg.clone());
-        let neg = g.squared_l2_norm_rows(neg_expr);
+        let score = tensor::RowScore::SquaredL2;
+        let pos = g.spmm_score(&self.store, self.emb, cache.pos.clone(), score);
+        let neg = g.spmm_score(&self.store, self.emb, cache.neg.clone(), score);
         (pos, neg)
     }
     fn end_epoch(&mut self) {
@@ -324,8 +323,7 @@ impl KgeModel for SpTransM {
         let (wp, wn) = &self.batch_weights[batch_idx];
         let side =
             |g: &mut Graph, pair: &std::sync::Arc<sparse::incidence::IncidencePair>, w: &[f32]| {
-                let expr = g.spmm(&self.store, self.emb, pair.clone());
-                let dist = self.norm.apply(g, expr);
+                let dist = g.spmm_score(&self.store, self.emb, pair.clone(), self.norm.row_score());
                 // Arena-backed input: the weight column recurs every epoch,
                 // so no per-batch `Tensor::from_vec` allocation.
                 let weights = g.input_from_slice(w.len(), 1, w);

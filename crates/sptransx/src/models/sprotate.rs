@@ -137,19 +137,32 @@ impl KgeModel for SpRotatE {
     }
 
     fn end_epoch(&mut self) {
-        // Re-project relation components onto the unit circle (rotations).
+        // Re-project relation components onto the unit circle (rotations),
+        // walking only dirty rows. Entity rows (index < n) are outside this
+        // constraint and are dropped from the set; a relation row leaves it
+        // only once reprojection is a bitwise no-op (every component pair
+        // already on the unit circle within `UNIT_NORM_TOL`, the same
+        // idempotence band as `normalize_leading_rows`), so the sweep stays
+        // bit-identical to the dense one.
         let n = self.num_entities;
-        let emb = self.store.value_mut(self.emb);
-        for row in n..emb.rows() {
-            let r = emb.row_mut(row);
+        self.store.for_dirty_rows(self.emb, |row, r| {
+            if row < n {
+                return false;
+            }
+            let mut changed = false;
             for pair in r.chunks_exact_mut(2) {
                 let norm = (pair[0] * pair[0] + pair[1] * pair[1]).sqrt();
-                if norm > 1e-12 {
-                    pair[0] /= norm;
-                    pair[1] /= norm;
+                if norm > 1e-12 && (norm - 1.0).abs() > crate::model::UNIT_NORM_TOL {
+                    let y0 = pair[0] / norm;
+                    let y1 = pair[1] / norm;
+                    changed |=
+                        y0.to_bits() != pair[0].to_bits() || y1.to_bits() != pair[1].to_bits();
+                    pair[0] = y0;
+                    pair[1] = y1;
                 }
             }
-        }
+            changed
+        });
     }
 }
 

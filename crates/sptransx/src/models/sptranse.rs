@@ -115,10 +115,9 @@ impl KgeModel for SpTransE {
 
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var) {
         let cache = &self.batches[batch_idx];
-        let pos_expr = g.spmm(&self.store, self.emb, cache.pos.clone());
-        let pos = self.norm.apply(g, pos_expr);
-        let neg_expr = g.spmm(&self.store, self.emb, cache.neg.clone());
-        let neg = self.norm.apply(g, neg_expr);
+        let score = self.norm.row_score();
+        let pos = g.spmm_score(&self.store, self.emb, cache.pos.clone(), score);
+        let neg = g.spmm_score(&self.store, self.emb, cache.neg.clone(), score);
         (pos, neg)
     }
 

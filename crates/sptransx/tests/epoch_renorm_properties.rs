@@ -1,0 +1,225 @@
+//! The touched-row epoch-renormalization contract, asserted bit-for-bit.
+//!
+//! PR 4/5 made the per-batch step row-sparse; the epoch-end constraint
+//! sweeps (`normalize_leading_rows`, SpRotatE's unit-circle reprojection)
+//! are the remaining full-table walks. They now consume a per-param **dirty
+//! row set** the optimizer sweeps populate for free, with fixed-point
+//! retention: a row leaves the set only when renormalizing it is a bitwise
+//! no-op (already unit-norm at f32 working precision), so the sparse sweep
+//! promises **bit-identical results to the dense sweep** — the
+//! `--dense-grads` ablation arm, which forces dense gradients *and* dense
+//! renormalization. These tests cross every renormalizing model family with
+//! pinned pool widths and all three optimizers, `f32` bits not tolerances.
+//! CI re-runs the suite under `SPTX_NUM_THREADS ∈ {1, 4}` and cross-diffs
+//! CLI runs of both arms.
+
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, Dataset, UniformSampler};
+use sptransx::{
+    DenseTransE, DenseTransH, KgeModel, OptimizerKind, SpRotatE, SpTransC, SpTransE, SpTransH,
+    SpTransM, SpTransR, TrainConfig, Trainer,
+};
+use tensor::optim::{Adagrad, Optimizer, Sgd};
+use tensor::Graph;
+use xparallel::PoolHandle;
+
+fn dataset() -> Dataset {
+    SyntheticKgBuilder::new(80, 5).triples(500).seed(17).build()
+}
+
+fn config(dense_grads: bool, optimizer: OptimizerKind) -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 96,
+        dim: 12,
+        rel_dim: 6,
+        lr: 0.05,
+        dense_grads,
+        optimizer,
+        ..Default::default()
+    }
+}
+
+/// Losses and final parameter bits of one multi-epoch run (the trainer
+/// calls `end_epoch` after every epoch, so the renorm arm under test runs
+/// three times per training).
+fn run<M, F>(
+    width: usize,
+    dense_grads: bool,
+    optimizer: OptimizerKind,
+    make: F,
+) -> (Vec<u32>, Vec<Vec<u32>>)
+where
+    M: KgeModel,
+    F: FnOnce(&Dataset, &TrainConfig) -> M,
+{
+    let ds = dataset();
+    let cfg = config(dense_grads, optimizer);
+    let model = make(&ds, &cfg);
+    let mut trainer = Trainer::new(model, &ds, &cfg)
+        .unwrap()
+        .with_pool(PoolHandle::global().with_width(width));
+    let report = trainer.run().unwrap();
+    let model = trainer.into_model();
+    let params = model
+        .store()
+        .param_ids()
+        .into_iter()
+        .map(|id| {
+            model
+                .store()
+                .value(id)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    let losses = report.epoch_losses.iter().map(|x| x.to_bits()).collect();
+    (losses, params)
+}
+
+/// Sparse (dirty-row) vs dense epoch renormalization must agree bit-for-bit
+/// after multi-epoch training, at every pool width and under every
+/// optimizer — for every family that applies an epoch-end constraint:
+/// entity renorm (TransE/TransR/TransC/TransM and the dense baselines),
+/// entity + hyperplane-normal renorm (TransH), and SpRotatE's per-pair
+/// unit-circle relation reprojection. Adam keeps its deliberately dense
+/// marking (moment decay moves every row), exercising the all-dirty path.
+macro_rules! renorm_sparse_matches_dense_test {
+    ($name:ident, $model:ty) => {
+        #[test]
+        fn $name() {
+            let make = |ds: &Dataset, cfg: &TrainConfig| <$model>::from_config(ds, cfg).unwrap();
+            for width in [1usize, 4, 8] {
+                for optimizer in [
+                    OptimizerKind::Sgd,
+                    OptimizerKind::Adagrad,
+                    OptimizerKind::Adam,
+                ] {
+                    let sparse = run(width, false, optimizer, make);
+                    let dense = run(width, true, optimizer, make);
+                    assert!(
+                        sparse.0.iter().all(|l| f32::from_bits(*l).is_finite()),
+                        "losses must be finite"
+                    );
+                    assert_eq!(
+                        sparse,
+                        dense,
+                        "{} width {width} {optimizer:?}: sparse renorm diverged from dense",
+                        stringify!($model)
+                    );
+                }
+            }
+        }
+    };
+}
+
+renorm_sparse_matches_dense_test!(sptranse_renorm_sparse_matches_dense, SpTransE);
+renorm_sparse_matches_dense_test!(sptransh_renorm_sparse_matches_dense, SpTransH);
+renorm_sparse_matches_dense_test!(sptransr_renorm_sparse_matches_dense, SpTransR);
+renorm_sparse_matches_dense_test!(sprotate_renorm_sparse_matches_dense, SpRotatE);
+renorm_sparse_matches_dense_test!(sptransc_renorm_sparse_matches_dense, SpTransC);
+renorm_sparse_matches_dense_test!(sptransm_renorm_sparse_matches_dense, SpTransM);
+renorm_sparse_matches_dense_test!(densetranse_renorm_sparse_matches_dense, DenseTransE);
+renorm_sparse_matches_dense_test!(densetransh_renorm_sparse_matches_dense, DenseTransH);
+
+/// The canary: rows no batch ever touches must keep their **exact bits**
+/// across epochs under the sparse-stepping optimizers (SGD/Adagrad).
+///
+/// The dataset declares 64 entities but its triples — and the negative
+/// sampler — only reference `0..60`, so entity rows 60–63 never receive a
+/// gradient. Rows 60/61 are set to one-hot (exactly unit-norm, a renorm
+/// fixed point from the very first sweep) and must keep their pre-training
+/// bits through every epoch; rows 62/63 keep their random init, get
+/// normalized once by the first epoch's sweep (every row starts dirty), and
+/// must then stay bit-frozen — and out of the dirty set — for the rest of
+/// the run. Adam is excluded by design: its moment decay steps every row.
+#[test]
+fn never_touched_rows_keep_exact_bits_under_sgd_and_adagrad() {
+    for optimizer in [OptimizerKind::Sgd, OptimizerKind::Adagrad] {
+        let mut ds = SyntheticKgBuilder::new(60, 4).triples(400).seed(7).build();
+        ds.num_entities = 64;
+        let cfg = config(false, optimizer);
+        let mut model = SpTransE::from_config(&ds, &cfg).unwrap();
+        let emb_id = model.embedding_param();
+        {
+            let emb = model.store_mut().value_mut(emb_id);
+            for (i, row) in (60..62).enumerate() {
+                let r = emb.row_mut(row);
+                r.fill(0.0);
+                r[i] = 1.0;
+            }
+        }
+        let row_bits = |m: &SpTransE, row: usize| -> Vec<u32> {
+            m.store()
+                .value(emb_id)
+                .row(row)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        };
+        let onehot_before: Vec<Vec<u32>> = (60..62).map(|r| row_bits(&model, r)).collect();
+
+        // Negatives drawn from 0..60 only: rows 60..64 stay untouched.
+        let sampler = UniformSampler::new(60);
+        let plan = BatchPlan::build(
+            &ds.train,
+            &ds.all_known(),
+            &sampler,
+            cfg.batch_size,
+            cfg.seed,
+        );
+        model.attach_plan(&plan).unwrap();
+        let mut opt: Box<dyn Optimizer> = match optimizer {
+            OptimizerKind::Sgd => Box::new(Sgd::new(cfg.lr)),
+            _ => Box::new(Adagrad::new(cfg.lr)),
+        };
+        let mut graph = Graph::new();
+        let mut random_after_first: Vec<Vec<u32>> = Vec::new();
+        for epoch in 0..3 {
+            for bi in 0..model.num_batches() {
+                model.store_mut().zero_grads();
+                graph.reset();
+                let (pos, neg) = model.score_batch(&mut graph, bi);
+                let loss = graph.margin_ranking_loss(pos, neg, cfg.margin);
+                graph.backward(loss, model.store_mut());
+                opt.step(model.store_mut());
+            }
+            model.end_epoch();
+            if epoch == 0 {
+                random_after_first = (62..64).map(|r| row_bits(&model, r)).collect();
+            }
+        }
+
+        for (i, before) in onehot_before.iter().enumerate() {
+            assert_eq!(
+                &row_bits(&model, 60 + i),
+                before,
+                "{optimizer:?}: one-hot untouched row {} changed bits",
+                60 + i
+            );
+        }
+        for (i, after_first) in random_after_first.iter().enumerate() {
+            assert_eq!(
+                &row_bits(&model, 62 + i),
+                after_first,
+                "{optimizer:?}: untouched row {} jittered after its first renorm",
+                62 + i
+            );
+        }
+        // The untouched rows must also have left the dirty set — that is
+        // what makes the steady-state sweep O(touched), not O(N).
+        let dirty = model
+            .store()
+            .dirty(emb_id)
+            .as_slice()
+            .expect("dirty set must be sparse after the first sweep");
+        for row in 60..64u32 {
+            assert!(
+                !dirty.contains(&row),
+                "{optimizer:?}: untouched row {row} still marked dirty"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The kernel-fusion contract, asserted bit-for-bit.
+//!
+//! `TrainConfig::fused` (the `sptx train --fused` switch) selects between
+//! the fused hot-path kernels — gather+distance on the forward pass
+//! (`tensor::Graph::spmm_score`), margin-loss+backward-seed on the backward
+//! pass — and the materialized pipeline they replace (SpMM into a `chunk×d`
+//! arena buffer, then a separate norm reduction; separate loss-seed tensors
+//! accumulated through the tape). Fusion is a pure memory-traffic
+//! optimization: both paths compute **the same float expressions in the
+//! same association order**, so scores, losses, gradients, and multi-epoch
+//! trained parameters must match `f32`-bit-for-bit across every scorer in
+//! the zoo. The graph-level half of this contract (single ops, counter
+//! deltas) lives in `tensor`'s unit tests; these tests close it end-to-end
+//! at the model level for all 13 scorers.
+
+use kg::synthetic::SyntheticKgBuilder;
+use kg::{BatchPlan, Dataset, UniformSampler};
+use sptransx::{
+    DenseTorusE, DenseTransE, DenseTransH, DenseTransR, KgeModel, SpComplEx, SpDistMult, SpRotatE,
+    SpTorusE, SpTransC, SpTransE, SpTransH, SpTransM, SpTransR, TrainConfig, Trainer,
+};
+use tensor::Graph;
+
+fn dataset() -> Dataset {
+    SyntheticKgBuilder::new(70, 4).triples(400).seed(23).build()
+}
+
+fn config(fused: bool) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 80,
+        dim: 12,
+        rel_dim: 6,
+        lr: 0.05,
+        fused,
+        ..Default::default()
+    }
+}
+
+/// Epoch losses and final parameter bits of one trained run.
+fn train_run<M, F>(fused: bool, make: F) -> (Vec<u32>, Vec<Vec<u32>>)
+where
+    M: KgeModel,
+    F: FnOnce(&Dataset, &TrainConfig) -> M,
+{
+    let ds = dataset();
+    let cfg = config(fused);
+    let model = make(&ds, &cfg);
+    let mut trainer = Trainer::new(model, &ds, &cfg).unwrap();
+    let report = trainer.run().unwrap();
+    let model = trainer.into_model();
+    let params = model
+        .store()
+        .param_ids()
+        .into_iter()
+        .map(|id| {
+            model
+                .store()
+                .value(id)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    let losses = report.epoch_losses.iter().map(|x| x.to_bits()).collect();
+    (losses, params)
+}
+
+/// Score buffers, loss, and gradients of one forward+backward on batch 0.
+fn batch_run<M, F>(fused: bool, make: F) -> (Vec<u32>, Vec<u32>, u32, Vec<Vec<u32>>)
+where
+    M: KgeModel,
+    F: FnOnce(&Dataset, &TrainConfig) -> M,
+{
+    let ds = dataset();
+    let cfg = config(fused);
+    let mut model = make(&ds, &cfg);
+    let sampler = UniformSampler::new(ds.num_entities);
+    let plan = BatchPlan::build(
+        &ds.train,
+        &ds.all_known(),
+        &sampler,
+        cfg.batch_size,
+        cfg.seed,
+    );
+    model.attach_plan(&plan).unwrap();
+    let mut g = Graph::new();
+    g.set_fused(cfg.fused);
+    let (pos, neg) = model.score_batch(&mut g, 0);
+    let loss = g.margin_ranking_loss(pos, neg, cfg.margin);
+    let bits = |t: &tensor::Tensor| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    let pos_bits = bits(g.value(pos));
+    let neg_bits = bits(g.value(neg));
+    let loss_bits = g.value(loss).get(0, 0).to_bits();
+    g.backward(loss, model.store_mut());
+    let grads = model
+        .store()
+        .param_ids()
+        .into_iter()
+        .map(|id| bits(model.store().grad(id)))
+        .collect();
+    (pos_bits, neg_bits, loss_bits, grads)
+}
+
+/// Fused and unfused paths must produce bit-identical score buffers,
+/// losses, and gradients on a single batch, and bit-identical losses and
+/// parameters after multi-epoch training — for every scorer in the zoo.
+macro_rules! fused_matches_unfused_test {
+    ($name:ident, $model:ty) => {
+        #[test]
+        fn $name() {
+            let make = |ds: &Dataset, cfg: &TrainConfig| <$model>::from_config(ds, cfg).unwrap();
+            let fused = batch_run(true, make);
+            let unfused = batch_run(false, make);
+            assert_eq!(
+                fused.0,
+                unfused.0,
+                "{}: positive score buffer diverged",
+                stringify!($model)
+            );
+            assert_eq!(
+                fused.1,
+                unfused.1,
+                "{}: negative score buffer diverged",
+                stringify!($model)
+            );
+            assert_eq!(fused.2, unfused.2, "{}: loss diverged", stringify!($model));
+            assert_eq!(
+                fused.3,
+                unfused.3,
+                "{}: gradients diverged",
+                stringify!($model)
+            );
+
+            let trained_fused = train_run(true, make);
+            let trained_unfused = train_run(false, make);
+            assert!(
+                trained_fused
+                    .0
+                    .iter()
+                    .all(|l| f32::from_bits(*l).is_finite()),
+                "losses must be finite"
+            );
+            assert_eq!(
+                trained_fused,
+                trained_unfused,
+                "{}: multi-epoch training diverged between fused and unfused",
+                stringify!($model)
+            );
+        }
+    };
+}
+
+fused_matches_unfused_test!(sptranse_fused_matches_unfused, SpTransE);
+fused_matches_unfused_test!(sptoruse_fused_matches_unfused, SpTorusE);
+fused_matches_unfused_test!(sptransr_fused_matches_unfused, SpTransR);
+fused_matches_unfused_test!(sptransh_fused_matches_unfused, SpTransH);
+fused_matches_unfused_test!(spdistmult_fused_matches_unfused, SpDistMult);
+fused_matches_unfused_test!(spcomplex_fused_matches_unfused, SpComplEx);
+fused_matches_unfused_test!(sprotate_fused_matches_unfused, SpRotatE);
+fused_matches_unfused_test!(sptransc_fused_matches_unfused, SpTransC);
+fused_matches_unfused_test!(sptransm_fused_matches_unfused, SpTransM);
+fused_matches_unfused_test!(densetranse_fused_matches_unfused, DenseTransE);
+fused_matches_unfused_test!(densetoruse_fused_matches_unfused, DenseTorusE);
+fused_matches_unfused_test!(densetransr_fused_matches_unfused, DenseTransR);
+fused_matches_unfused_test!(densetransh_fused_matches_unfused, DenseTransH);

@@ -20,6 +20,116 @@ const REDUCE_CHUNK: usize = 8192;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
+/// Per-row score applied on top of an incidence SpMM by
+/// [`Graph::spmm_score`] — the distance half of a fused
+/// gather+distance kernel.
+///
+/// Each variant reduces one SpMM output row to a scalar with **exactly**
+/// the float association of the corresponding standalone norm op
+/// ([`Graph::l1_norm_rows`], [`Graph::l2_norm_rows`], …), so the fused and
+/// materialized pipelines are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowScore {
+    /// `Σ_j |x_j|` — [`Graph::l1_norm_rows`].
+    L1,
+    /// `√(Σ_j x_j²)` — [`Graph::l2_norm_rows`]; `eps` guards the backward
+    /// division for zero rows.
+    L2 {
+        /// Backward-division guard, as in [`Graph::l2_norm_rows`].
+        eps: f32,
+    },
+    /// `Σ_j x_j²` — [`Graph::squared_l2_norm_rows`].
+    SquaredL2,
+    /// `Σ_j min(f_j, 1−f_j)`, `f_j = frac(x_j)` — [`Graph::torus_l1_rows`].
+    TorusL1,
+    /// `Σ_j min(f_j, 1−f_j)²` — [`Graph::torus_l2_sq_rows`].
+    TorusL2Sq,
+}
+
+impl RowScore {
+    /// Per-element forward term, matching the standalone norm op's closure
+    /// expression-for-expression.
+    #[inline]
+    fn term(self, x: f32) -> f32 {
+        match self {
+            RowScore::L1 => x.abs(),
+            RowScore::L2 { .. } | RowScore::SquaredL2 => x * x,
+            RowScore::TorusL1 => {
+                let f = x - x.floor();
+                f.min(1.0 - f)
+            }
+            RowScore::TorusL2Sq => {
+                let f = x - x.floor();
+                let d = f.min(1.0 - f);
+                d * d
+            }
+        }
+    }
+
+    /// Final per-row transform of the accumulated terms.
+    #[inline]
+    fn finish(self, acc: f32) -> f32 {
+        match self {
+            RowScore::L2 { .. } => acc.sqrt(),
+            _ => acc,
+        }
+    }
+
+    /// Per-element derivative for every variant except `L2` (whose backward
+    /// divides by the stored row norm and is handled inline).
+    #[inline]
+    fn deriv(self, x: f32) -> f32 {
+        match self {
+            RowScore::L1 => x.signum(),
+            RowScore::SquaredL2 => 2.0 * x,
+            RowScore::TorusL1 => {
+                let f = x - x.floor();
+                if f <= 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            RowScore::TorusL2Sq => {
+                let f = x - x.floor();
+                if f <= 0.5 {
+                    2.0 * f
+                } else {
+                    -2.0 * (1.0 - f)
+                }
+            }
+            RowScore::L2 { .. } => unreachable!("L2 backward divides by the stored norm"),
+        }
+    }
+}
+
+/// One output element of an incidence-row × dense product, replicating
+/// [`sparse::spmm`]'s `spmm_row` arithmetic (including its 1/2/3-nonzero
+/// fast-path float association) so fused kernels that recompute elements
+/// on the fly stay bit-identical to the materialized SpMM.
+#[inline]
+fn spmm_elem(cols: &[u32], vals: &[f32], b: &[f32], n: usize, j: usize) -> f32 {
+    match cols.len() {
+        0 => 0.0,
+        1 => vals[0] * b[cols[0] as usize * n + j],
+        2 => vals[0] * b[cols[0] as usize * n + j] + vals[1] * b[cols[1] as usize * n + j],
+        3 => {
+            vals[0] * b[cols[0] as usize * n + j]
+                + vals[1] * b[cols[1] as usize * n + j]
+                + vals[2] * b[cols[2] as usize * n + j]
+        }
+        _ => {
+            // General path: fold from 0.0 in nonzero order, exactly the
+            // tiled axpy accumulation of the general SpMM kernel.
+            let mut acc = 0.0f32;
+            for (v, &c) in vals.iter().zip(cols) {
+                acc += v * b[c as usize * n + j];
+            }
+            acc
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     Input,
@@ -30,6 +140,11 @@ enum Op {
     Spmm {
         param: ParamId,
         pair: Arc<IncidencePair>,
+    },
+    SpmmScore {
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+        score: RowScore,
     },
     Add(Var, Var),
     Sub(Var, Var),
@@ -154,11 +269,26 @@ struct Node {
 /// pool (asserted by [`crate::memory::alloc_count`]-based regression
 /// tests). Recycling swaps buffer identity only — arithmetic order, and
 /// therefore every result bit, is unchanged.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Graph {
     nodes: Vec<Node>,
     pool: PoolHandle,
     arena: Arena,
+    /// Whether fused hot-path kernels are used ([`Graph::spmm_score`] and
+    /// the margin-loss backward seed). On by default; the unfused arm
+    /// records the materialized op-by-op tape instead, bit-identical.
+    fused: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            pool: PoolHandle::default(),
+            arena: Arena::new(),
+            fused: true,
+        }
+    }
 }
 
 impl Graph {
@@ -173,7 +303,22 @@ impl Graph {
             nodes: Vec::new(),
             pool,
             arena: Arena::new(),
+            fused: true,
         }
+    }
+
+    /// Enables or disables the fused hot-path kernels.
+    ///
+    /// Fused and unfused tapes are bit-identical (same float association,
+    /// operation for operation); the unfused arm exists for ablation and
+    /// for the property tests that prove the equivalence.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// Whether fused hot-path kernels are enabled.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// The pool handle this tape dispatches kernels on.
@@ -304,6 +449,80 @@ impl Graph {
         let mut out = Tensor::uninit_in(&mut self.arena, pair.forward.rows(), p.cols());
         csr_spmm_into_with(&self.pool, &pair.forward, p.view(), out.as_mut_slice());
         self.push(out, Op::Spmm { param, pair })
+    }
+
+    /// Fused gather+distance: computes the `(m, 1)` per-row score
+    /// `out[i] = score(A[i,:] · P)` in a single pass, never materializing
+    /// the `m × d` SpMM intermediate — the pack-indices-then-single-pass
+    /// shape of the paper's hot path.
+    ///
+    /// Bit-identical to `spmm` followed by the matching norm op: each
+    /// output element is recomputed with `spmm_elem`'s exact association
+    /// and the terms are folded from `0.0` in column order, the same
+    /// arithmetic the materialized pipeline performs. When the tape's fused
+    /// flag is off this *records* that two-op pipeline instead.
+    ///
+    /// Backward (fused arm) traverses the cached transpose like the SpMM
+    /// backward, recomputing scored elements on the fly; each parameter
+    /// gradient row is owned by exactly one worker, so training stays
+    /// bit-identical at any pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A.cols() != P.rows()`.
+    pub fn spmm_score(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        pair: Arc<IncidencePair>,
+        score: RowScore,
+    ) -> Var {
+        if !self.fused {
+            let x = self.spmm(store, param, pair);
+            return match score {
+                RowScore::L1 => self.l1_norm_rows(x),
+                RowScore::L2 { eps } => self.l2_norm_rows(x, eps),
+                RowScore::SquaredL2 => self.squared_l2_norm_rows(x),
+                RowScore::TorusL1 => self.torus_l1_rows(x),
+                RowScore::TorusL2Sq => self.torus_l2_sq_rows(x),
+            };
+        }
+        let _t = profile::scope("op::spmm_score");
+        let p = store.value(param);
+        assert_eq!(pair.forward.cols(), p.rows(), "incidence width mismatch");
+        let d = p.cols();
+        let m = pair.forward.rows();
+        let pd = p.as_slice();
+        let indptr = pair.forward.indptr();
+        let indices = pair.forward.indices();
+        let values = pair.forward.values();
+        let mut out = Tensor::uninit_in(&mut self.arena, m, 1);
+        self.pool
+            .for_rows(out.as_mut_slice(), 1, 128, |first, chunk| {
+                for (k, dst) in chunk.iter_mut().enumerate() {
+                    let i = first + k;
+                    let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
+                    let (cols, vals) = (&indices[s..e], &values[s..e]);
+                    let mut acc = 0.0f32;
+                    for j in 0..d {
+                        acc += score.term(spmm_elem(cols, vals, pd, d, j));
+                    }
+                    *dst = score.finish(acc);
+                }
+            });
+        // One SpMM's worth of reads plus the reduction's flops, but the
+        // output write shrinks from m·d to m — the traffic the fusion
+        // eliminates, visible in the per-kernel counter report.
+        sparse::metrics::record_spmm_call();
+        let nnz = pair.forward.nnz() as u64;
+        let spmm_flops = if pair.forward.has_unit_coefficients() {
+            nnz.saturating_sub(m as u64) * d as u64
+        } else {
+            2 * nnz * d as u64
+        };
+        sparse::metrics::add_flops(spmm_flops + 2 * (m * d) as u64);
+        sparse::metrics::add_bytes(nnz * 8 + nnz * d as u64 * 4 + m as u64 * 4);
+        self.push(out, Op::SpmmScore { param, pair, score })
     }
 
     /// Elementwise sum of two same-shape nodes.
@@ -792,6 +1011,83 @@ impl Graph {
                     ),
                 }
             }
+            Op::SpmmScore { param, pair, score } => {
+                let _t = profile::scope("op::spmm_score_backward");
+                let fwd = &pair.forward;
+                let tr = &pair.transpose;
+                store.touch(param, pair.touched_columns());
+                // The stored (m,1) score column feeds the L2 backward's
+                // division, exactly like the standalone norm op.
+                let nd = self.nodes[i].value.as_slice();
+                let (pv, grad, rows) = store.value_grad_rows_mut(param);
+                let d = pv.cols();
+                let pd = pv.as_slice();
+                let gd = g.as_slice();
+                let indptr = fwd.indptr();
+                let indices = fwd.indices();
+                let values = fwd.values();
+                if d > 0 {
+                    // For parameter row `e`, each incident batch row `i`
+                    // contributes `aval · (g_i · score'(x_{i,j}))`, with
+                    // `x` recomputed element-by-element instead of read
+                    // from a materialized SpMM output. The leading
+                    // `0.0 + …` replicates the unfused pipeline's
+                    // node-gradient accumulate (which canonicalizes
+                    // `-0.0` to `+0.0`), keeping the arms bit-identical.
+                    let process = |e: usize, dst: &mut [f32]| {
+                        for (ti, aval) in tr.row(e) {
+                            let (s, epos) = (indptr[ti] as usize, indptr[ti + 1] as usize);
+                            let (cols, vals) = (&indices[s..epos], &values[s..epos]);
+                            let gi = gd[ti];
+                            if let RowScore::L2 { eps } = score {
+                                let denom = nd[ti].max(eps);
+                                for (j, dj) in dst.iter_mut().enumerate() {
+                                    let x = spmm_elem(cols, vals, pd, d, j);
+                                    *dj += aval * (0.0 + gi * x / denom);
+                                }
+                            } else {
+                                for (j, dj) in dst.iter_mut().enumerate() {
+                                    let x = spmm_elem(cols, vals, pd, d, j);
+                                    *dj += aval * (0.0 + gi * score.deriv(x));
+                                }
+                            }
+                        }
+                    };
+                    match rows.as_slice() {
+                        Some(rows) => self.pool.for_listed_rows(
+                            grad.as_mut_slice(),
+                            d,
+                            rows,
+                            64,
+                            |listed, first, window| {
+                                for &e in listed {
+                                    let e = e as usize;
+                                    let off = (e - first) * d;
+                                    process(e, &mut window[off..off + d]);
+                                }
+                            },
+                        ),
+                        None => self
+                            .pool
+                            .for_rows(grad.as_mut_slice(), d, 64, |first, chunk| {
+                                let rows_here = chunk.len() / d;
+                                for local in 0..rows_here {
+                                    let e = first + local;
+                                    process(e, &mut chunk[local * d..(local + 1) * d]);
+                                }
+                            }),
+                    }
+                }
+                // Same traffic model as the accumulating SpMM backward
+                // (index+value per incident nonzero, one operand-lane read
+                // per pair — the recomputed rows are the cache-hot rows the
+                // forward just charged — plus the gradient read+write),
+                // with the deriv recompute folded into the flop estimate.
+                sparse::metrics::record_spmm_call();
+                let nnz = fwd.nnz() as u64;
+                sparse::metrics::add_flops(4 * nnz * d as u64);
+                sparse::metrics::add_bytes(nnz * 8 + 3 * (nnz * d as u64 * 4));
+            }
             Op::Add(a, b) => {
                 self.accum(a, g, 1.0);
                 self.accum(b, g, 1.0);
@@ -970,6 +1266,48 @@ impl Graph {
             Op::MarginRankingLoss { pos, neg, margin } => {
                 let m = self.nodes[pos.0].value.rows();
                 let gscale = if m == 0 { 0.0 } else { g.get(0, 0) / m as f32 };
+                if self.fused
+                    && pos != neg
+                    && self.nodes[pos.0].grad.is_none()
+                    && self.nodes[neg.0].grad.is_none()
+                {
+                    // Fused loss+backward-seed: the score gradients are
+                    // written once, directly into fresh node-gradient
+                    // buffers, skipping the dp/dn temporaries and the two
+                    // accumulate passes. `0.0 + ±gscale` replicates the
+                    // accumulate's float association (it canonicalizes
+                    // `-0.0` to `+0.0`), so both arms are bit-identical.
+                    let _t = profile::scope("op::margin_loss_backward_fused");
+                    let mut dp = Tensor::zeros_in(&mut self.arena, m, 1);
+                    let mut dn = Tensor::zeros_in(&mut self.arena, m, 1);
+                    {
+                        let (pd, nd) = (
+                            self.nodes[pos.0].value.as_slice(),
+                            self.nodes[neg.0].value.as_slice(),
+                        );
+                        let seed_p = 0.0 + gscale;
+                        let seed_n = 0.0 + (-gscale);
+                        self.pool.for_mut(dp.as_mut_slice(), 256, |offset, chunk| {
+                            for (k, d) in chunk.iter_mut().enumerate() {
+                                let r = offset + k;
+                                if margin + pd[r] - nd[r] > 0.0 {
+                                    *d = seed_p;
+                                }
+                            }
+                        });
+                        self.pool.for_mut(dn.as_mut_slice(), 256, |offset, chunk| {
+                            for (k, d) in chunk.iter_mut().enumerate() {
+                                let r = offset + k;
+                                if margin + pd[r] - nd[r] > 0.0 {
+                                    *d = seed_n;
+                                }
+                            }
+                        });
+                    }
+                    self.nodes[pos.0].grad = Some(dp);
+                    self.nodes[neg.0].grad = Some(dn);
+                    return;
+                }
                 // Inactive rows keep gradient 0 — the buffers are only
                 // partially written, so they must come back zeroed.
                 let mut dp = Tensor::zeros_in(&mut self.arena, m, 1);
@@ -1757,5 +2095,168 @@ mod tests {
         // At least one value and one grad buffer per node went back.
         assert!(g.arena().pooled_buffers() >= nodes);
         assert!(g.arena().held_bytes() > 0);
+    }
+
+    /// All five row scores the fused kernel supports.
+    const ALL_SCORES: [RowScore; 5] = [
+        RowScore::L1,
+        RowScore::L2 { eps: 1e-9 },
+        RowScore::SquaredL2,
+        RowScore::TorusL1,
+        RowScore::TorusL2Sq,
+    ];
+
+    /// Full pos/neg margin-loss tape over `spmm_score`, returning the score
+    /// bits, loss bits, and parameter-gradient bits.
+    fn spmm_score_pass(fused: bool, score: RowScore) -> (Vec<u32>, u32, Vec<u32>) {
+        let data = Tensor::from_rows(&[
+            [0.3, -0.2, 1.1],
+            [1.5, 0.7, -0.6],
+            [-0.4, 0.9, 0.2],
+            [0.1, 0.2, -1.3],
+            [0.8, -0.5, 0.4],
+        ]);
+        let (mut store, p) = store_with("emb", data);
+        // Entities 0..4 with relation rows folded in; duplicate heads/tails
+        // exercise gradient accumulation order.
+        let pos = Arc::new(IncidencePair::new(
+            hrt(4, 1, &[0, 1, 0], &[0, 0, 0], &[2, 0, 3], TailSign::Negative).unwrap(),
+        ));
+        let neg = Arc::new(IncidencePair::new(
+            hrt(4, 1, &[3, 1, 2], &[0, 0, 0], &[1, 2, 0], TailSign::Negative).unwrap(),
+        ));
+        let mut g = Graph::new();
+        g.set_fused(fused);
+        let sp = g.spmm_score(&store, p, pos, score);
+        let sn = g.spmm_score(&store, p, neg, score);
+        let loss = g.margin_ranking_loss(sp, sn, 1.0);
+        g.backward(loss, &mut store);
+        let score_bits = g
+            .value(sp)
+            .as_slice()
+            .iter()
+            .chain(g.value(sn).as_slice())
+            .map(|x| x.to_bits())
+            .collect();
+        let grad_bits = store
+            .grad(p)
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        (score_bits, g.value(loss).get(0, 0).to_bits(), grad_bits)
+    }
+
+    #[test]
+    fn fused_spmm_score_matches_unfused_bitwise() {
+        for score in ALL_SCORES {
+            let fused = spmm_score_pass(true, score);
+            let unfused = spmm_score_pass(false, score);
+            assert_eq!(fused, unfused, "fused vs unfused diverged for {score:?}");
+        }
+    }
+
+    #[test]
+    fn fused_spmm_score_matches_two_nonzero_rows() {
+        // ht incidence (2 nonzeros per row) hits spmm_elem's pair fast path.
+        let data = Tensor::from_rows(&[[1.0, -0.5], [0.3, 0.8], [-1.2, 0.1]]);
+        for score in ALL_SCORES {
+            let run = |fused: bool| {
+                let (mut store, p) = store_with("emb", data.clone());
+                let pair = Arc::new(IncidencePair::new(ht(3, &[0, 2, 1], &[1, 0, 2]).unwrap()));
+                let mut g = Graph::new();
+                g.set_fused(fused);
+                let s = g.spmm_score(&store, p, pair, score);
+                let loss = g.mean(s);
+                g.backward(loss, &mut store);
+                let bits: Vec<u32> = g
+                    .value(s)
+                    .as_slice()
+                    .iter()
+                    .chain(store.grad(p).as_slice())
+                    .map(|x| x.to_bits())
+                    .collect();
+                bits
+            };
+            assert_eq!(run(true), run(false), "ht divergence for {score:?}");
+        }
+    }
+
+    #[test]
+    fn fused_margin_loss_seed_matches_accumulated_path() {
+        // Gather-based tape (no spmm_score): only the loss+seed fusion
+        // differs between the arms.
+        let run = |fused: bool| {
+            let data = Tensor::from_rows(&[[0.4, -0.7], [1.1, 0.2], [-0.3, 0.9]]);
+            let (mut store, p) = store_with("emb", data);
+            let mut g = Graph::new();
+            g.set_fused(fused);
+            let hp = g.gather(&store, p, vec![0, 1, 2]);
+            let hn = g.gather(&store, p, vec![2, 0, 1]);
+            let np = g.l2_norm_rows(hp, 1e-9);
+            let nn = g.l2_norm_rows(hn, 1e-9);
+            let loss = g.margin_ranking_loss(np, nn, 0.5);
+            g.backward(loss, &mut store);
+            let bits: Vec<u32> = g
+                .grad(np)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .chain(g.grad(nn).unwrap().as_slice())
+                .chain(store.grad(p).as_slice())
+                .map(|x| x.to_bits())
+                .collect();
+            (g.value(loss).get(0, 0).to_bits(), bits)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fused_margin_loss_with_shared_operand_falls_back() {
+        // pos == neg must not hit the direct-seed path (both grads land on
+        // one node); the loss is degenerate but must not panic and the two
+        // arms must agree.
+        let run = |fused: bool| {
+            let mut store = ParamStore::new();
+            let mut g = Graph::new();
+            g.set_fused(fused);
+            let s = g.input(Tensor::from_rows(&[[1.0], [2.0]]));
+            let loss = g.margin_ranking_loss(s, s, 0.5);
+            g.backward(loss, &mut store);
+            g.grad(s)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<u32>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn spmm_score_reports_fewer_bytes_than_materialized_pipeline() {
+        let data = Tensor::from_rows(&[
+            [0.3, -0.2, 1.1, 0.5],
+            [1.5, 0.7, -0.6, -0.1],
+            [-0.4, 0.9, 0.2, 0.3],
+            [0.1, 0.2, -1.3, 0.8],
+        ]);
+        let pair = Arc::new(IncidencePair::new(
+            hrt(3, 1, &[0, 1], &[0, 0], &[2, 0], TailSign::Negative).unwrap(),
+        ));
+        let forward_bytes = |fused: bool| {
+            let (store, p) = store_with("emb", data.clone());
+            let mut g = Graph::new();
+            g.set_fused(fused);
+            let before = sparse::metrics::snapshot();
+            let _ = g.spmm_score(&store, p, pair.clone(), RowScore::L2 { eps: 1e-9 });
+            (sparse::metrics::snapshot() - before).bytes_touched
+        };
+        let fused = forward_bytes(true);
+        let unfused = forward_bytes(false);
+        assert!(
+            fused < unfused,
+            "fused forward must move fewer bytes ({fused} vs {unfused})"
+        );
     }
 }

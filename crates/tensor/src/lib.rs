@@ -60,7 +60,7 @@ mod store;
 mod tensor;
 
 pub use arena::Arena;
-pub use graph::{Graph, Var};
+pub use graph::{Graph, RowScore, Var};
 
 /// Low-level kernels re-exported for benchmarks and cross-crate tests.
 pub mod kernels {

@@ -89,7 +89,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let lr = self.lr;
-        for (_, value, grad, rows) in store.iter_mut() {
+        for (_, value, grad, rows, dirty) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
@@ -97,7 +97,10 @@ impl Optimizer for Sgd {
             );
             let n = value.cols();
             match rows.as_slice() {
-                None => value.add_scaled_with(&self.pool, grad, -lr),
+                None => {
+                    value.add_scaled_with(&self.pool, grad, -lr);
+                    dirty.mark_all();
+                }
                 // Touched-row walk: untouched rows hold exact +0.0
                 // gradients, and `x + (−lr · 0.0) = x` bit for bit, so
                 // skipping them reproduces the dense sweep exactly.
@@ -120,6 +123,9 @@ impl Optimizer for Sgd {
                             }
                         },
                     );
+                    // Exactly these rows were rewritten: arm the next
+                    // renormalization sweep for them, for free.
+                    dirty.insert_slice(rows);
                 }
                 Some(_) => {}
             }
@@ -184,7 +190,7 @@ impl Optimizer for Adagrad {
         let (lr, eps) = (self.lr, self.eps);
         let n = store.len();
         self.accum.resize_with(n, || None);
-        for (id, value, grad, rows) in store.iter_mut() {
+        for (id, value, grad, rows, dirty) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
@@ -206,6 +212,7 @@ impl Optimizer for Adagrad {
                     for i in 0..vd.len() {
                         update(i, vd, ad);
                     }
+                    dirty.mark_all();
                 }
                 Some(rows) => {
                     for &r in rows {
@@ -214,6 +221,7 @@ impl Optimizer for Adagrad {
                             update(i, vd, ad);
                         }
                     }
+                    dirty.insert_slice(rows);
                 }
             }
         }
@@ -277,12 +285,16 @@ impl Optimizer for Adam {
         let bias2 = 1.0 - b2.powi(t as i32);
         let n = store.len();
         self.moments.resize_with(n, || None);
-        for (id, value, grad, _rows) in store.iter_mut() {
+        for (id, value, grad, _rows, dirty) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
                 "value/grad shape mismatch in Adam::step"
             );
+            // Adam rewrites every element (moments decay on zero grads), so
+            // every row goes dirty — renormalization after an Adam epoch is
+            // a full sweep, matching its deliberately dense step.
+            dirty.mark_all();
             let (m, v) = validated_state(
                 &mut self.moments[id_index(id)],
                 value,

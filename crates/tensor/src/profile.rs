@@ -1,9 +1,20 @@
-//! Named wall-clock timers for training-phase attribution.
+//! Named wall-clock timers for training-phase attribution, with per-scope
+//! bytes/flops attribution.
 //!
 //! The paper breaks training time into forward / backward / optimizer-step
 //! (Table 1, Figure 8) and attributes CPU time to individual functions
 //! (Figure 2). Every autograd op and trainer phase wraps itself in a
 //! [`scope`]; the accumulated totals regenerate those artifacts.
+//!
+//! Each scope additionally attributes the `sparse::metrics` counter deltas
+//! (estimated bytes moved, floating-point ops) that elapsed while it was
+//! open, so a Table-5-style report can show *which kernel* saved memory
+//! traffic — e.g. that a fused gather+distance scope moves fewer bytes than
+//! the gather and norm scopes it replaces. Attribution is exact when one
+//! scope's kernels run at a time (the trainer's case: ops execute in tape
+//! order, parallel only *inside* a kernel); concurrently open scopes each
+//! absorb the whole process-wide delta, the same overlap semantics as the
+//! timers.
 //!
 //! # Thread safety
 //!
@@ -41,6 +52,8 @@ use parking_lot::Mutex;
 struct Entry {
     nanos: AtomicU64,
     calls: AtomicU64,
+    bytes: AtomicU64,
+    flops: AtomicU64,
 }
 
 static REGISTRY: Mutex<Option<HashMap<&'static str, &'static Entry>>> = Mutex::new(None);
@@ -78,34 +91,47 @@ pub struct ReportEntry {
     pub total: Duration,
     /// Number of times the scope was entered.
     pub calls: u64,
+    /// Estimated bytes moved by kernels while the scope was open
+    /// (`sparse::metrics` delta).
+    pub bytes: u64,
+    /// Floating-point operations recorded while the scope was open.
+    pub flops: u64,
 }
 
-/// RAII guard recording elapsed time into the named bucket on drop.
+/// RAII guard recording elapsed time (and the kernel-counter deltas) into
+/// the named bucket on drop.
 #[derive(Debug)]
 pub struct ScopeGuard {
     entry: &'static Entry,
     start: Instant,
+    metrics_start: sparse::metrics::Snapshot,
 }
 
 /// Starts a named timing scope.
 ///
 /// Names must be `'static` (string literals); nesting is allowed and each
-/// scope accumulates independently (no exclusive-time subtraction). Safe to
-/// enter from any thread concurrently.
+/// scope accumulates independently (no exclusive-time or exclusive-traffic
+/// subtraction). Safe to enter from any thread concurrently.
 pub fn scope(name: &'static str) -> ScopeGuard {
     ScopeGuard {
         entry: entry_for(name),
         start: Instant::now(),
+        metrics_start: sparse::metrics::snapshot(),
     }
 }
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
+        let delta = sparse::metrics::snapshot() - self.metrics_start;
         self.entry
             .nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.entry.calls.fetch_add(1, Ordering::Relaxed);
+        self.entry
+            .bytes
+            .fetch_add(delta.bytes_touched, Ordering::Relaxed);
+        self.entry.flops.fetch_add(delta.flops, Ordering::Relaxed);
     }
 }
 
@@ -122,6 +148,8 @@ pub fn report() -> Vec<ReportEntry> {
                     name,
                     total: Duration::from_nanos(e.nanos.load(Ordering::Relaxed)),
                     calls: e.calls.load(Ordering::Relaxed),
+                    bytes: e.bytes.load(Ordering::Relaxed),
+                    flops: e.flops.load(Ordering::Relaxed),
                 })
                 .filter(|r| r.calls > 0)
                 .collect()
@@ -153,6 +181,8 @@ pub fn reset() {
         for e in map.values() {
             e.nanos.store(0, Ordering::Relaxed);
             e.calls.store(0, Ordering::Relaxed);
+            e.bytes.store(0, Ordering::Relaxed);
+            e.flops.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -181,6 +211,24 @@ mod tests {
     #[test]
     fn total_of_unknown_scope_is_zero() {
         assert_eq!(total("never_entered_xyz"), Duration::ZERO);
+    }
+
+    #[test]
+    fn scopes_attribute_kernel_counter_deltas() {
+        let _serial = SERIAL.lock();
+        reset();
+        {
+            let _t = scope("counter_delta_scope");
+            sparse::metrics::add_bytes(4096);
+            sparse::metrics::add_flops(512);
+        }
+        let rows = report();
+        let row = rows
+            .iter()
+            .find(|e| e.name == "counter_delta_scope")
+            .unwrap();
+        assert!(row.bytes >= 4096, "bytes delta attributed: {}", row.bytes);
+        assert!(row.flops >= 512, "flops delta attributed: {}", row.flops);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Parameter storage: the model's learnable tensors, their gradients, and
-//! the touched-row sets that make every downstream gradient sweep sparse.
+//! Parameter storage: the model's learnable tensors, their gradients, the
+//! touched-row sets that make every downstream gradient sweep sparse, and
+//! the dirty-row sets that make per-epoch renormalization sparse too.
 
 use crate::{Error, Result, Tensor};
 
@@ -51,6 +52,9 @@ impl ParamId {
 #[derive(Debug, Clone, Default)]
 pub struct RowSet {
     rows: Vec<u32>,
+    /// Merge scratch for [`RowSet::insert_slice`]; kept on the set so the
+    /// steady-state union is allocation-free once at high-water capacity.
+    scratch: Vec<u32>,
     dense: bool,
 }
 
@@ -91,20 +95,43 @@ impl RowSet {
 
     /// Unions `rows` (any order, duplicates allowed) into the set, keeping
     /// it sorted and deduplicated. A no-op in the dense state.
+    ///
+    /// Strictly-sorted input (the common case: another set's
+    /// [`RowSet::as_slice`], a kernel's packed index list) takes a linear
+    /// two-pointer merge — `O(self.len() + rows.len())` — so repeatedly
+    /// unioning small batches into a large set never re-sorts the whole
+    /// set. Unsorted input falls back to extend + sort + dedup.
     pub fn insert_slice(&mut self, rows: &[u32]) {
         if self.dense || rows.is_empty() {
             return;
         }
-        let already_sorted_extension = self
+        if self
             .rows
             .last()
             .is_none_or(|&last| rows.first().is_some_and(|&f| last < f))
-            && rows.windows(2).all(|w| w[0] < w[1]);
-        self.rows.extend_from_slice(rows);
-        if !already_sorted_extension {
-            self.rows.sort_unstable();
-            self.rows.dedup();
+            && rows.windows(2).all(|w| w[0] < w[1])
+        {
+            self.rows.extend_from_slice(rows);
+            return;
         }
+        if rows.windows(2).all(|w| w[0] < w[1]) {
+            self.scratch.clear();
+            self.scratch.reserve(self.rows.len() + rows.len());
+            let (mut i, mut j) = (0, 0);
+            while i < self.rows.len() && j < rows.len() {
+                let (a, b) = (self.rows[i], rows[j]);
+                self.scratch.push(a.min(b));
+                i += (a <= b) as usize;
+                j += (b <= a) as usize;
+            }
+            self.scratch.extend_from_slice(&self.rows[i..]);
+            self.scratch.extend_from_slice(&rows[j..]);
+            std::mem::swap(&mut self.rows, &mut self.scratch);
+            return;
+        }
+        self.rows.extend_from_slice(rows);
+        self.rows.sort_unstable();
+        self.rows.dedup();
     }
 
     /// The sorted row list, or `None` in the dense state (callers take
@@ -153,6 +180,12 @@ pub struct ParamStore {
     values: Vec<Tensor>,
     grads: Vec<Tensor>,
     touched: Vec<RowSet>,
+    /// Rows whose **value** may have changed since the last
+    /// [`ParamStore::for_dirty_rows`] sweep — the epoch-renormalization
+    /// analog of the touched-row contract. Populated by the optimizers
+    /// (union of stepped rows) and the untracked value accessors; consumed
+    /// with retention by `for_dirty_rows`.
+    dirty: Vec<RowSet>,
     dense_grads: bool,
 }
 
@@ -178,10 +211,16 @@ impl ParamStore {
         if self.dense_grads {
             rows.mark_all();
         }
+        // A fresh parameter starts all-dirty: its initializer wrote every
+        // row, so the first renormalization sweep must visit them all (the
+        // init arithmetic makes no fixed-point promise).
+        let mut dirty = RowSet::new();
+        dirty.mark_all();
         self.names.push(name);
         self.values.push(value);
         self.grads.push(grad);
         self.touched.push(rows);
+        self.dirty.push(dirty);
         ParamId(self.values.len() - 1)
     }
 
@@ -221,9 +260,15 @@ impl ParamStore {
         &self.values[id.0]
     }
 
-    /// Mutably borrows a parameter's value (e.g. for normalization between
-    /// epochs, as TransE does).
+    /// Mutably borrows a parameter's value (e.g. for re-initialization or
+    /// ad-hoc edits).
+    ///
+    /// This entry point carries no row information, so it conservatively
+    /// marks the whole parameter **dirty** — the next
+    /// [`ParamStore::for_dirty_rows`] sweep revisits every row. Epoch
+    /// renormalization goes through `for_dirty_rows` instead.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.dirty[id.0].mark_all();
         &mut self.values[id.0]
     }
 
@@ -285,6 +330,12 @@ impl ParamStore {
             for rows in &mut self.touched {
                 rows.mark_all();
             }
+            // The ablation arm must measure the full O(N · d) baseline:
+            // renormalization sweeps go dense too (and stay dense — see
+            // `for_dirty_rows`).
+            for rows in &mut self.dirty {
+                rows.mark_all();
+            }
         }
     }
 
@@ -310,18 +361,92 @@ impl ParamStore {
         )
     }
 
-    /// Iterates over `(id, value, grad, touched)` tuples mutably — the
-    /// optimizer hook. The row set tells the optimizer which rows can carry
-    /// gradient; dense sets mean "sweep everything".
+    /// Borrows a parameter's dirty-row set (rows whose value may have
+    /// changed since the last [`ParamStore::for_dirty_rows`] sweep).
+    pub fn dirty(&self, id: ParamId) -> &RowSet {
+        &self.dirty[id.0]
+    }
+
+    /// Records that `rows` of `id`'s **value** were rewritten (any order,
+    /// duplicates fine) — the hook optimizers use after stepping a sparse
+    /// row list, so epoch renormalization knows what to revisit.
+    pub fn mark_dirty(&mut self, id: ParamId, rows: &[u32]) {
+        self.dirty[id.0].insert_slice(rows);
+    }
+
+    /// Like [`mark_dirty`](Self::mark_dirty) but marks every row — for
+    /// writers without row structure (dense optimizer sweeps, `Adam`).
+    pub fn mark_all_dirty(&mut self, id: ParamId) {
+        self.dirty[id.0].mark_all();
+    }
+
+    /// Walks the dirty rows of `id`'s value, handing each `(row_index,
+    /// row_slice)` to `f`, and **retains** exactly the rows for which `f`
+    /// returns `true` in the dirty set — the epoch-renormalization sweep.
+    ///
+    /// The retention contract makes lazy renormalization bit-identical to a
+    /// dense sweep: a normalizer returns `true` when it *changed the row's
+    /// bits* (the row is not yet a fixed point of the normalization, so the
+    /// next sweep must revisit it even if no batch touches it again) and
+    /// `false` when the row came out bit-identical (re-normalizing it later
+    /// would be a no-op) or lies outside the range the caller normalizes at
+    /// all (a future write re-marks it via the optimizer). In the dense
+    /// state the walk covers every row and the set collapses to the
+    /// retained list.
+    ///
+    /// In forced dense-gradient mode ([`ParamStore::set_dense_grads`]) the
+    /// set is re-marked dense afterwards, so the ablation arm keeps paying
+    /// the full `O(N · d)` sweep every epoch.
+    pub fn for_dirty_rows(&mut self, id: ParamId, mut f: impl FnMut(usize, &mut [f32]) -> bool) {
+        let value = &mut self.values[id.0];
+        let cols = value.cols();
+        let num_rows = value.rows();
+        let dirty = &mut self.dirty[id.0];
+        if cols == 0 || num_rows == 0 {
+            dirty.clear();
+        } else {
+            let data = value.as_mut_slice();
+            if dirty.dense {
+                dirty.dense = false;
+                dirty.rows.clear();
+                for r in 0..num_rows {
+                    if f(r, &mut data[r * cols..(r + 1) * cols]) {
+                        dirty.rows.push(r as u32);
+                    }
+                }
+            } else {
+                let mut keep = 0usize;
+                for i in 0..dirty.rows.len() {
+                    let r = dirty.rows[i] as usize;
+                    debug_assert!(r < num_rows, "dirty row {r} out of bounds");
+                    if f(r, &mut data[r * cols..(r + 1) * cols]) {
+                        dirty.rows[keep] = r as u32;
+                        keep += 1;
+                    }
+                }
+                dirty.rows.truncate(keep);
+            }
+        }
+        if self.dense_grads {
+            dirty.mark_all();
+        }
+    }
+
+    /// Iterates over `(id, value, grad, touched, dirty)` tuples mutably —
+    /// the optimizer hook. The touched set tells the optimizer which rows
+    /// can carry gradient (dense means "sweep everything"); the optimizer
+    /// unions the rows it actually rewrites into the dirty set so epoch
+    /// renormalization can stay sparse.
     pub fn iter_mut(
         &mut self,
-    ) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor, &RowSet)> {
+    ) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor, &RowSet, &mut RowSet)> {
         self.values
             .iter_mut()
             .zip(self.grads.iter_mut())
             .zip(self.touched.iter())
+            .zip(self.dirty.iter_mut())
             .enumerate()
-            .map(|(i, ((v, g), r))| (ParamId(i), v, g, r))
+            .map(|(i, (((v, g), r), d))| (ParamId(i), v, g, r, d))
     }
 
     /// Handles of all registered parameters, in registration order.
@@ -449,6 +574,70 @@ mod tests {
         s.zero_grads();
         assert!(s.grad(a).as_slice().iter().all(|&x| x.to_bits() == 0));
         assert!(s.touched(a).is_empty());
+    }
+
+    #[test]
+    fn new_params_start_all_dirty_and_sweeps_retain_changed_rows() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::from_rows(&[[1.0], [2.0], [3.0], [4.0]]));
+        assert!(s.dirty(a).is_dense(), "fresh params start all-dirty");
+        // First sweep (dense): "normalize" rows > 2.0 down, report changed.
+        s.for_dirty_rows(a, |_, row| {
+            if row[0] > 2.0 {
+                row[0] = 2.0;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(s.dirty(a).as_slice(), Some(&[2, 3][..]));
+        // Second sweep only sees the retained rows; nothing changes now.
+        let mut seen = Vec::new();
+        s.for_dirty_rows(a, |r, _| {
+            seen.push(r);
+            false
+        });
+        assert_eq!(seen, vec![2, 3]);
+        assert!(s.dirty(a).is_empty());
+        // An optimizer marking rows re-arms the sweep for exactly those.
+        s.mark_dirty(a, &[1, 3, 1]);
+        let mut seen = Vec::new();
+        s.for_dirty_rows(a, |r, _| {
+            seen.push(r);
+            false
+        });
+        assert_eq!(seen, vec![1, 3]);
+    }
+
+    #[test]
+    fn value_mut_and_mark_all_dirty_force_dense_dirty() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(3, 2));
+        s.for_dirty_rows(a, |_, _| false);
+        assert!(s.dirty(a).is_empty());
+        let _ = s.value_mut(a);
+        assert!(s.dirty(a).is_dense(), "untracked value access goes dense");
+        s.for_dirty_rows(a, |_, _| false);
+        s.mark_all_dirty(a);
+        assert!(s.dirty(a).is_dense());
+    }
+
+    #[test]
+    fn dense_grads_mode_keeps_dirty_dense_across_sweeps() {
+        let mut s = ParamStore::new();
+        let a = s.add_param("a", Tensor::zeros(3, 2));
+        s.set_dense_grads(true);
+        assert!(s.dirty(a).is_dense());
+        let mut visits = 0;
+        s.for_dirty_rows(a, |_, _| {
+            visits += 1;
+            false
+        });
+        assert_eq!(visits, 3, "ablation arm sweeps the full table");
+        assert!(
+            s.dirty(a).is_dense(),
+            "ablation arm stays dense after the sweep"
+        );
     }
 
     #[test]

@@ -461,6 +461,7 @@ fn config_from_args(args: &Args) -> Result<TrainConfig, CliError> {
         lr_schedule,
         optimizer,
         dense_grads: args.parse_or("dense-grads", false)?,
+        fused: args.parse_or("fused", true)?,
     })
 }
 
@@ -498,7 +499,10 @@ fn train_dispatch(
         ($ctor:expr) => {{
             let model = $ctor?;
             let mut trainer = Trainer::new(model, ds, config)?;
+            tensor::profile::reset();
             let report = trainer.run()?;
+            // Snapshot kernel counters before evaluation pollutes them.
+            let kernel_table = kernel_counter_table();
             // Batched, pool-parallel engine; strided subsampling avoids the
             // dataset-order bias of a plain prefix truncation.
             let eval = trainer.evaluate_batched(
@@ -516,7 +520,8 @@ fn train_dispatch(
                 (t.rows(), t.cols(), t.as_slice().to_vec())
             });
             let summary = format!(
-                "{}: {} epochs, loss {:.4} -> {:.4}, wall {:.2}s, Hits@10 {:.3}, MRR {:.3}",
+                "{}: {} epochs, loss {:.4} -> {:.4}, wall {:.2}s, Hits@10 {:.3}, MRR {:.3}\n\
+                 arm: {} gradients/renorm, {} kernels\n{}",
                 KgeModel::name(m),
                 report.epoch_losses.len(),
                 report.epoch_losses.first().copied().unwrap_or(0.0),
@@ -524,6 +529,13 @@ fn train_dispatch(
                 report.wall.as_secs_f64(),
                 eval.hits(10).unwrap_or(0.0),
                 eval.mrr,
+                if config.dense_grads {
+                    "dense (--dense-grads ablation)"
+                } else {
+                    "sparse touched-row"
+                },
+                if config.fused { "fused" } else { "unfused" },
+                kernel_table,
             );
             Ok((summary, emb))
         }};
@@ -538,6 +550,29 @@ fn train_dispatch(
             "unknown --model {other:?} (transe|toruse|transr|transh|distmult)"
         ))),
     }
+}
+
+/// Renders the Table-5-style per-kernel counter report for the training run:
+/// one row per autograd kernel (`op::*` scope) with call counts and the
+/// analytic bytes-moved / flop totals from `sparse::metrics`.
+///
+/// Wall-clock times are deliberately omitted and rows are sorted by name,
+/// so the table is bit-identical across thread counts and machines — CI
+/// diffs the full report between runs.
+fn kernel_counter_table() -> String {
+    let mut rows: Vec<_> = tensor::profile::report()
+        .into_iter()
+        .filter(|e| e.name.starts_with("op::"))
+        .collect();
+    rows.sort_by_key(|e| e.name);
+    let mut out = String::from("per-kernel counters (analytic bytes/flops, thread-independent):");
+    for e in &rows {
+        out.push_str(&format!(
+            "\n  {:<28} calls {:>8}  bytes {:>14}  flops {:>14}",
+            e.name, e.calls, e.bytes, e.flops
+        ));
+    }
+    out
 }
 
 /// Applies the global `--threads N` option: pins the pool size if the pool
@@ -589,7 +624,7 @@ USAGE:
                 [--epochs E] [--dim D] [--lr LR] [--margin M] [--norm l1|l2]
                 [--optimizer sgd|adagrad|adam] [--lr-decay STEP:GAMMA]
                 [--sampler uniform|bernoulli] [--dense-grads true|false]
-                [--out embeddings.bin]
+                [--fused true|false] [--out embeddings.bin]
   sptx stats    --train FILE.tsv
   sptx serve    --emb FILE.bin --train FILE.tsv [--norm l1|l2] [--k K]
                 [--clusters C] [--nprobe P] [--kmeans-iters I]
@@ -600,8 +635,12 @@ USAGE:
 
 Any subcommand also accepts --threads N (worker-pool size; results are
 bit-identical at any N, only wall-clock changes). --dense-grads true disables
-the touched-row sparse gradient path (an ablation switch: training is
-bit-identical, each batch just sweeps whole embedding tables). --lr-decay
+the touched-row sparse gradient AND epoch-renormalization paths (an ablation
+switch: training is bit-identical, each batch and epoch-end sweep just walks
+whole embedding tables). --fused false disables the fused gather+distance /
+margin-loss+backward-seed kernels (also bit-identical; the unfused tape
+materializes the chunk-by-dim intermediates). The train report names which
+arm ran and prints a per-kernel calls/bytes/flops counter table. --lr-decay
 multiplies the learning rate by GAMMA every STEP epochs.
 
 serve loads the stacked embedding matrix train saves (TransE/TorusE layout;
@@ -682,6 +721,12 @@ mod tests {
         .unwrap();
         let msg = run(&train).unwrap();
         assert!(msg.contains("SpTransE"), "{msg}");
+        assert!(
+            msg.contains("arm: sparse touched-row gradients/renorm, fused kernels"),
+            "{msg}"
+        );
+        assert!(msg.contains("per-kernel counters"), "{msg}");
+        assert!(msg.contains("op::spmm_score"), "{msg}");
         assert!(dir.join("emb.bin").exists());
     }
 
@@ -732,6 +777,11 @@ mod tests {
         assert_eq!(defaults.optimizer, OptimizerKind::Sgd);
         assert_eq!(defaults.lr_schedule, None);
         assert!(!defaults.dense_grads);
+        assert!(defaults.fused);
+
+        let unfused =
+            config_from_args(&parse_args(&strs(&["train", "--fused", "false"])).unwrap()).unwrap();
+        assert!(!unfused.fused);
 
         let bad = parse_args(&strs(&["train", "--optimizer", "lbfgs"])).unwrap();
         assert!(matches!(config_from_args(&bad), Err(CliError::Usage(_))));
