@@ -176,5 +176,104 @@ fn bench_epoch_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_entity_scaling, bench_epoch_scaling);
+/// The largest per-batch working set of a plan: distinct stacked-matrix rows
+/// (`h`, `t`, `N + r`) across a batch's positive and negative triples. The
+/// paged arm's cache budget must be at least this to pin a batch.
+fn max_batch_working_set(plan: &BatchPlan, num_entities: usize) -> usize {
+    (0..plan.num_batches())
+        .map(|i| {
+            let batch = plan.batch(i);
+            let mut rows: Vec<u32> = Vec::with_capacity(6 * batch.len());
+            for store in [&batch.pos, &batch.neg] {
+                rows.extend_from_slice(store.heads());
+                rows.extend_from_slice(store.tails());
+                rows.extend(store.rels().iter().map(|&r| num_entities as u32 + r));
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            rows.len()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Out-of-core arm: the same epoch loop as `scale_epoch`'s sparse arm, but
+/// with the embedding table paged out to backing storage and only a
+/// budgeted row cache resident. The budget sweeps 1% / 10% / 100% of the
+/// table (clamped from below to the batch working set — a smaller cache
+/// cannot pin a batch and is a hard error by contract), measuring how the
+/// paging overhead (LRU bookkeeping, row copies, dirty write-backs)
+/// shrinks as the cache approaches the table. In-RAM `VecStorage` backs
+/// the table so the sweep isolates pager cost from disk latency; arithmetic
+/// is bit-identical to the resident arms by the paging contract.
+fn bench_paged_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_paged");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let base = SyntheticKgBuilder::new(ACTIVE_ENTITIES, 8)
+        .triples(TRIPLES)
+        .seed(0x5CA1E)
+        .build();
+    let known = base.all_known();
+    let sampler = UniformSampler::new(ACTIVE_ENTITIES);
+
+    for &(entities, label) in &[(10_000usize, "10k"), (100_000, "100k"), (1_000_000, "1M")] {
+        let mut ds = base.clone();
+        ds.num_entities = entities;
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: EPOCH_BATCH,
+            dim: DIM,
+            rel_dim: DIM / 2,
+            lr: 0.01,
+            ..Default::default()
+        };
+        let plan = BatchPlan::build(&ds.train, &known, &sampler, cfg.batch_size, cfg.seed);
+        let epoch_rows: u64 = (0..plan.num_batches())
+            .map(|b| plan.batch(b).len() as u64)
+            .sum();
+        let working_set = max_batch_working_set(&plan, entities);
+
+        for &(pct, pct_label) in &[(1usize, "1pct"), (10, "10pct"), (100, "100pct")] {
+            let mut model = SpTransE::from_config(&ds, &cfg).expect("model");
+            model.attach_plan(&plan).expect("plan");
+            let emb = model.embedding_param();
+            let (rows, cols) = model.store().param_shape(emb);
+            let budget = (rows * pct / 100).max(working_set).min(rows);
+            model
+                .store_mut()
+                .page_out(emb, Box::new(tensor::VecStorage::new(rows, cols)), budget)
+                .expect("page out");
+            let mut opt = Sgd::new(cfg.lr);
+            opt.set_pool(&PoolHandle::global());
+            let mut graph = Graph::new();
+
+            group.throughput(Throughput::Elements(epoch_rows));
+            group.bench_with_input(BenchmarkId::new(pct_label, label), &entities, |b, _| {
+                b.iter(|| {
+                    for bi in 0..model.num_batches() {
+                        model.store_mut().zero_grads();
+                        model.page_in_batch(bi).expect("page in");
+                        graph.reset();
+                        let (pos, neg) = model.score_batch(&mut graph, bi);
+                        let loss = graph.margin_ranking_loss(pos, neg, cfg.margin);
+                        graph.backward(loss, model.store_mut());
+                        opt.step(model.store_mut());
+                    }
+                    model.end_epoch();
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_entity_scaling,
+    bench_epoch_scaling,
+    bench_paged_scaling
+);
 criterion_main!(benches);

@@ -136,6 +136,14 @@ where
     let mut replicas: Vec<M> = Vec::with_capacity(workers);
     for (w, shard) in shards.iter().enumerate() {
         let mut m = make_model(dataset, config)?;
+        // The all-reduce walks full gradient tables and the lock-step
+        // audit compares full value tables; both require residency.
+        if m.store().has_paged() {
+            return Err(crate::Error::config(
+                "the data-parallel driver does not support paged parameter stores; \
+                 train single-process with --store disk, or use --store ram",
+            ));
+        }
         m.attach_plan(shard)?;
         m.store_mut().set_dense_grads(config.dense_grads);
         let _ = w;

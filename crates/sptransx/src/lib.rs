@@ -47,6 +47,7 @@
 pub mod distributed;
 mod model;
 mod models;
+mod paging;
 mod scorer;
 pub mod serve;
 pub mod tasks;
@@ -62,6 +63,7 @@ pub use models::sptorus::SpTorusE;
 pub use models::sptranse::SpTransE;
 pub use models::sptransh::SpTransH;
 pub use models::sptransr::SpTransR;
+pub use paging::{FileRowStorage, ReadOnlyRowStorage};
 pub use scorer::{ComplExScorer, RotatEScorer};
 pub use train::{Breakdown, TrainReport, Trainer};
 
@@ -86,6 +88,9 @@ pub enum Error {
         /// What went wrong.
         context: String,
     },
+    /// Propagated paged-storage error (cache budget exceeded, backing-store
+    /// I/O, invalid paging configuration).
+    Storage(tensor::Error),
 }
 
 impl std::fmt::Display for Error {
@@ -95,6 +100,7 @@ impl std::fmt::Display for Error {
             Error::Sparse(e) => write!(f, "sparse matrix error: {e}"),
             Error::Kg(e) => write!(f, "dataset error: {e}"),
             Error::Serve { context } => write!(f, "serving error: {context}"),
+            Error::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -104,6 +110,7 @@ impl std::error::Error for Error {
         match self {
             Error::Sparse(e) => Some(e),
             Error::Kg(e) => Some(e),
+            Error::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -118,6 +125,12 @@ impl From<sparse::Error> for Error {
 impl From<kg::Error> for Error {
     fn from(e: kg::Error) -> Self {
         Error::Kg(e)
+    }
+}
+
+impl From<tensor::Error> for Error {
+    fn from(e: tensor::Error) -> Self {
+        Error::Storage(e)
     }
 }
 

@@ -244,6 +244,21 @@ pub trait KgeModel {
     /// Panics if `batch_idx >= num_batches()`.
     fn score_batch(&self, g: &mut Graph, batch_idx: usize) -> (Var, Var);
 
+    /// Pages in the rows batch `batch_idx` will touch, for models whose
+    /// parameters live behind [`tensor::RowStorage`]. The batch's working
+    /// set is known up front from its cached incidence/index lists — the
+    /// sparsity premise that makes demand paging possible — so the trainer
+    /// calls this before [`score_batch`](KgeModel::score_batch). Default:
+    /// no-op (everything resident).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the working set exceeds the cache budget or the
+    /// backing store fails.
+    fn page_in_batch(&mut self, _batch_idx: usize) -> Result<()> {
+        Ok(())
+    }
+
     /// Applies per-epoch parameter constraints. Default: none.
     fn end_epoch(&mut self) {}
 }
@@ -273,9 +288,10 @@ pub(crate) const UNIT_NORM_TOL: f32 = 1e-6;
 /// parameter) are outside this constraint and are simply dropped from the
 /// set; the optimizer re-marks them on the next touch.
 pub(crate) fn normalize_leading_rows(store: &mut ParamStore, id: tensor::ParamId, n: usize) {
-    let t = store.value(id);
-    let cols = t.cols();
-    let n = n.min(t.rows());
+    // `param_shape` reports the logical shape even when the parameter is
+    // paged out (where `value()` would be the slot cache, not the table).
+    let (rows, cols) = store.param_shape(id);
+    let n = n.min(rows);
     store.for_dirty_rows(id, |idx, row| {
         if idx >= n || cols == 0 {
             return false;

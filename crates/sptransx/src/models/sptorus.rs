@@ -122,6 +122,18 @@ impl KgeModel for SpTorusE {
         let neg = g.spmm_score(&self.store, self.emb, cache.neg.clone(), score);
         (pos, neg)
     }
+
+    fn page_in_batch(&mut self, batch_idx: usize) -> Result<()> {
+        if !self.store.is_paged(self.emb) {
+            return Ok(());
+        }
+        // Same up-front working set as SpTransE: the union of the columns
+        // the batch's cached incidence matrices touch.
+        let cache = &self.batches[batch_idx];
+        let lists = [cache.pos.touched_columns(), cache.neg.touched_columns()];
+        self.store.page_in(self.emb, &lists)?;
+        Ok(())
+    }
 }
 
 impl TripleScorer for SpTorusE {

@@ -124,6 +124,19 @@ impl KgeModel for SpTransE {
     fn end_epoch(&mut self) {
         normalize_leading_rows(&mut self.store, self.emb, self.num_entities);
     }
+
+    fn page_in_batch(&mut self, batch_idx: usize) -> Result<()> {
+        if !self.store.is_paged(self.emb) {
+            return Ok(());
+        }
+        // The batch's working set is exactly the union of the columns its
+        // two cached incidence matrices touch — known before any kernel
+        // runs, so every row is pinned resident for the whole step.
+        let cache = &self.batches[batch_idx];
+        let lists = [cache.pos.touched_columns(), cache.neg.touched_columns()];
+        self.store.page_in(self.emb, &lists)?;
+        Ok(())
+    }
 }
 
 impl TripleScorer for SpTransE {

@@ -438,6 +438,193 @@ impl ServeEngine {
     }
 }
 
+/// A fixed-budget row cache over a file-backed stacked embedding matrix:
+/// the serving analog of training's paged [`tensor::ParamStore`], for
+/// answering queries from a store bigger than RAM.
+///
+/// Wraps the same [`tensor::Pager`] (fully-associative LRU, exact
+/// hit/miss/evict counters, optional row trace for simcache
+/// cross-validation) around a read-only [`tensor::RowStorage`] backend —
+/// typically [`crate::ReadOnlyRowStorage`] over the `sptx train` embedding
+/// dump. Serving never dirties rows, so nothing is ever written back.
+#[derive(Debug)]
+pub struct PagedRows {
+    pager: tensor::Pager,
+    cache: Vec<f32>,
+    /// Scratch for the sorted/deduped row list `ensure` hands the pager.
+    list: Vec<u32>,
+}
+
+impl PagedRows {
+    /// Builds a `budget`-row cache over `storage` (clamped to the row
+    /// count). The cache memory (`budget × cols` floats) is allocated once,
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] for a zero budget or an empty store.
+    pub fn new(storage: Box<dyn tensor::RowStorage>, budget: usize) -> Result<Self> {
+        if budget == 0 {
+            return Err(Error::serve("row-cache budget must be at least 1 row"));
+        }
+        if storage.rows() == 0 || storage.cols() == 0 {
+            return Err(Error::serve("cannot page an empty embedding store"));
+        }
+        let budget = budget.min(storage.rows());
+        let pager = tensor::Pager::new(storage, budget);
+        let cache = vec![0.0; budget * pager.cols()];
+        Ok(Self {
+            pager,
+            cache,
+            list: Vec::new(),
+        })
+    }
+
+    /// Total rows in the backing store.
+    pub fn rows(&self) -> usize {
+        self.pager.rows()
+    }
+
+    /// The cache budget in rows (after clamping to the store size).
+    pub fn budget(&self) -> usize {
+        self.pager.budget()
+    }
+
+    /// Floats per row.
+    pub fn cols(&self) -> usize {
+        self.pager.cols()
+    }
+
+    /// Cache hit/miss/evict counters.
+    pub fn stats(&self) -> tensor::PageStats {
+        self.pager.stats()
+    }
+
+    /// Enables or disables row-trace recording (for simcache replay).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.pager.set_tracing(on);
+    }
+
+    /// The recorded row trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[u32]> {
+        self.pager.trace()
+    }
+
+    /// Pages the given rows in (loading misses from the backing store) and
+    /// pins them until the next `ensure` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] when the distinct rows exceed the cache
+    /// budget or on backing-store I/O failures.
+    pub fn ensure(&mut self, rows: impl IntoIterator<Item = u32>) -> Result<()> {
+        self.list.clear();
+        self.list.extend(rows);
+        self.list.sort_unstable();
+        self.list.dedup();
+        self.pager
+            .ensure(&self.list, &mut self.cache)
+            .map_err(|e| Error::serve(e.to_string()))
+    }
+
+    /// The cached copy of row `r`. The row must have been pinned by the most
+    /// recent [`PagedRows::ensure`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not resident.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let s = self.pager.slot(r);
+        let d = self.pager.cols();
+        &self.cache[s * d..(s + 1) * d]
+    }
+}
+
+impl ServeEngine {
+    /// ANN arm reading embedding rows **only** through a [`PagedRows`]
+    /// cache — the out-of-core serving path. The resident matrix inside the
+    /// engine's [`ServeModel`] is never touched; only its shape metadata and
+    /// norm are used.
+    ///
+    /// Bit-identity with [`ServeEngine::answer_ann`]: the query vector is
+    /// `1.0·ent[j] + (±1.0)·rel[j]` — exactly the 2-nonzero SpMM fast path
+    /// the resident arm runs — and candidates are rescored with the same
+    /// `Norm::distance` over the same bytes, so answers match the resident
+    /// ANN arm bit for bit. The query cache is bypassed (the caller owns
+    /// caching policy for the paged tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] when `rows` disagrees with the model shape,
+    /// the working set (2 query rows, then the candidate set) exceeds the
+    /// cache budget, or the backing store fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's entity or relation is out of range.
+    pub fn answer_ann_paged(
+        &mut self,
+        rows: &mut PagedRows,
+        query: &Query,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<AnnAnswer> {
+        let (n, r, d) = (
+            self.model.num_entities(),
+            self.model.num_relations(),
+            self.model.dim(),
+        );
+        if rows.rows() != n + r || rows.cols() != d {
+            return Err(Error::serve(format!(
+                "paged store is {}x{} but the model needs {}x{d}",
+                rows.rows(),
+                rows.cols(),
+                n + r
+            )));
+        }
+        assert!(
+            (query.entity as usize) < n && (query.rel as usize) < r,
+            "query ({}, {}) out of range for {n} entities / {r} relations",
+            query.entity,
+            query.rel
+        );
+        let ent_row = query.entity;
+        let rel_row = (n + query.rel as usize) as u32;
+        rows.ensure([ent_row, rel_row])?;
+        let (v0, v1) = match query.dir {
+            Direction::Tail => (1.0f32, 1.0f32),
+            Direction::Head => (1.0f32, -1.0f32),
+        };
+        let (ent, rel) = (rows.row(ent_row as usize), rows.row(rel_row as usize));
+        let qv: Vec<f32> = ent
+            .iter()
+            .zip(rel)
+            .map(|(&e, &rl)| v0 * e + v1 * rl)
+            .collect();
+
+        self.index.probe(&qv, nprobe, &mut self.cand_buf);
+        rows.ensure(self.cand_buf.iter().copied())?;
+        let scored = self.cand_buf.len();
+        self.score_buf.resize(scored, 0.0);
+        let norm = self.model.norm();
+        for (dst, &e) in self.score_buf.iter_mut().zip(&self.cand_buf) {
+            *dst = norm.distance(&qv, rows.row(e as usize));
+        }
+        let hits = top_k(
+            self.cand_buf
+                .iter()
+                .zip(&self.score_buf)
+                .map(|(&id, &s)| (id, s)),
+            k,
+        );
+        Ok(AnnAnswer {
+            hits,
+            scored,
+            cache_hit: false,
+        })
+    }
+}
+
 /// Latency percentiles plus throughput over a set of per-query samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {

@@ -231,6 +231,9 @@ impl<M: KgeModel> Trainer<M> {
             let mut loss_sum = 0f64;
             for b in 0..self.num_batches {
                 self.model.store_mut().zero_grads();
+                // Out-of-core models pin this batch's working set in the
+                // row cache here; fully resident models no-op.
+                self.model.page_in_batch(b)?;
 
                 let t0 = Instant::now();
                 // Reset (not rebuild) the tape: node buffers recycle through

@@ -40,11 +40,13 @@ fn config() -> TrainConfig {
 }
 
 /// Everything one training run observes: per-batch tensor-allocation deltas
-/// plus the bit patterns of the losses and final parameters.
+/// plus the bit patterns of the losses and final parameters (and, for
+/// paged runs, the total evictions so the trace provably exercised paging).
 struct RunTrace {
     batch_allocs: Vec<u64>,
     loss_bits: Vec<u32>,
     param_bits: Vec<Vec<u32>>,
+    evictions: u64,
 }
 
 fn param_bits<M: KgeModel>(model: &M) -> Vec<Vec<u32>> {
@@ -83,6 +85,7 @@ fn run_traced<M: KgeModel>(
         for b in 0..plan.num_batches() {
             let before = memory::alloc_count();
             model.store_mut().zero_grads();
+            model.page_in_batch(b).expect("page in batch working set");
             if fresh_graph_per_batch {
                 graph = Graph::with_pool(pool.clone());
             } else {
@@ -97,10 +100,25 @@ fn run_traced<M: KgeModel>(
         }
         model.end_epoch();
     }
+    // Paged parameters must come back resident before `param_bits` reads
+    // the full table (counting their evictions on the way out).
+    let mut evictions = 0;
+    let store = model.store_mut();
+    for id in store.param_ids() {
+        if store.is_paged(id) {
+            evictions += store
+                .pager(id)
+                .expect("paged param has a pager")
+                .stats()
+                .evictions;
+            store.unpage(id).expect("unpage after traced run");
+        }
+    }
     RunTrace {
         batch_allocs,
         loss_bits,
         param_bits: param_bits(&model),
+        evictions,
     }
 }
 
@@ -181,6 +199,85 @@ fn steady_state_training_step_is_allocation_free_and_bit_identical() {
         assert_eq!(
             transe.param_bits, reference.param_bits,
             "[{name}] arena step changed an embedding bit vs fresh-graph step"
+        );
+    }
+
+    // Paged arm: demand paging must not reintroduce steady-state
+    // allocations. The table is paged out to in-RAM backing storage at a
+    // full-table budget first (this dataset's batches touch nearly every
+    // row, so any smaller budget could not pin a working set) — reads,
+    // write-backs and the slot translation all run, batch 2 onward stays
+    // flat, and the bits still match the resident reference.
+    {
+        let mut model = SpTransE::from_config(&ds, &cfg).unwrap();
+        let emb = model.embedding_param();
+        let (rows, cols) = model.store().param_shape(emb);
+        model
+            .store_mut()
+            .page_out(emb, Box::new(tensor::VecStorage::new(rows, cols)), rows)
+            .unwrap();
+        let trace = run_traced(
+            model,
+            &plan,
+            &cfg,
+            PoolHandle::global().with_width(4),
+            false,
+        );
+        assert_flat_from_batch_2(&trace, num_batches, uniform, "SpTransE [paged]");
+        assert_eq!(
+            trace.loss_bits, reference.loss_bits,
+            "[paged] demand paging changed a loss bit"
+        );
+        assert_eq!(
+            trace.param_bits, reference.param_bits,
+            "[paged] demand paging changed an embedding bit"
+        );
+    }
+
+    // And under genuine eviction pressure: a smaller-batch plan whose
+    // working sets fit a half-table budget. Compared against its own
+    // resident run (different plan ⇒ different losses than `reference`).
+    {
+        let small_plan = BatchPlan::build(&ds.train, &known, &sampler, 12, cfg.seed);
+        let small_batches = small_plan.num_batches();
+        let small_uniform =
+            (0..small_batches).all(|i| small_plan.batch(i).len() == small_plan.batch(0).len());
+        let resident = run_traced(
+            SpTransE::from_config(&ds, &cfg).unwrap(),
+            &small_plan,
+            &cfg,
+            PoolHandle::sequential(),
+            false,
+        );
+        let mut model = SpTransE::from_config(&ds, &cfg).unwrap();
+        let emb = model.embedding_param();
+        let (rows, cols) = model.store().param_shape(emb);
+        model
+            .store_mut()
+            .page_out(
+                emb,
+                Box::new(tensor::VecStorage::new(rows, cols)),
+                rows / 2 + 8,
+            )
+            .unwrap();
+        let trace = run_traced(model, &small_plan, &cfg, PoolHandle::sequential(), false);
+        assert!(
+            trace.evictions > 0,
+            "half-table budget over 3 epochs must evict"
+        );
+        assert_flat_from_batch_2(
+            &trace,
+            small_batches,
+            small_uniform,
+            "SpTransE [paged/evict]",
+        );
+        assert_eq!(
+            trace.loss_bits, resident.loss_bits,
+            "[paged/evict] eviction + write-back changed a loss bit"
+        );
+        assert_eq!(
+            trace.param_bits, resident.param_bits,
+            "[paged/evict] eviction + write-back changed an embedding bit"
         );
     }
 

@@ -1,0 +1,286 @@
+//! Out-of-core training contract: the paged parameter store moves bytes,
+//! never arithmetic.
+//!
+//! Three pillars, mirroring the CI `out-of-core-smoke` job in-process:
+//!
+//! 1. **Bit-identity** — training with the embedding table paged to backing
+//!    storage under a tight cache budget produces byte-for-byte the same
+//!    losses and final embeddings as the fully resident run, over both the
+//!    in-RAM and file-backed [`tensor::RowStorage`] backends.
+//! 2. **Counter validation** — the pager's hit/miss counters are replayed
+//!    through an independent `simcache` fully-associative LRU model over the
+//!    same row trace and must match *exactly* (the PR-6 query-cache idiom).
+//! 3. **Failure modes** — budgets below the working set, incompatible
+//!    optimizers, and the data-parallel driver all refuse loudly instead of
+//!    silently corrupting state.
+
+use kg::synthetic::SyntheticKgBuilder;
+use kg::Dataset;
+use sptransx::{FileRowStorage, KgeModel, OptimizerKind, SpTransE, TrainConfig, Trainer};
+use tensor::{PageStats, RowStorage, VecStorage};
+
+fn dataset() -> Dataset {
+    SyntheticKgBuilder::new(200, 4)
+        .triples(1200)
+        .seed(9)
+        .build()
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        dim: 8,
+        lr: 0.05,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// A cache budget safely above any batch's working set (≤ 3 rows per triple
+/// × 2 incidence matrices × 16 triples) but well below the 204-row table,
+/// so every epoch exercises eviction and write-back.
+const BUDGET: usize = 96;
+
+struct Run {
+    embeddings: Vec<f32>,
+    losses: Vec<f32>,
+}
+
+fn train_resident(ds: &Dataset, cfg: &TrainConfig) -> Run {
+    let model = SpTransE::from_config(ds, cfg).unwrap();
+    let emb = model.embedding_param();
+    let mut trainer = Trainer::new(model, ds, cfg).unwrap();
+    let report = trainer.run().unwrap();
+    let model = trainer.into_model();
+    Run {
+        embeddings: model.store().value(emb).as_slice().to_vec(),
+        losses: report.epoch_losses,
+    }
+}
+
+/// Trains with the table paged out to `storage`, returning the run plus the
+/// pager's counters and row trace (collected before unpaging).
+fn train_paged(
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    storage: Box<dyn RowStorage>,
+    budget: usize,
+) -> (Run, PageStats, Vec<u32>) {
+    let model = SpTransE::from_config(ds, cfg).unwrap();
+    let emb = model.embedding_param();
+    let mut trainer = Trainer::new(model, ds, cfg).unwrap();
+    let store = trainer.model_mut().store_mut();
+    store.page_out(emb, storage, budget).unwrap();
+    store.pager_mut(emb).unwrap().set_tracing(true);
+    let report = trainer.run().unwrap();
+    let store = trainer.model_mut().store_mut();
+    let pager = store.pager(emb).unwrap();
+    let stats = pager.stats();
+    let trace = pager.trace().unwrap().to_vec();
+    store.unpage(emb).unwrap();
+    let model = trainer.into_model();
+    (
+        Run {
+            embeddings: model.store().value(emb).as_slice().to_vec(),
+            losses: report.epoch_losses,
+        },
+        stats,
+        trace,
+    )
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// Replays the pager's row trace through simcache configured as a
+/// fully-associative LRU of `budget` lines (one synthetic 64-byte line per
+/// row), the same cross-validation idiom the serving layer uses for its
+/// query cache.
+fn simcache_replay(trace: &[u32], budget: usize) -> simcache::CacheStats {
+    let mut sim = simcache::Cache::new(simcache::CacheConfig {
+        size_bytes: budget * 64,
+        line_bytes: 64,
+        ways: budget,
+    });
+    for &row in trace {
+        sim.access(u64::from(row) * 64);
+    }
+    sim.stats()
+}
+
+#[test]
+fn paged_training_is_bit_identical_to_resident_vec_backend() {
+    let ds = dataset();
+    let cfg = config();
+    let resident = train_resident(&ds, &cfg);
+    let (rows, cols) = (204, cfg.dim);
+    let (paged, stats, _) = train_paged(&ds, &cfg, Box::new(VecStorage::new(rows, cols)), BUDGET);
+    assert_eq!(paged.losses, resident.losses, "per-epoch losses diverged");
+    assert_bits_equal(&paged.embeddings, &resident.embeddings, "embeddings");
+    // The tight budget really exercised the machinery.
+    assert!(stats.evictions > 0, "no evictions at budget {BUDGET}");
+    assert!(stats.write_backs > 0, "no write-backs at budget {BUDGET}");
+}
+
+#[test]
+fn paged_training_is_bit_identical_to_resident_file_backend() {
+    let ds = dataset();
+    let cfg = config();
+    let resident = train_resident(&ds, &cfg);
+    let dir = std::env::temp_dir().join("sptx-paged-store-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("table_{}.bin", std::process::id()));
+    let storage = FileRowStorage::create(&path, 204, cfg.dim).unwrap();
+    let (paged, stats, _) = train_paged(&ds, &cfg, Box::new(storage), BUDGET);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(paged.losses, resident.losses, "per-epoch losses diverged");
+    assert_bits_equal(&paged.embeddings, &resident.embeddings, "embeddings");
+    assert!(stats.write_backs > 0, "dirty rows never hit the file");
+}
+
+#[test]
+fn pager_counters_match_simcache_lru_replay_exactly() {
+    let ds = dataset();
+    let cfg = config();
+    let (_, stats, trace) = train_paged(&ds, &cfg, Box::new(VecStorage::new(204, cfg.dim)), BUDGET);
+    assert_eq!(
+        stats.hits + stats.misses,
+        trace.len() as u64,
+        "every traced access is a hit or a miss"
+    );
+    let sim = simcache_replay(&trace, BUDGET);
+    assert_eq!(
+        stats.hits, sim.hits,
+        "hit counts diverge from the LRU model"
+    );
+    assert_eq!(
+        stats.misses, sim.misses,
+        "miss counts diverge from the LRU model"
+    );
+    // Fully associative with sequential slot fill: the first `BUDGET` misses
+    // occupy free slots, every later miss evicts exactly one row.
+    assert_eq!(
+        stats.evictions,
+        stats.misses.saturating_sub(BUDGET as u64),
+        "eviction count inconsistent with fully-associative fill"
+    );
+}
+
+#[test]
+fn counters_match_model_at_full_table_budget_too() {
+    // Budget = whole table: after compulsory misses everything hits and
+    // nothing is ever evicted.
+    let ds = dataset();
+    let cfg = config();
+    let (_, stats, trace) = train_paged(&ds, &cfg, Box::new(VecStorage::new(204, cfg.dim)), 204);
+    let sim = simcache_replay(&trace, 204);
+    assert_eq!((stats.hits, stats.misses), (sim.hits, sim.misses));
+    assert_eq!(stats.evictions, 0);
+    assert!(stats.misses <= 204, "at most one compulsory miss per row");
+}
+
+#[test]
+fn budget_below_working_set_is_a_hard_error() {
+    let ds = dataset();
+    let cfg = config();
+    let model = SpTransE::from_config(&ds, &cfg).unwrap();
+    let emb = model.embedding_param();
+    let mut trainer = Trainer::new(model, &ds, &cfg).unwrap();
+    trainer
+        .model_mut()
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), 4)
+        .unwrap();
+    let err = trainer
+        .run()
+        .expect_err("a 4-row budget cannot hold a batch");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cache budget"),
+        "unexpected error message: {msg}"
+    );
+}
+
+#[test]
+fn page_out_rejects_invalid_configurations() {
+    let ds = dataset();
+    let cfg = config();
+    let mut model = SpTransE::from_config(&ds, &cfg).unwrap();
+    let emb = model.embedding_param();
+    // Shape mismatch between the parameter and the backing store.
+    assert!(model
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(10, 3)), 8)
+        .is_err());
+    // Zero budget.
+    assert!(model
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), 0)
+        .is_err());
+    // Paging out twice.
+    model
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), 32)
+        .unwrap();
+    assert!(model
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), 32)
+        .is_err());
+}
+
+#[test]
+#[should_panic(expected = "does not support paged parameters")]
+fn adagrad_refuses_paged_parameters() {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        optimizer: OptimizerKind::Adagrad,
+        ..config()
+    };
+    let model = SpTransE::from_config(&ds, &cfg).unwrap();
+    let emb = model.embedding_param();
+    let mut trainer = Trainer::new(model, &ds, &cfg).unwrap();
+    trainer
+        .model_mut()
+        .store_mut()
+        .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), BUDGET)
+        .unwrap();
+    let _ = trainer.run();
+}
+
+#[test]
+fn data_parallel_driver_rejects_paged_models() {
+    let ds = dataset();
+    let cfg = config();
+    let err = sptransx::distributed::train_data_parallel(&ds, &cfg, 2, |ds, cfg| {
+        let mut m = SpTransE::from_config(ds, cfg)?;
+        let emb = m.embedding_param();
+        m.store_mut()
+            .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), BUDGET)?;
+        Ok(m)
+    })
+    .expect_err("paged replicas must be rejected");
+    assert!(err.to_string().contains("data-parallel"));
+}
+
+#[test]
+fn unpaged_table_round_trips_through_storage() {
+    // page_out → a few batches → unpage restores a fully resident table
+    // usable by the (paging-unaware) evaluation path.
+    let ds = dataset();
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..config()
+    };
+    let resident = train_resident(&ds, &cfg);
+    let (paged, _, _) = train_paged(&ds, &cfg, Box::new(VecStorage::new(204, cfg.dim)), BUDGET);
+    assert_bits_equal(&paged.embeddings, &resident.embeddings, "one-epoch table");
+}

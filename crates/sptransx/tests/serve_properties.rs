@@ -21,10 +21,10 @@ use kg::synthetic::SyntheticKgBuilder;
 use kg::Dataset;
 use rand::{Rng, SeedableRng};
 use sptransx::serve::{
-    recall_at_k, top_k, Direction, IvfConfig, IvfIndex, Query, QueryCache, QueryKey, ServeEngine,
-    ServeModel, ZipfWorkload,
+    recall_at_k, top_k, Direction, IvfConfig, IvfIndex, PagedRows, Query, QueryCache, QueryKey,
+    ServeEngine, ServeModel, ZipfWorkload,
 };
-use sptransx::{KgeModel, Norm, SpTransE, TrainConfig, Trainer};
+use sptransx::{KgeModel, Norm, ReadOnlyRowStorage, SpTransE, TrainConfig, Trainer};
 use xparallel::PoolHandle;
 
 fn temp_path(name: &str) -> std::path::PathBuf {
@@ -129,6 +129,88 @@ fn exact_arm_matches_bruteforce_topk() {
         let want = top_k(buf.iter().enumerate().map(|(i, &s)| (i as u32, s)), 10);
         assert_eq!(got, want);
     }
+}
+
+#[test]
+fn paged_ann_arm_matches_resident_arm_bitwise_with_validated_counters() {
+    // The out-of-core serving path: answers read embedding rows only
+    // through a tight PagedRows cache over the on-disk dump, yet must match
+    // the fully resident ANN arm bit for bit — and the row cache's counters
+    // must be predicted exactly by a simcache LRU replay of its row trace.
+    let (trainer, ds) = trained(120, 5, 8);
+    let (dim, stack) = dump_stack(&trainer);
+    let n = ds.num_entities;
+    let path = temp_path(&format!("paged_arm_{}.bin", std::process::id()));
+    EmbeddingStore::write(&path, n + ds.num_relations, dim, |r, dst| {
+        dst.copy_from_slice(&stack[r * dim..(r + 1) * dim]);
+    })
+    .unwrap();
+
+    let serve = ServeModel::from_stacked(stack, n, ds.num_relations, dim, Norm::L2).unwrap();
+    let index = IvfIndex::build(
+        serve.embeddings(),
+        n,
+        dim,
+        &IvfConfig {
+            clusters: 10,
+            ..Default::default()
+        },
+        &PoolHandle::global(),
+    )
+    .unwrap();
+    let mut engine = ServeEngine::new(serve, index).unwrap();
+
+    // Budget well under the 125-row store: queries touch ~n/clusters
+    // candidates per probe, so 60 rows fits every working set while still
+    // forcing eviction traffic across queries.
+    let storage = ReadOnlyRowStorage::open(&path).unwrap();
+    let mut rows = PagedRows::new(Box::new(storage), 60).unwrap();
+    rows.set_tracing(true);
+
+    let mut wl = ZipfWorkload::new(n, ds.num_relations, 1.1, 5);
+    for _ in 0..60 {
+        let q = wl.next_query();
+        let resident = engine.answer_ann(&q, 10, 3);
+        let paged = engine.answer_ann_paged(&mut rows, &q, 10, 3).unwrap();
+        assert_eq!(paged.scored, resident.scored, "different candidate sets");
+        assert_eq!(
+            paged.hits, resident.hits,
+            "paged answers must equal resident answers bitwise"
+        );
+    }
+    let stats = rows.stats();
+    let trace = rows.trace().unwrap();
+    assert_eq!(stats.hits + stats.misses, trace.len() as u64);
+    assert!(stats.evictions > 0, "a 60-row budget must evict");
+    assert_eq!(stats.write_backs, 0, "read-only serving never writes back");
+    let mut sim = simcache::Cache::new(simcache::CacheConfig {
+        size_bytes: 60 * 64,
+        line_bytes: 64,
+        ways: 60,
+    });
+    for &row in trace {
+        sim.access(u64::from(row) * 64);
+    }
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (sim.stats().hits, sim.stats().misses),
+        "row-cache counters diverge from the simcache LRU model"
+    );
+
+    // A budget below a single query's working set is a loud error.
+    let storage = ReadOnlyRowStorage::open(&path).unwrap();
+    let mut tiny = PagedRows::new(Box::new(storage), 2).unwrap();
+    let q = Query {
+        dir: Direction::Tail,
+        entity: 0,
+        rel: 0,
+    };
+    let err = engine.answer_ann_paged(&mut tiny, &q, 10, 10).unwrap_err();
+    assert!(
+        err.to_string().contains("cache budget"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

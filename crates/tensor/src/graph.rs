@@ -130,6 +130,36 @@ fn spmm_elem(cols: &[u32], vals: &[f32], b: &[f32], n: usize, j: usize) -> f32 {
     }
 }
 
+/// [`spmm_elem`] for a paged parameter: `b` is the slot-aligned cache and
+/// `map` the row→slot translation, so the element read is
+/// `b[map[c]·n + j]` instead of `b[c·n + j]`. The fold structure (fast
+/// paths included) is byte-for-byte the same — the slot map moves bytes,
+/// never arithmetic, which is what keeps the paged arm bit-identical.
+#[inline]
+fn spmm_elem_mapped(cols: &[u32], vals: &[f32], b: &[f32], map: &[u32], n: usize, j: usize) -> f32 {
+    #[inline(always)]
+    fn at(b: &[f32], map: &[u32], c: u32, n: usize, j: usize) -> f32 {
+        b[map[c as usize] as usize * n + j]
+    }
+    match cols.len() {
+        0 => 0.0,
+        1 => vals[0] * at(b, map, cols[0], n, j),
+        2 => vals[0] * at(b, map, cols[0], n, j) + vals[1] * at(b, map, cols[1], n, j),
+        3 => {
+            vals[0] * at(b, map, cols[0], n, j)
+                + vals[1] * at(b, map, cols[1], n, j)
+                + vals[2] * at(b, map, cols[2], n, j)
+        }
+        _ => {
+            let mut acc = 0.0f32;
+            for (v, &c) in vals.iter().zip(cols) {
+                acc += v * at(b, map, c, n, j);
+            }
+            acc
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     Input,
@@ -488,11 +518,15 @@ impl Graph {
             };
         }
         let _t = profile::scope("op::spmm_score");
-        let p = store.value(param);
-        assert_eq!(pair.forward.cols(), p.rows(), "incidence width mismatch");
-        let d = p.cols();
+        // `table` serves both residency modes: a resident parameter reads
+        // rows directly, a paged one reads its pinned cache through the
+        // row→slot map (every incidence column was paged in up front).
+        let view = store.table(param);
+        assert_eq!(pair.forward.cols(), view.rows(), "incidence width mismatch");
+        let d = view.cols();
         let m = pair.forward.rows();
-        let pd = p.as_slice();
+        let pd = view.data();
+        let map = view.map();
         let indptr = pair.forward.indptr();
         let indices = pair.forward.indices();
         let values = pair.forward.values();
@@ -504,8 +538,17 @@ impl Graph {
                     let (s, e) = (indptr[i] as usize, indptr[i + 1] as usize);
                     let (cols, vals) = (&indices[s..e], &values[s..e]);
                     let mut acc = 0.0f32;
-                    for j in 0..d {
-                        acc += score.term(spmm_elem(cols, vals, pd, d, j));
+                    match map {
+                        None => {
+                            for j in 0..d {
+                                acc += score.term(spmm_elem(cols, vals, pd, d, j));
+                            }
+                        }
+                        Some(map) => {
+                            for j in 0..d {
+                                acc += score.term(spmm_elem_mapped(cols, vals, pd, map, d, j));
+                            }
+                        }
                     }
                     *dst = score.finish(acc);
                 }
@@ -1019,6 +1062,60 @@ impl Graph {
                 // The stored (m,1) score column feeds the L2 backward's
                 // division, exactly like the standalone norm op.
                 let nd = self.nodes[i].value.as_slice();
+                if store.is_paged(param) {
+                    // Paged arm: value/grad hold the slot-aligned cache, so
+                    // the touched-row walk runs over the rows' *slots* (the
+                    // cache-row list for `for_listed_rows`) and each slot
+                    // maps back to its absolute row for the transpose
+                    // traversal. Same per-row arithmetic, same one-worker-
+                    // per-row ownership: bit-identical to the resident arm.
+                    let (pv, grad, slots, row_of, slot_of) = store.paged_backward_parts(param);
+                    let d = pv.cols();
+                    let pd = pv.as_slice();
+                    let gd = g.as_slice();
+                    let indptr = fwd.indptr();
+                    let indices = fwd.indices();
+                    let values = fwd.values();
+                    if d > 0 {
+                        let process = |e: usize, dst: &mut [f32]| {
+                            for (ti, aval) in tr.row(e) {
+                                let (s, epos) = (indptr[ti] as usize, indptr[ti + 1] as usize);
+                                let (cols, vals) = (&indices[s..epos], &values[s..epos]);
+                                let gi = gd[ti];
+                                if let RowScore::L2 { eps } = score {
+                                    let denom = nd[ti].max(eps);
+                                    for (j, dj) in dst.iter_mut().enumerate() {
+                                        let x = spmm_elem_mapped(cols, vals, pd, slot_of, d, j);
+                                        *dj += aval * (0.0 + gi * x / denom);
+                                    }
+                                } else {
+                                    for (j, dj) in dst.iter_mut().enumerate() {
+                                        let x = spmm_elem_mapped(cols, vals, pd, slot_of, d, j);
+                                        *dj += aval * (0.0 + gi * score.deriv(x));
+                                    }
+                                }
+                            }
+                        };
+                        self.pool.for_listed_rows(
+                            grad.as_mut_slice(),
+                            d,
+                            slots,
+                            64,
+                            |listed, first, window| {
+                                for &s in listed {
+                                    let s = s as usize;
+                                    let off = (s - first) * d;
+                                    process(row_of[s] as usize, &mut window[off..off + d]);
+                                }
+                            },
+                        );
+                    }
+                    sparse::metrics::record_spmm_call();
+                    let nnz = fwd.nnz() as u64;
+                    sparse::metrics::add_flops(4 * nnz * d as u64);
+                    sparse::metrics::add_bytes(nnz * 8 + 3 * (nnz * d as u64 * 4));
+                    return;
+                }
                 let (pv, grad, rows) = store.value_grad_rows_mut(param);
                 let d = pv.cols();
                 let pd = pv.as_slice();

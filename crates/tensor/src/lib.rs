@@ -55,6 +55,7 @@ pub mod init;
 pub mod loss;
 pub mod memory;
 pub mod optim;
+pub mod paged;
 pub mod profile;
 mod store;
 mod tensor;
@@ -66,7 +67,8 @@ pub use graph::{Graph, RowScore, Var};
 pub mod kernels {
     pub use crate::graph::scatter_add_rows;
 }
-pub use store::{ParamId, ParamStore, RowSet};
+pub use paged::{PageStats, Pager, RowStorage, VecStorage};
+pub use store::{ParamId, ParamStore, RowSet, TableView};
 pub use tensor::Tensor;
 
 /// Convenience alias for fallible tensor operations.
@@ -86,6 +88,12 @@ pub enum Error {
         /// The offending parameter name.
         name: String,
     },
+    /// A paged-storage operation failed: backing-store I/O, a working set
+    /// larger than the cache budget, or an invalid paging configuration.
+    Storage {
+        /// Description of the failure.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -93,6 +101,7 @@ impl std::fmt::Display for Error {
         match self {
             Error::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             Error::UnknownParam { name } => write!(f, "unknown parameter: {name}"),
+            Error::Storage { context } => write!(f, "paged storage: {context}"),
         }
     }
 }

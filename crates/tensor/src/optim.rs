@@ -89,13 +89,34 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let lr = self.lr;
-        for (_, value, grad, rows, dirty) in store.iter_mut() {
+        for (_, value, grad, rows, dirty, pager) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
                 "value/grad shape mismatch in Sgd::step"
             );
             let n = value.cols();
+            if let Some(pager) = pager {
+                // Paged parameter: value/grad hold the slot-aligned cache and
+                // the touched rows are pinned resident, so the update is the
+                // same per-row `x += -lr * g` walk through the slot map. The
+                // slot translation moves bytes, never arithmetic, so this is
+                // bit-identical to the resident sparse walk.
+                let rows = rows
+                    .as_slice()
+                    .expect("paged parameters require sparse touched sets");
+                let (vd, gd) = (value.as_mut_slice(), grad.as_slice());
+                for &r in rows {
+                    let s = pager.slot(r as usize);
+                    let dst = &mut vd[s * n..(s + 1) * n];
+                    let src = &gd[s * n..(s + 1) * n];
+                    for (d, g) in dst.iter_mut().zip(src) {
+                        *d += -lr * *g;
+                    }
+                }
+                dirty.insert_slice(rows);
+                continue;
+            }
             match rows.as_slice() {
                 None => {
                     value.add_scaled_with(&self.pool, grad, -lr);
@@ -190,11 +211,18 @@ impl Optimizer for Adagrad {
         let (lr, eps) = (self.lr, self.eps);
         let n = store.len();
         self.accum.resize_with(n, || None);
-        for (id, value, grad, rows, dirty) in store.iter_mut() {
+        for (id, value, grad, rows, dirty, pager) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
                 "value/grad shape mismatch in Adagrad::step"
+            );
+            // The accumulator is row-addressed `N × d` state; a paged
+            // parameter's cache slots are recycled across batches, so the
+            // accumulator would need its own paging to stay coherent.
+            assert!(
+                pager.is_none(),
+                "Adagrad does not support paged parameters; use SGD with --store disk"
             );
             let acc = validated_state(&mut self.accum[id_index(id)], value, Tensor::shape, || {
                 Tensor::zeros(value.rows(), value.cols())
@@ -285,11 +313,17 @@ impl Optimizer for Adam {
         let bias2 = 1.0 - b2.powi(t as i32);
         let n = store.len();
         self.moments.resize_with(n, || None);
-        for (id, value, grad, _rows, dirty) in store.iter_mut() {
+        for (id, value, grad, _rows, dirty, pager) in store.iter_mut() {
             debug_assert_eq!(
                 value.shape(),
                 grad.shape(),
                 "value/grad shape mismatch in Adam::step"
+            );
+            // Adam is dense by design (moments decay everywhere), which is
+            // exactly what paging out cold rows forbids.
+            assert!(
+                pager.is_none(),
+                "Adam does not support paged parameters; use SGD with --store disk"
             );
             // Adam rewrites every element (moments decay on zero grads), so
             // every row goes dirty — renormalization after an Adam epoch is

@@ -1,7 +1,15 @@
 //! Parameter storage: the model's learnable tensors, their gradients, the
 //! touched-row sets that make every downstream gradient sweep sparse, and
 //! the dirty-row sets that make per-epoch renormalization sparse too.
+//!
+//! Parameters can additionally be **paged out** to a [`RowStorage`] backend
+//! ([`ParamStore::page_out`]): the full table then lives behind the
+//! backend and only a fixed budget of rows — each batch's touched working
+//! set, known in advance from the incidence index lists — is resident in a
+//! pinned cache with LRU eviction and dirty-row write-back (see
+//! [`crate::paged`]).
 
+use crate::paged::{io_error, storage_error, Pager, RowStorage};
 use crate::{Error, Result, Tensor};
 
 /// Opaque handle to a parameter in a [`ParamStore`].
@@ -186,7 +194,73 @@ pub struct ParamStore {
     /// (union of stepped rows) and the untracked value accessors; consumed
     /// with retention by `for_dirty_rows`.
     dirty: Vec<RowSet>,
+    /// `Some` for parameters paged out to backing storage
+    /// ([`ParamStore::page_out`]): the value/grad tensors then hold the
+    /// `budget × d` slot cache (slot-aligned, so one translation map serves
+    /// both) while the touched/dirty row sets keep **absolute** indices.
+    pagers: Vec<Option<Pager>>,
     dense_grads: bool,
+}
+
+/// Read view of a parameter's table for kernels that index rows: the cache
+/// (or full-table) data plus the optional row → slot translation map.
+///
+/// For resident parameters `data` is the full `rows × cols` table and
+/// `map` is `None`; for paged parameters `data` is the `budget × cols`
+/// cache and `map` translates absolute rows to slots. Kernels that support
+/// paging address `data[view.slot(r) * cols ..]` — same bytes either way,
+/// so the arms are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct TableView<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    map: Option<&'a [u32]>,
+}
+
+impl<'a> TableView<'a> {
+    /// Logical row count of the parameter (not the cache size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The backing data: full table (resident) or slot cache (paged).
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// The row → slot map, `None` for resident parameters.
+    pub fn map(&self) -> Option<&'a [u32]> {
+        self.map
+    }
+
+    /// Translates an absolute row index to its index within
+    /// [`TableView::data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (paged parameters only) if the row is not resident — a
+    /// kernel touched a row outside the paged-in working set.
+    #[inline]
+    pub fn slot(&self, row: usize) -> usize {
+        match self.map {
+            None => row,
+            Some(m) => {
+                let s = m[row];
+                assert_ne!(
+                    s,
+                    crate::paged::NOT_RESIDENT,
+                    "row {row} not resident; it was outside the working set paged in for this batch"
+                );
+                s as usize
+            }
+        }
+    }
 }
 
 impl ParamStore {
@@ -221,6 +295,7 @@ impl ParamStore {
         self.grads.push(grad);
         self.touched.push(rows);
         self.dirty.push(dirty);
+        self.pagers.push(None);
         ParamId(self.values.len() - 1)
     }
 
@@ -256,7 +331,17 @@ impl ParamStore {
     }
 
     /// Borrows a parameter's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics for paged parameters: their value tensor holds the slot
+    /// cache, not the full table, so any caller reaching for the whole
+    /// matrix must [`ParamStore::unpage`] first (or use
+    /// [`ParamStore::table`] if it can translate rows). This is also the
+    /// guard that stops ops without paged support (gather/SpMM backends,
+    /// projections) from silently reading slot bytes as absolute rows.
     pub fn value(&self, id: ParamId) -> &Tensor {
+        self.assert_resident(id);
         &self.values[id.0]
     }
 
@@ -268,12 +353,19 @@ impl ParamStore {
     /// [`ParamStore::for_dirty_rows`] sweep revisits every row. Epoch
     /// renormalization goes through `for_dirty_rows` instead.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.assert_resident(id);
         self.dirty[id.0].mark_all();
         &mut self.values[id.0]
     }
 
     /// Borrows a parameter's gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics for paged parameters (the accumulator is slot-addressed; see
+    /// [`ParamStore::value`]).
     pub fn grad(&self, id: ParamId) -> &Tensor {
+        self.assert_resident(id);
         &self.grads[id.0]
     }
 
@@ -285,6 +377,7 @@ impl ParamStore {
     /// tracked accessors instead; external writers with row knowledge can
     /// re-tighten via [`ParamStore::touch`] after a `zero_grads`.
     pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.assert_resident(id);
         self.touched[id.0].mark_all();
         &mut self.grads[id.0]
     }
@@ -296,6 +389,7 @@ impl ParamStore {
     /// `rows` breaks the touched-row invariant; use
     /// [`ParamStore::grad_mut`] when the write pattern is unknown.
     pub fn grad_rows_mut(&mut self, id: ParamId, rows: &[u32]) -> &mut Tensor {
+        self.assert_resident(id);
         self.touch(id, rows);
         &mut self.grads[id.0]
     }
@@ -325,6 +419,11 @@ impl ParamStore {
     /// `+0.0` gradients); only the per-batch cost changes from
     /// `O(batch · d)` to `O(N · d)`.
     pub fn set_dense_grads(&mut self, dense: bool) {
+        assert!(
+            !dense || !self.has_paged(),
+            "dense-gradient mode is incompatible with paged parameters (the \
+             accumulator only holds the cache's slots, not the full table)"
+        );
         self.dense_grads = dense;
         if dense {
             for rows in &mut self.touched {
@@ -348,12 +447,14 @@ impl ParamStore {
     /// structured writer should restrict itself to (callers [`touch`]
     /// (Self::touch) first, then walk the returned set or a subset of it).
     pub(crate) fn grad_and_rows_mut(&mut self, id: ParamId) -> (&mut Tensor, &RowSet) {
+        self.assert_resident(id);
         (&mut self.grads[id.0], &self.touched[id.0])
     }
 
     /// Like [`grad_and_rows_mut`](Self::grad_and_rows_mut) with the value
     /// borrowed alongside (the fused backward kernels read it).
     pub(crate) fn value_grad_rows_mut(&mut self, id: ParamId) -> (&Tensor, &mut Tensor, &RowSet) {
+        self.assert_resident(id);
         (
             &self.values[id.0],
             &mut self.grads[id.0],
@@ -398,6 +499,9 @@ impl ParamStore {
     /// set is re-marked dense afterwards, so the ablation arm keeps paying
     /// the full `O(N · d)` sweep every epoch.
     pub fn for_dirty_rows(&mut self, id: ParamId, mut f: impl FnMut(usize, &mut [f32]) -> bool) {
+        if self.pagers[id.0].is_some() {
+            return self.for_dirty_rows_paged(id, f);
+        }
         let value = &mut self.values[id.0];
         let cols = value.cols();
         let num_rows = value.rows();
@@ -432,21 +536,34 @@ impl ParamStore {
         }
     }
 
-    /// Iterates over `(id, value, grad, touched, dirty)` tuples mutably —
-    /// the optimizer hook. The touched set tells the optimizer which rows
-    /// can carry gradient (dense means "sweep everything"); the optimizer
-    /// unions the rows it actually rewrites into the dirty set so epoch
-    /// renormalization can stay sparse.
+    /// Iterates over `(id, value, grad, touched, dirty, pager)` tuples
+    /// mutably — the optimizer hook. The touched set tells the optimizer
+    /// which rows can carry gradient (dense means "sweep everything"); the
+    /// optimizer unions the rows it actually rewrites into the dirty set so
+    /// epoch renormalization can stay sparse. A `Some` pager means value
+    /// and grad are the **slot cache**: the optimizer must address rows
+    /// through [`Pager::slot`] (only `Sgd` supports this; stateful
+    /// optimizers keyed on absolute rows refuse).
     pub fn iter_mut(
         &mut self,
-    ) -> impl Iterator<Item = (ParamId, &mut Tensor, &mut Tensor, &RowSet, &mut RowSet)> {
+    ) -> impl Iterator<
+        Item = (
+            ParamId,
+            &mut Tensor,
+            &mut Tensor,
+            &RowSet,
+            &mut RowSet,
+            Option<&Pager>,
+        ),
+    > {
         self.values
             .iter_mut()
             .zip(self.grads.iter_mut())
             .zip(self.touched.iter())
             .zip(self.dirty.iter_mut())
+            .zip(self.pagers.iter())
             .enumerate()
-            .map(|(i, (((v, g), r), d))| (ParamId(i), v, g, r, d))
+            .map(|(i, ((((v, g), r), d), p))| (ParamId(i), v, g, r, d, p.as_ref()))
     }
 
     /// Handles of all registered parameters, in registration order.
@@ -460,7 +577,14 @@ impl ParamStore {
     /// memset the full table. Because untouched rows are already exact
     /// `+0.0` (the touched-row invariant), both paths leave identical bits.
     pub fn zero_grads(&mut self) {
-        for (g, rows) in self.grads.iter_mut().zip(&mut self.touched) {
+        for i in 0..self.grads.len() {
+            if self.pagers[i].is_some() {
+                // The paged equivalent also marks the stepped rows' slots
+                // for write-back — the optimizer rewrote their values.
+                self.prepare_paged(i);
+                continue;
+            }
+            let (g, rows) = (&mut self.grads[i], &mut self.touched[i]);
             match rows.as_slice() {
                 None => g.zero_(),
                 Some(listed) => {
@@ -482,6 +606,330 @@ impl ParamStore {
     /// Total number of learnable scalars.
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor::len).sum()
+    }
+
+    fn assert_resident(&self, id: ParamId) {
+        assert!(
+            self.pagers[id.0].is_none(),
+            "parameter '{}' is paged out to backing storage; this access \
+             path needs the full table (unpage it, go through \
+             ParamStore::table, or run with --store ram)",
+            self.names[id.0]
+        );
+    }
+
+    /// Whether `id` is paged out to backing storage.
+    pub fn is_paged(&self, id: ParamId) -> bool {
+        self.pagers[id.0].is_some()
+    }
+
+    /// Whether any parameter is paged.
+    pub fn has_paged(&self) -> bool {
+        self.pagers.iter().any(Option::is_some)
+    }
+
+    /// Borrows `id`'s pager (counters, trace), if paged.
+    pub fn pager(&self, id: ParamId) -> Option<&Pager> {
+        self.pagers[id.0].as_ref()
+    }
+
+    /// Mutably borrows `id`'s pager (e.g. to enable trace recording).
+    pub fn pager_mut(&mut self, id: ParamId) -> Option<&mut Pager> {
+        self.pagers[id.0].as_mut()
+    }
+
+    /// Logical shape `(rows, cols)` of a parameter — the full-table shape
+    /// even when paged (use this instead of [`ParamStore::value`] for
+    /// shape-only queries).
+    pub fn param_shape(&self, id: ParamId) -> (usize, usize) {
+        match &self.pagers[id.0] {
+            None => self.values[id.0].shape(),
+            Some(p) => (p.rows(), p.cols()),
+        }
+    }
+
+    /// Read view of a parameter's table for row-indexing kernels: data plus
+    /// the optional row → slot map (see [`TableView`]).
+    pub fn table(&self, id: ParamId) -> TableView<'_> {
+        let i = id.0;
+        match &self.pagers[i] {
+            None => TableView {
+                data: self.values[i].as_slice(),
+                rows: self.values[i].rows(),
+                cols: self.values[i].cols(),
+                map: None,
+            },
+            Some(p) => TableView {
+                data: self.values[i].as_slice(),
+                rows: p.rows(),
+                cols: p.cols(),
+                map: Some(p.slot_of()),
+            },
+        }
+    }
+
+    /// Moves `id`'s full table into `storage` (writing the current values
+    /// to it) and replaces the in-RAM tensors with a `budget × d` slot
+    /// cache. From here on, each batch must page its working set in via
+    /// [`ParamStore::page_in`] before kernels touch the parameter, and
+    /// reads/writes go through slot translation ([`ParamStore::table`],
+    /// the pager-aware optimizer path). `budget` is clamped to the table's
+    /// row count.
+    ///
+    /// Paging moves bytes, never arithmetic: training a paged parameter is
+    /// bit-identical to the resident run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store is in dense-gradient mode, the parameter is
+    /// already paged, `storage`'s shape mismatches, gradients are pending
+    /// (call [`ParamStore::zero_grads`] first), the budget is zero, or on
+    /// backing-store I/O errors.
+    pub fn page_out(
+        &mut self,
+        id: ParamId,
+        mut storage: Box<dyn RowStorage>,
+        budget: usize,
+    ) -> Result<()> {
+        let i = id.0;
+        if self.dense_grads {
+            return Err(storage_error(
+                "paged storage is incompatible with dense-gradient mode".into(),
+            ));
+        }
+        if self.pagers[i].is_some() {
+            return Err(storage_error(format!(
+                "parameter '{}' is already paged",
+                self.names[i]
+            )));
+        }
+        if budget == 0 {
+            return Err(storage_error("cache budget must be at least 1 row".into()));
+        }
+        if !self.touched[i].is_empty() {
+            return Err(storage_error(format!(
+                "parameter '{}' has pending gradients; zero_grads before paging out",
+                self.names[i]
+            )));
+        }
+        let value = &self.values[i];
+        if storage.rows() != value.rows() || storage.cols() != value.cols() {
+            return Err(storage_error(format!(
+                "backing store shape {}x{} does not match parameter '{}' ({}x{})",
+                storage.rows(),
+                storage.cols(),
+                self.names[i],
+                value.rows(),
+                value.cols()
+            )));
+        }
+        storage
+            .write_rows(0, value.rows(), value.as_slice())
+            .map_err(io_error)?;
+        storage.flush().map_err(io_error)?;
+        let budget = budget.min(value.rows().max(1));
+        let cols = value.cols();
+        self.values[i] = Tensor::zeros(budget, cols);
+        self.grads[i] = Tensor::zeros(budget, cols);
+        self.pagers[i] = Some(Pager::new(storage, budget));
+        Ok(())
+    }
+
+    /// Pages in the union of the given sorted index `lists` — a batch's
+    /// working set, e.g. its positive and negative incidence column lists —
+    /// pinning those rows for the coming forward/backward/step. A no-op
+    /// for resident parameters, so models can call it unconditionally.
+    ///
+    /// Before loading, the *previous* batch's bookkeeping is settled: its
+    /// touched rows (still resident by the pinning invariant) get their
+    /// gradient slots zeroed and their value slots marked for write-back —
+    /// the paged equivalent of [`ParamStore::zero_grads`], which delegates
+    /// here for paged parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the union exceeds the cache budget or on backing-store I/O
+    /// errors.
+    pub fn page_in(&mut self, id: ParamId, lists: &[&[u32]]) -> Result<()> {
+        let i = id.0;
+        if self.pagers[i].is_none() {
+            return Ok(());
+        }
+        self.prepare_paged(i);
+        let pager = self.pagers[i].as_mut().expect("checked above");
+        pager.ensure_union(lists, self.values[i].as_mut_slice())
+    }
+
+    /// Writes every dirty resident row of a paged parameter back to its
+    /// backing store and flushes it — the checkpoint hook. A no-op for
+    /// resident parameters.
+    ///
+    /// # Errors
+    ///
+    /// Backing-store I/O errors.
+    pub fn flush_paged(&mut self, id: ParamId) -> Result<()> {
+        let i = id.0;
+        if self.pagers[i].is_none() {
+            return Ok(());
+        }
+        self.prepare_paged(i);
+        let pager = self.pagers[i].as_mut().expect("checked above");
+        pager.flush(self.values[i].as_slice())
+    }
+
+    /// Reverses [`ParamStore::page_out`]: flushes dirty rows, reads the
+    /// full table back into a resident tensor, and drops the pager (and its
+    /// backing store). The gradient accumulator is reset to full-table
+    /// zeros. Residency is transiently `O(N · d)` again — this is for
+    /// end-of-training evaluation and dumps, not for mid-training use.
+    ///
+    /// # Errors
+    ///
+    /// Backing-store I/O errors.
+    pub fn unpage(&mut self, id: ParamId) -> Result<()> {
+        let i = id.0;
+        if self.pagers[i].is_none() {
+            return Ok(());
+        }
+        self.prepare_paged(i);
+        let pager = self.pagers[i].as_mut().expect("checked above");
+        pager.flush(self.values[i].as_slice())?;
+        let (rows, cols) = (pager.rows(), pager.cols());
+        let mut full = Tensor::zeros(rows, cols);
+        pager.read_all(full.as_mut_slice())?;
+        self.values[i] = full;
+        self.grads[i] = Tensor::zeros(rows, cols);
+        self.pagers[i] = None;
+        Ok(())
+    }
+
+    /// Settles a paged parameter's previous-batch bookkeeping: zeroes the
+    /// gradient slots of the touched rows (which are still resident — rows
+    /// stay pinned until this runs), marks their value slots dirty (the
+    /// optimizer rewrote them), and clears the touched set. Idempotent;
+    /// every paged operation that can evict calls it first so no slot is
+    /// ever recycled with stale gradient bytes or an unsaved value.
+    fn prepare_paged(&mut self, i: usize) {
+        let Some(pager) = self.pagers[i].as_mut() else {
+            return;
+        };
+        let touched = &mut self.touched[i];
+        let rows = touched.as_slice().unwrap_or_else(|| {
+            panic!(
+                "paged parameter '{}' cannot use a dense touched set",
+                self.names[i]
+            )
+        });
+        let grad = &mut self.grads[i];
+        let cols = grad.cols();
+        let gd = grad.as_mut_slice();
+        for &r in rows {
+            let s = pager.slot(r as usize);
+            if cols > 0 {
+                gd[s * cols..(s + 1) * cols].fill(0.0);
+            }
+            pager.mark_slot_dirty(s);
+        }
+        touched.clear();
+    }
+
+    /// The paged arm of [`ParamStore::for_dirty_rows`]: walks the same
+    /// dirty rows in the same order with the same retention contract, but
+    /// streams them through the slot cache in budget-sized chunks (each
+    /// chunk's accesses hit the pager, so they land in the trace and the
+    /// hit/miss counters like any batch access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on backing-store I/O errors (this sweep has no error channel;
+    /// a failing pagefile mid-epoch is not recoverable).
+    fn for_dirty_rows_paged(&mut self, id: ParamId, mut f: impl FnMut(usize, &mut [f32]) -> bool) {
+        let i = id.0;
+        self.prepare_paged(i);
+        let pager = self.pagers[i].as_mut().expect("paged dispatch");
+        let cols = pager.cols();
+        let num_rows = pager.rows();
+        let budget = pager.budget();
+        let dirty = &mut self.dirty[i];
+        if cols == 0 || num_rows == 0 {
+            dirty.clear();
+            return;
+        }
+        let cache = self.values[i].as_mut_slice();
+        if dirty.dense {
+            // Fresh-parameter state: every row is dirty. Stream the whole
+            // table through the cache once (this is the one O(N · d) sweep,
+            // paid on the first epoch only — retention thins it after).
+            dirty.dense = false;
+            dirty.rows.clear();
+            let mut chunk: Vec<u32> = Vec::with_capacity(budget);
+            let mut start = 0usize;
+            while start < num_rows {
+                let end = (start + budget).min(num_rows);
+                chunk.clear();
+                chunk.extend(start as u32..end as u32);
+                pager
+                    .ensure(&chunk, cache)
+                    .expect("paged renormalization sweep failed to page rows in");
+                for r in start..end {
+                    let s = pager.slot(r);
+                    if f(r, &mut cache[s * cols..(s + 1) * cols]) {
+                        pager.mark_slot_dirty(s);
+                        dirty.rows.push(r as u32);
+                    }
+                }
+                start = end;
+            }
+        } else {
+            let total = dirty.rows.len();
+            let mut keep = 0usize;
+            let mut start = 0usize;
+            while start < total {
+                let end = (start + budget).min(total);
+                pager
+                    .ensure(&dirty.rows[start..end], cache)
+                    .expect("paged renormalization sweep failed to page rows in");
+                for idx in start..end {
+                    let r = dirty.rows[idx] as usize;
+                    let s = pager.slot(r);
+                    if f(r, &mut cache[s * cols..(s + 1) * cols]) {
+                        pager.mark_slot_dirty(s);
+                        dirty.rows[keep] = r as u32;
+                        keep += 1;
+                    }
+                }
+                start = end;
+            }
+            dirty.rows.truncate(keep);
+        }
+    }
+
+    /// Backward-pass view of a paged parameter for the slot-translating
+    /// fused kernels: `(cache values, cache grads, sorted slots of the
+    /// touched rows, slot → row map, row → slot map)`. The slot list is
+    /// strictly ascending (for destination-row-sharded dispatch); its
+    /// translation is a bijection off the sorted touched set, so per-row
+    /// work — and therefore every bit — matches the resident arm.
+    pub(crate) fn paged_backward_parts(
+        &mut self,
+        id: ParamId,
+    ) -> (&Tensor, &mut Tensor, &[u32], &[u32], &[u32]) {
+        let i = id.0;
+        {
+            let pager = self.pagers[i].as_mut().expect("parameter is paged");
+            let touched = self.touched[i]
+                .as_slice()
+                .expect("paged parameters require sparse touched sets");
+            pager.translate_sorted(touched);
+        }
+        let pager = self.pagers[i].as_ref().expect("parameter is paged");
+        (
+            &self.values[i],
+            &mut self.grads[i],
+            &pager.slot_scratch,
+            pager.row_of(),
+            pager.slot_of(),
+        )
     }
 }
 

@@ -186,15 +186,85 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     let model_name = args.str_or("model", "transe");
     let config = config_from_args(args)?;
     let out = PathBuf::from(args.str_or("out", "embeddings.bin"));
+    let paged = paged_store_from_args(args, &model_name, &config, &out)?;
 
     let (ds, _vocab) = load_dataset(Path::new(&train_path), args)?;
-    let (summary, emb) = train_dispatch(&model_name, &ds, &config)?;
+    let result = train_dispatch(
+        &model_name,
+        &ds,
+        &config,
+        paged.as_ref().map(|(p, b)| (p.as_path(), *b)),
+    );
+    // The pagefile is scratch space for the run; keep the filesystem clean
+    // whether training succeeded or not.
+    if let Some((pagefile, _)) = &paged {
+        std::fs::remove_file(pagefile).ok();
+    }
+    let (summary, emb) = result?;
     if let Some((rows, cols, data)) = emb {
         EmbeddingStore::write(&out, rows, cols, |r, dst| {
             dst.copy_from_slice(&data[r * cols..(r + 1) * cols]);
         })?;
     }
     Ok(format!("{summary}\nembeddings saved to {}", out.display()))
+}
+
+/// Parses and validates `--store {ram,disk}` + `--cache-rows N` into the
+/// out-of-core paging request: `Some((pagefile, cache budget))` for disk
+/// mode, `None` for the fully resident default.
+///
+/// Disk mode pages the embedding table to `{out}.pagefile` and keeps only
+/// `--cache-rows` rows pinned in RAM; it is restricted to the combinations
+/// whose hot path is slot-translation-aware (TransE/TorusE, SGD, sparse
+/// gradients, fused kernels) so paging can move bytes without ever touching
+/// arithmetic.
+fn paged_store_from_args(
+    args: &Args,
+    model_name: &str,
+    config: &TrainConfig,
+    out: &Path,
+) -> Result<Option<(PathBuf, usize)>, CliError> {
+    let store = args.str_or("store", "ram");
+    match store.as_str() {
+        "ram" => Ok(None),
+        "disk" => {
+            if !matches!(model_name, "transe" | "toruse") {
+                return Err(CliError::Usage(format!(
+                    "--store disk supports --model transe|toruse, got {model_name:?} \
+                     (other models' kernels are not paging-aware yet)"
+                )));
+            }
+            if config.optimizer != OptimizerKind::Sgd {
+                return Err(CliError::Usage(
+                    "--store disk requires --optimizer sgd (Adagrad/Adam keep dense \
+                     per-row state the row cache cannot page)"
+                        .into(),
+                ));
+            }
+            if config.dense_grads {
+                return Err(CliError::Usage(
+                    "--store disk needs the sparse touched-row gradient path; \
+                     drop --dense-grads true"
+                        .into(),
+                ));
+            }
+            if !config.fused {
+                return Err(CliError::Usage(
+                    "--store disk needs the fused kernels; drop --fused false".into(),
+                ));
+            }
+            let cache_rows: usize = args.parse_or("cache-rows", 4096)?;
+            if cache_rows == 0 {
+                return Err(CliError::Usage("--cache-rows must be at least 1".into()));
+            }
+            let mut pagefile = out.as_os_str().to_owned();
+            pagefile.push(".pagefile");
+            Ok(Some((PathBuf::from(pagefile), cache_rows)))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown --store {other:?} (ram|disk)"
+        ))),
+    }
 }
 
 /// The `stats` subcommand.
@@ -292,6 +362,28 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let mut engine = ServeEngine::new(model, index)?.with_cache(cache_size);
     let mut workload = ZipfWorkload::new(n, r, zipf, seed);
 
+    // --store disk: additionally answer every query through a row cache over
+    // the on-disk embedding file (the out-of-core arm), cross-checking each
+    // answer against the resident ANN arm bit for bit.
+    let mut paged_rows = match args.str_or("store", "ram").as_str() {
+        "ram" => None,
+        "disk" => {
+            let cache_rows: usize = args.parse_or("cache-rows", 4096)?;
+            if cache_rows == 0 {
+                return Err(CliError::Usage("--cache-rows must be at least 1".into()));
+            }
+            let storage = sptransx::ReadOnlyRowStorage::open(&emb_path)?;
+            let mut rows = sptransx::serve::PagedRows::new(Box::new(storage), cache_rows)?;
+            rows.set_tracing(true);
+            Some(rows)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --store {other:?} (ram|disk)"
+            )))
+        }
+    };
+
     // First-principles cache model: the same key stream replayed through a
     // fully-associative simcache LRU (one distinct line per distinct key)
     // must predict the real cache's hit count exactly.
@@ -304,9 +396,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 
     let mut ann_lat = Vec::with_capacity(num_queries);
     let mut exact_lat = Vec::with_capacity(num_queries);
+    let mut paged_lat = Vec::with_capacity(num_queries);
     let mut recall_sum = 0.0f64;
     let mut scored_total = 0usize;
     let mut computed = 0usize;
+    let mut paged_divergences = 0usize;
     for _ in 0..num_queries {
         let q = workload.next_query();
         let key: QueryKey = (q.dir as u8, q.entity, q.rel, k as u32, nprobe as u32);
@@ -319,6 +413,14 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         let t = std::time::Instant::now();
         let exact = engine.answer_exact(&q, k);
         exact_lat.push(t.elapsed());
+        if let Some(rows) = &mut paged_rows {
+            let t = std::time::Instant::now();
+            let paged = engine.answer_ann_paged(rows, &q, k, nprobe)?;
+            paged_lat.push(t.elapsed());
+            if paged.hits != ann.hits {
+                paged_divergences += 1;
+            }
+        }
 
         recall_sum += recall_at_k(&exact, &ann.hits);
         if !ann.cache_hit {
@@ -370,6 +472,51 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
             sim.stats().hits,
             cache_stats.hits
         ));
+    }
+    if let Some(rows) = &paged_rows {
+        let stats = rows.stats();
+        let accesses = stats.hits + stats.misses;
+        let hit_rate = if accesses > 0 {
+            100.0 * stats.hits as f64 / accesses as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "\npaged store: budget {} rows, {} hits / {} misses / {} evictions (hit rate {hit_rate:.1}%)",
+            rows.budget(),
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+        ));
+        if let Some(s) = LatencySummary::from_samples(&paged_lat) {
+            out.push_str(&format!("\n{}", arm("paged", &s)));
+        }
+        let mut row_sim = simcache::Cache::new(simcache::CacheConfig {
+            size_bytes: rows.budget() * 64,
+            line_bytes: 64,
+            ways: rows.budget(),
+        });
+        for &row in rows.trace().expect("tracing was enabled") {
+            row_sim.access(u64::from(row) * 64);
+        }
+        out.push_str(&format!(
+            "\nsimcache LRU replay: {} hits / {} misses",
+            row_sim.stats().hits,
+            row_sim.stats().misses
+        ));
+        if row_sim.stats().hits != stats.hits {
+            out.push_str(&format!(
+                "\nWARNING: simcache model predicted {} hits, row cache saw {}",
+                row_sim.stats().hits,
+                stats.hits
+            ));
+        }
+        if paged_divergences > 0 {
+            out.push_str(&format!(
+                "\nWARNING: paged arm diverged from the resident ANN arm on \
+                 {paged_divergences} queries"
+            ));
+        }
     }
 
     let min_recall: f64 = args.parse_or("min-recall", 0.0)?;
@@ -490,19 +637,107 @@ fn parse_lr_decay(raw: &str) -> Result<(u32, f32), CliError> {
 
 type EmbeddingDump = Option<(usize, usize, Vec<f32>)>;
 
+/// Pages the trainer's `embeddings` table out to a fresh `pagefile` with a
+/// `budget`-row cache and turns row tracing on (the trace feeds the simcache
+/// cross-validation after the run). Returns the paged [`tensor::ParamId`].
+fn page_out_embeddings<M: KgeModel>(
+    trainer: &mut Trainer<M>,
+    pagefile: &Path,
+    budget: usize,
+) -> Result<tensor::ParamId, CliError> {
+    let store = trainer.model_mut().store_mut();
+    let id = store.lookup("embeddings").ok_or_else(|| {
+        CliError::Usage("--store disk needs a model with an 'embeddings' table".into())
+    })?;
+    let (rows, cols) = store.param_shape(id);
+    let storage = sptransx::FileRowStorage::create(pagefile, rows, cols)?;
+    store
+        .page_out(id, Box::new(storage), budget)
+        .map_err(sptransx::Error::from)?;
+    store
+        .pager_mut(id)
+        .expect("just paged out")
+        .set_tracing(true);
+    Ok(id)
+}
+
+/// Collects the pager's counters and row trace, brings the table fully back
+/// into RAM (evaluation and the embedding dump need residency), replays the
+/// trace through a fully-associative simcache LRU of the same budget, and
+/// renders the report lines — with the PR-6 `WARNING:` idiom on any
+/// hit-count divergence so CI can grep for it.
+fn unpage_and_validate<M: KgeModel>(
+    trainer: &mut Trainer<M>,
+    id: tensor::ParamId,
+) -> Result<String, CliError> {
+    let store = trainer.model_mut().store_mut();
+    let pager = store.pager(id).expect("paged parameter");
+    let stats = pager.stats();
+    let trace = pager.trace().expect("tracing was enabled").to_vec();
+    let budget = pager.budget();
+    store.unpage(id).map_err(sptransx::Error::from)?;
+
+    let mut sim = simcache::Cache::new(simcache::CacheConfig {
+        size_bytes: budget * 64,
+        line_bytes: 64,
+        ways: budget,
+    });
+    for &row in &trace {
+        sim.access(u64::from(row) * 64);
+    }
+    let sim_stats = sim.stats();
+    let accesses = stats.hits + stats.misses;
+    let hit_rate = if accesses > 0 {
+        100.0 * stats.hits as f64 / accesses as f64
+    } else {
+        0.0
+    };
+    let mut out = format!(
+        "\npaged store: budget {budget} rows, {} hits / {} misses / {} evictions / {} \
+         write-backs (hit rate {hit_rate:.1}%)\n\
+         simcache LRU replay: {} hits / {} misses",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.write_backs,
+        sim_stats.hits,
+        sim_stats.misses,
+    );
+    if sim_stats.hits != stats.hits {
+        out.push_str(&format!(
+            "\nWARNING: simcache model predicted {} hits, cache saw {}",
+            sim_stats.hits, stats.hits
+        ));
+    }
+    Ok(out)
+}
+
 fn train_dispatch(
     model: &str,
     ds: &Dataset,
     config: &TrainConfig,
+    paged: Option<(&Path, usize)>,
 ) -> Result<(String, EmbeddingDump), CliError> {
     macro_rules! run {
         ($ctor:expr) => {{
             let model = $ctor?;
             let mut trainer = Trainer::new(model, ds, config)?;
+            let paged_id = match paged {
+                Some((pagefile, budget)) => {
+                    Some(page_out_embeddings(&mut trainer, pagefile, budget)?)
+                }
+                None => None,
+            };
             tensor::profile::reset();
             let report = trainer.run()?;
             // Snapshot kernel counters before evaluation pollutes them.
             let kernel_table = kernel_counter_table();
+            // Unpage (and cross-validate the cache counters) before the
+            // paging-unaware evaluation and dump paths read the table.
+            let paged_report = match paged_id {
+                Some(id) => unpage_and_validate(&mut trainer, id)?,
+                None => String::new(),
+            };
             // Batched, pool-parallel engine; strided subsampling avoids the
             // dataset-order bias of a plain prefix truncation.
             let eval = trainer.evaluate_batched(
@@ -521,7 +756,7 @@ fn train_dispatch(
             });
             let summary = format!(
                 "{}: {} epochs, loss {:.4} -> {:.4}, wall {:.2}s, Hits@10 {:.3}, MRR {:.3}\n\
-                 arm: {} gradients/renorm, {} kernels\n{}",
+                 arm: {} gradients/renorm, {} kernels\n{}{}",
                 KgeModel::name(m),
                 report.epoch_losses.len(),
                 report.epoch_losses.first().copied().unwrap_or(0.0),
@@ -536,6 +771,7 @@ fn train_dispatch(
                 },
                 if config.fused { "fused" } else { "unfused" },
                 kernel_table,
+                paged_report,
             );
             Ok((summary, emb))
         }};
@@ -624,11 +860,13 @@ USAGE:
                 [--epochs E] [--dim D] [--lr LR] [--margin M] [--norm l1|l2]
                 [--optimizer sgd|adagrad|adam] [--lr-decay STEP:GAMMA]
                 [--sampler uniform|bernoulli] [--dense-grads true|false]
-                [--fused true|false] [--out embeddings.bin]
+                [--fused true|false] [--store ram|disk] [--cache-rows N]
+                [--out embeddings.bin]
   sptx stats    --train FILE.tsv
   sptx serve    --emb FILE.bin --train FILE.tsv [--norm l1|l2] [--k K]
                 [--clusters C] [--nprobe P] [--kmeans-iters I]
                 [--queries Q] [--zipf S] [--cache-size N] [--seed S]
+                [--store ram|disk] [--cache-rows N]
                 [--index FILE] [--index-out FILE]
                 [--min-recall R] [--max-scan-frac F]
   sptx help
@@ -643,13 +881,25 @@ materializes the chunk-by-dim intermediates). The train report names which
 arm ran and prints a per-kernel calls/bytes/flops counter table. --lr-decay
 multiplies the learning rate by GAMMA every STEP epochs.
 
+--store disk trains out of core: the embedding table lives in {out}.pagefile
+and only each batch's touched rows are paged into a --cache-rows row RAM
+cache (LRU, dirty rows written back on eviction and at epoch end). Paging
+moves bytes, never arithmetic — the run is bit-identical to --store ram —
+and the report's cache counters are cross-validated against a simcache LRU
+replay of the same row trace (any divergence prints a WARNING line).
+Requires --model transe|toruse with SGD, sparse gradients and fused kernels.
+
 serve loads the stacked embedding matrix train saves (TransE/TorusE layout;
 --norm must match training), answers top-K completion queries through an
 IVF candidate index (nprobe = cost/recall knob; nprobe = clusters is an
 exact full scan), measures recall@K against the exact full-scan arm, and
 reports latency percentiles, QPS, scan fraction and cache hit rates.
 --min-recall / --max-scan-frac turn quality regressions into a nonzero
-exit status for CI.";
+exit status for CI. serve --store disk additionally answers every query
+through a --cache-rows row cache over the on-disk embedding file (queries a
+store bigger than RAM); answers are checked bitwise against the resident
+arm and the row-cache counters against a simcache LRU replay, with any
+divergence reported as a WARNING line.";
 
 #[cfg(test)]
 mod tests {
@@ -837,6 +1087,90 @@ mod tests {
     }
 
     #[test]
+    fn train_store_disk_matches_store_ram_bit_for_bit() {
+        let dir = std::env::temp_dir().join("sptx-cli-test-paged");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate",
+            "--entities",
+            "150",
+            "--relations",
+            "4",
+            "--triples",
+            "700",
+            "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let common = |store: &str, cache: &str, emb: &str| {
+            strs(&[
+                "train",
+                "--train",
+                &train_file,
+                "--epochs",
+                "2",
+                "--dim",
+                "8",
+                "--batch-size",
+                "16",
+                "--store",
+                store,
+                "--cache-rows",
+                cache,
+                "--out",
+                emb,
+            ])
+        };
+
+        let ram_out = dir.join("emb_ram.bin").to_string_lossy().to_string();
+        let msg = run(&parse_args(&common("ram", "96", &ram_out)).unwrap()).unwrap();
+        assert!(!msg.contains("paged store:"), "{msg}");
+
+        // 96 cache rows against a 154-row stacked table: evictions and
+        // write-backs all run, yet the dumped embeddings must be the same
+        // bytes the resident run saved.
+        let disk_out = dir.join("emb_disk.bin").to_string_lossy().to_string();
+        let msg = run(&parse_args(&common("disk", "96", &disk_out)).unwrap()).unwrap();
+        assert!(msg.contains("paged store: budget 96 rows"), "{msg}");
+        assert!(msg.contains("simcache LRU replay"), "{msg}");
+        assert!(!msg.contains("WARNING"), "cache model diverged: {msg}");
+        assert!(
+            !dir.join("emb_disk.bin.pagefile").exists(),
+            "the pagefile must be cleaned up after training"
+        );
+        let ram_bytes = std::fs::read(dir.join("emb_ram.bin")).unwrap();
+        let disk_bytes = std::fs::read(dir.join("emb_disk.bin")).unwrap();
+        assert_eq!(
+            ram_bytes, disk_bytes,
+            "paged embeddings diverged from resident"
+        );
+    }
+
+    #[test]
+    fn train_store_disk_rejects_unsupported_configurations() {
+        // Validation fires before the dataset loads, so no fixture needed.
+        for extra in [
+            &["--store", "disk", "--optimizer", "adam"][..],
+            &["--store", "disk", "--model", "transr"],
+            &["--store", "disk", "--dense-grads", "true"],
+            &["--store", "disk", "--fused", "false"],
+            &["--store", "disk", "--cache-rows", "0"],
+            &["--store", "tape"],
+        ] {
+            let mut argv = strs(&["train", "--train", "missing.tsv"]);
+            argv.extend(strs(extra));
+            let args = parse_args(&argv).unwrap();
+            assert!(
+                matches!(run(&args), Err(CliError::Usage(_))),
+                "expected a usage error for {extra:?}"
+            );
+        }
+    }
+
+    #[test]
     fn serve_end_to_end_with_index_roundtrip() {
         let dir = std::env::temp_dir().join("sptx-cli-test-serve");
         let _ = std::fs::remove_dir_all(&dir);
@@ -913,6 +1247,44 @@ mod tests {
         .unwrap();
         let msg = run(&serve).unwrap();
         assert!(msg.contains("index: 12 clusters, nprobe 3"), "{msg}");
+
+        // The out-of-core arm: the same workload answered through a 48-row
+        // cache over the on-disk dump must agree with the resident arm on
+        // every query (any divergence or counter mismatch prints WARNING).
+        let serve = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--queries",
+            "200",
+            "--nprobe",
+            "3",
+            "--index",
+            &index_path,
+            "--store",
+            "disk",
+            "--cache-rows",
+            "48",
+        ]))
+        .unwrap();
+        let msg = run(&serve).unwrap();
+        assert!(msg.contains("paged store: budget 48 rows"), "{msg}");
+        assert!(msg.contains("simcache LRU replay"), "{msg}");
+        assert!(!msg.contains("WARNING"), "paged arm diverged: {msg}");
+
+        let bad = parse_args(&strs(&[
+            "serve",
+            "--emb",
+            &emb_out,
+            "--train",
+            &train_file,
+            "--store",
+            "tape",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&bad), Err(CliError::Usage(_))));
 
         // An impossible recall floor must fail the command.
         let serve = parse_args(&strs(&[
