@@ -1,0 +1,164 @@
+//! Sync-vs-async (Hogwild) training: epoch throughput across a worker
+//! sweep, and an epochs-to-quality convergence comparison.
+//!
+//! The asynchronous driver removes the per-step all-reduce barrier of the
+//! synchronous data-parallel driver; this bench quantifies both sides of
+//! that trade:
+//!
+//! * `hogwild/{sync,async}/{1,2,4,8}` — wall time of a short training run
+//!   through each driver at each worker count. On a multicore machine the
+//!   async arm's epoch throughput meets or beats the sync arm at equal
+//!   worker count (no barrier, no gradient reduction); on a single core
+//!   both arms serialize and the sweep measures pure driver overhead.
+//! * the **convergence sweep** (JSON only) — filtered MRR after 2/4/8
+//!   epochs for the sync arm and the 4-worker async arm: staleness and
+//!   lost increments perturb the trajectory, so the async arm may need
+//!   more epochs to a given MRR; the records show how many.
+//!
+//! Besides the Criterion report, running this bench writes
+//! `BENCH_hogwild.json` (see `sptx_bench::json`): one record per
+//! measurement with `arm`, `workers`, `epochs`, `ms_per_epoch`, and `mrr`,
+//! to the directory named by `SPTX_BENCH_JSON_DIR` (default `.`). The
+//! JSON pass re-times the drivers with plain `Instant` sweeps — numbers,
+//! not Criterion's distribution estimates, so scripts can diff them.
+//!
+//! Run with `cargo bench -p sptx-bench --bench hogwild`. The async arm is
+//! nondeterministic at 2+ workers; MRR records are statistical.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use kg::eval::{EvalConfig, SampleStrategy};
+use kg::synthetic::SyntheticKgBuilder;
+use kg::Dataset;
+use sptransx::distributed::{
+    train_data_parallel, train_data_parallel_returning, train_hogwild, train_hogwild_returning,
+};
+use sptransx::{SpTransE, TrainConfig};
+use sptx_bench::json::{write_bench_json, JsonObject};
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn dataset() -> Dataset {
+    SyntheticKgBuilder::new(2_000, 8)
+        .triples(6_000)
+        .seed(0xA58C)
+        .build()
+}
+
+fn config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 128,
+        dim: 16,
+        rel_dim: 8,
+        lr: 0.05,
+        ..Default::default()
+    }
+}
+
+fn bench_epoch_throughput(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("hogwild");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // Each iteration is a whole 1-epoch driver run (replica construction
+    // included): the drivers own their replicas, so per-epoch reuse cannot
+    // be isolated from outside. Both arms pay the identical setup, so the
+    // sync-vs-async delta is the barrier cost the async arm removes.
+    for &w in &WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::new("sync", w), &w, |b, &w| {
+            b.iter(|| train_data_parallel(&ds, &config(1), w, SpTransE::from_config).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("async", w), &w, |b, &w| {
+            b.iter(|| train_hogwild(&ds, &config(1), w, SpTransE::from_config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn eval_config() -> EvalConfig {
+    EvalConfig {
+        max_triples: Some(500),
+        sample: SampleStrategy::Strided,
+        ..EvalConfig::default()
+    }
+}
+
+/// One record per measurement: the worker sweep at fixed epochs (throughput
+/// view) plus the epochs sweep at fixed arms (convergence view).
+/// `ms_per_epoch` comes from the driver's own wall clock (training loop
+/// only, replica setup excluded).
+fn emit_json() {
+    let ds = dataset();
+    let known = ds.all_known();
+    let eval = eval_config();
+    let mut records = Vec::new();
+
+    let epochs = 3;
+    for &w in &WORKER_SWEEP {
+        let (sync, sync_model) =
+            train_data_parallel_returning(&ds, &config(epochs), w, SpTransE::from_config)
+                .expect("sync arm");
+        let sync_mrr = kg::eval::evaluate_batched(&sync_model, &ds.test, &known, &eval).mrr;
+        let (hog, hog_model) =
+            train_hogwild_returning(&ds, &config(epochs), w, SpTransE::from_config)
+                .expect("async arm");
+        let hog_mrr = kg::eval::evaluate_batched(&hog_model, &ds.test, &known, &eval).mrr;
+        for (arm, report, mrr) in [("sync", &sync, sync_mrr), ("async", &hog, hog_mrr)] {
+            records.push(
+                JsonObject::new()
+                    .str("bench", "throughput")
+                    .str("arm", arm)
+                    .int("workers", w as u64)
+                    .int("epochs", epochs as u64)
+                    .num(
+                        "ms_per_epoch",
+                        report.wall.as_secs_f64() * 1e3 / epochs as f64,
+                    )
+                    .num("mrr", f64::from(mrr)),
+            );
+        }
+    }
+
+    // Convergence: quality as a function of epochs, sync vs 4-worker async.
+    for epochs in [2usize, 4, 8] {
+        let (sync, sync_model) =
+            train_data_parallel_returning(&ds, &config(epochs), 1, SpTransE::from_config)
+                .expect("sync arm");
+        let sync_mrr = kg::eval::evaluate_batched(&sync_model, &ds.test, &known, &eval).mrr;
+        let (hog, hog_model) =
+            train_hogwild_returning(&ds, &config(epochs), 4, SpTransE::from_config)
+                .expect("async arm");
+        let hog_mrr = kg::eval::evaluate_batched(&hog_model, &ds.test, &known, &eval).mrr;
+        for (arm, workers, report, mrr) in
+            [("sync", 1u64, &sync, sync_mrr), ("async", 4, &hog, hog_mrr)]
+        {
+            records.push(
+                JsonObject::new()
+                    .str("bench", "convergence")
+                    .str("arm", arm)
+                    .int("workers", workers)
+                    .int("epochs", epochs as u64)
+                    .num(
+                        "ms_per_epoch",
+                        report.wall.as_secs_f64() * 1e3 / epochs as f64,
+                    )
+                    .num("mrr", f64::from(mrr)),
+            );
+        }
+    }
+
+    match write_bench_json("hogwild", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_hogwild.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_epoch_throughput(&mut c);
+    emit_json();
+}

@@ -44,7 +44,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use kg::synthetic::SyntheticKgBuilder;
 use kg::{BatchPlan, UniformSampler};
 use sptransx::{KgeModel, SpTransE, TrainConfig};
@@ -270,10 +270,86 @@ fn bench_paged_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Post-Criterion JSON pass: re-times one epoch (after one warm-up epoch)
+/// of the sparse and dense-grads arms at each table size with a plain
+/// `Instant`, and writes the records to `BENCH_scale.json` (see
+/// `sptx_bench::json`) — plain numbers scripts can diff, next to
+/// Criterion's distribution estimates.
+fn emit_json() {
+    use sptx_bench::json::{write_bench_json, JsonObject};
+
+    let base = SyntheticKgBuilder::new(ACTIVE_ENTITIES, 8)
+        .triples(TRIPLES)
+        .seed(0x5CA1E)
+        .build();
+    let known = base.all_known();
+    let sampler = UniformSampler::new(ACTIVE_ENTITIES);
+    let mut records = Vec::new();
+
+    for &(entities, label) in &[(10_000usize, "10k"), (100_000, "100k"), (1_000_000, "1M")] {
+        let mut ds = base.clone();
+        ds.num_entities = entities;
+        for dense_grads in [false, true] {
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: EPOCH_BATCH,
+                dim: DIM,
+                rel_dim: DIM / 2,
+                lr: 0.01,
+                dense_grads,
+                ..Default::default()
+            };
+            let plan = BatchPlan::build(&ds.train, &known, &sampler, cfg.batch_size, cfg.seed);
+            let mut model = SpTransE::from_config(&ds, &cfg).expect("model");
+            model.attach_plan(&plan).expect("plan");
+            model.store_mut().set_dense_grads(cfg.dense_grads);
+            let mut opt = Sgd::new(cfg.lr);
+            opt.set_pool(&PoolHandle::global());
+            let mut graph = Graph::new();
+
+            let epoch = |model: &mut SpTransE, graph: &mut Graph, opt: &mut Sgd| {
+                for bi in 0..model.num_batches() {
+                    model.store_mut().zero_grads();
+                    graph.reset();
+                    let (pos, neg) = model.score_batch(graph, bi);
+                    let loss = graph.margin_ranking_loss(pos, neg, cfg.margin);
+                    graph.backward(loss, model.store_mut());
+                    opt.step(model.store_mut());
+                }
+                model.end_epoch();
+            };
+            // Warm-up epoch: first-touch renormalization (all rows start
+            // dirty) and arena growth happen here, not in the measurement.
+            epoch(&mut model, &mut graph, &mut opt);
+            let t = std::time::Instant::now();
+            epoch(&mut model, &mut graph, &mut opt);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+
+            records.push(
+                JsonObject::new()
+                    .str("bench", "scale_epoch")
+                    .str("arm", if dense_grads { "dense-grads" } else { "sparse" })
+                    .str("entities", label)
+                    .int("entity_count", entities as u64)
+                    .num("ms_per_epoch", ms),
+            );
+        }
+    }
+
+    match write_bench_json("scale", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_entity_scaling,
     bench_epoch_scaling,
     bench_paged_scaling
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_json();
+}

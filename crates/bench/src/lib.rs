@@ -9,3 +9,4 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod json;

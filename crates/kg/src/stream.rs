@@ -284,6 +284,12 @@ pub struct RowFile {
     rows: usize,
     cols: usize,
     scratch: Vec<u8>,
+    /// Syscall-level transfer counters: each successful `read_rows_into` /
+    /// `write_rows` call is one seek + one contiguous transfer, however
+    /// many rows it covers — the observable a pager's run-coalescing
+    /// improves.
+    read_ops: u64,
+    write_ops: u64,
 }
 
 impl RowFile {
@@ -308,6 +314,8 @@ impl RowFile {
             rows,
             cols,
             scratch: Vec::new(),
+            read_ops: 0,
+            write_ops: 0,
         })
     }
 
@@ -329,6 +337,8 @@ impl RowFile {
             rows,
             cols,
             scratch: Vec::new(),
+            read_ops: 0,
+            write_ops: 0,
         })
     }
 
@@ -352,6 +362,7 @@ impl RowFile {
     pub fn read_rows_into(&mut self, first: usize, count: usize, out: &mut [f32]) -> Result<()> {
         check_row_range(self.rows, first, count)?;
         check_buffer(first, count, self.cols, out.len())?;
+        self.read_ops += 1;
         read_floats_at(&mut self.file, &mut self.scratch, first, self.cols, out)
     }
 
@@ -365,6 +376,7 @@ impl RowFile {
     pub fn write_rows(&mut self, first: usize, count: usize, data: &[f32]) -> Result<()> {
         check_row_range(self.rows, first, count)?;
         check_buffer(first, count, self.cols, data.len())?;
+        self.write_ops += 1;
         let offset = HEADER_LEN + (first * self.cols * 4) as u64;
         self.file.seek(SeekFrom::Start(offset))?;
         let nbytes = data.len() * 4;
@@ -386,6 +398,15 @@ impl RowFile {
     pub fn flush(&mut self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+
+    /// Syscall-level transfer counters `(read_calls, write_calls)` since
+    /// this handle was opened. Each counted call is one seek + one
+    /// contiguous transfer regardless of how many rows it covers, so a
+    /// caller that coalesces an `n`-row run into one call shows up as `1`
+    /// here instead of `n`.
+    pub fn io_ops(&self) -> (u64, u64) {
+        (self.read_ops, self.write_ops)
     }
 }
 
@@ -583,6 +604,22 @@ mod tests {
             .for_each_chunk(3, |_, chunk| seen.extend_from_slice(chunk))
             .unwrap();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn row_file_counts_transfers_not_rows() {
+        let path = temp_path("row_file_io_ops.bin");
+        let mut f = RowFile::create(&path, 8, 2).unwrap();
+        assert_eq!(f.io_ops(), (0, 0));
+        // One 4-row contiguous write is one transfer, not four.
+        f.write_rows(0, 4, &[1.0; 8]).unwrap();
+        assert_eq!(f.io_ops(), (0, 1));
+        let mut out = vec![0.0f32; 6 * 2];
+        f.read_rows_into(1, 6, &mut out).unwrap();
+        assert_eq!(f.io_ops(), (1, 1));
+        // Failed validation issues no I/O and counts nothing.
+        assert!(f.read_rows_into(7, 2, &mut out).is_err());
+        assert_eq!(f.io_ops(), (1, 1));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! time shrinks with worker count until synchronization overhead dominates —
 //! the scaling curve of Table 9.
 //!
+//! A second, **asynchronous** driver ([`train_hogwild`]) removes the
+//! synchronization entirely: workers share one set of parameter tensors
+//! ([`tensor::hogwild`]) and apply touched-row SGD updates to them with no
+//! barriers and no locks. It is an explicitly nondeterministic ablation
+//! arm; the synchronous drivers remain the determinism-contract path.
+//!
 //! # Pool discipline and determinism
 //!
 //! Replica tasks execute *on* pool workers, so each replays its tape with a
@@ -31,10 +37,11 @@
 use std::time::{Duration, Instant};
 
 use kg::{BatchPlan, Dataset, UniformSampler};
+use tensor::optim::{Optimizer, Sgd};
 use tensor::{Graph, ParamId, Tensor};
-use xparallel::PoolHandle;
+use xparallel::{scope_workers, PoolHandle};
 
-use crate::model::{KgeModel, TrainConfig};
+use crate::model::{KgeModel, OptimizerKind, TrainConfig};
 use crate::Result;
 
 /// Report from a data-parallel run.
@@ -46,7 +53,9 @@ pub struct DistributedReport {
     pub epoch_losses: Vec<f32>,
     /// Total wall-clock time.
     pub wall: Duration,
-    /// Number of synchronous steps executed.
+    /// Optimizer steps executed: lock-step synchronous steps for
+    /// [`train_data_parallel`], total per-worker batch steps for
+    /// [`train_hogwild`].
     pub steps: usize,
 }
 
@@ -421,6 +430,250 @@ fn all_reduce_grads<M: KgeModel>(
     }
 }
 
+/// One asynchronous worker's slot: a full model replica whose *value*
+/// tensors alias the shared canonical buffers, plus worker-private tape,
+/// optimizer, gradients, and row sets. Everything a worker mutates
+/// concurrently with its peers lives here; everything shared is reached
+/// only through the replica's aliased value tensors.
+struct HogwildWorker<M> {
+    model: M,
+    graph: Graph,
+    opt: Sgd,
+    size: usize,
+    loss_sum: f64,
+    loss_count: usize,
+}
+
+/// Trains a model asynchronously, Hogwild-style: `workers` threads share
+/// one set of parameter tensors and apply touched-row SGD updates to them
+/// with **no barriers and no locks**.
+///
+/// Each worker owns a full replica of the model whose *value* tensors alias
+/// the canonical shared buffers ([`tensor::ParamStore::share_values`] /
+/// [`tensor::ParamStore::alias_values`]); gradients, tapes, and row sets
+/// stay worker-private. Per epoch every worker sweeps its shard of the
+/// batch plan once, running exactly the synchronous `Trainer` step sequence
+/// (zero grads, forward, margin loss, backward, sparse SGD step) — except
+/// that the step writes land in shared memory while other workers are mid-
+/// step. Workers are joined at every epoch edge, and only then does rank 0
+/// run the epoch renormalization over the union of all workers' dirty rows.
+///
+/// # Nondeterminism
+///
+/// This is an **ablation arm**, not the determinism-contract path. With 2+
+/// workers, update interleaving (and occasional lost increments on row
+/// collisions) makes losses and final embeddings run-to-run
+/// nondeterministic; validate results statistically. With `workers == 1`
+/// the single worker runs inline on the caller thread and the run is
+/// bit-identical to the synchronous [`crate::Trainer`].
+///
+/// # Safety argument
+///
+/// See [`tensor::hogwild`] for why the races are benign: word-sized aligned
+/// `f32` stores never tear, sparse batches make row collisions rare, any
+/// bit pattern is a valid `f32`, and epoch-edge joins quiesce the buffers
+/// before renormalization, evaluation, or dumping reads them.
+///
+/// # Errors
+///
+/// Besides configuration and plan errors, rejects setups whose update rule
+/// is not benign under races:
+///
+/// * non-SGD optimizers (stateful accumulators have read-modify-write
+///   dependencies that lose more than an increment on collision);
+/// * dense-gradient mode (the dense step rewrites *whole tables* from
+///   stale reads, destroying concurrent updates to untouched rows);
+/// * paged parameter stores (slot caches are per-store mutable state).
+///
+/// # Examples
+///
+/// ```
+/// use kg::synthetic::SyntheticKgBuilder;
+/// use sptransx::{distributed::train_hogwild, SpTransE, TrainConfig};
+///
+/// # fn main() -> Result<(), sptransx::Error> {
+/// let ds = SyntheticKgBuilder::new(80, 4).triples(600).seed(9).build();
+/// let config = TrainConfig { epochs: 2, batch_size: 64, dim: 8, lr: 0.05, ..Default::default() };
+/// let report = train_hogwild(&ds, &config, 2, |ds, cfg| SpTransE::from_config(ds, cfg))?;
+/// assert_eq!(report.workers, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn train_hogwild<M, F>(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    workers: usize,
+    make_model: F,
+) -> Result<DistributedReport>
+where
+    M: KgeModel + Send,
+    F: Fn(&Dataset, &TrainConfig) -> Result<M>,
+{
+    train_hogwild_returning(dataset, config, workers, make_model).map(|(report, _)| report)
+}
+
+/// Like [`train_hogwild`] but also returns the rank-0 replica. All replicas
+/// alias the same shared value buffers, so after the final epoch-edge join
+/// rank 0 *is* the trained model; the degenerate-determinism tests compare
+/// it bit-for-bit against the synchronous `Trainer` at `workers == 1`.
+///
+/// # Errors
+///
+/// Same conditions as [`train_hogwild`].
+pub fn train_hogwild_returning<M, F>(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    workers: usize,
+    make_model: F,
+) -> Result<(DistributedReport, M)>
+where
+    M: KgeModel + Send,
+    F: Fn(&Dataset, &TrainConfig) -> Result<M>,
+{
+    config.validate()?;
+    if config.optimizer != OptimizerKind::Sgd {
+        return Err(crate::Error::config(
+            "the asynchronous driver supports only --optimizer sgd: stateless scaled-add \
+             updates are what make lock-free row collisions benign (a lost increment), while \
+             adagrad/adam accumulators have read-modify-write dependencies that corrupt state \
+             under races; use the synchronous driver for stateful optimizers",
+        ));
+    }
+    if config.dense_grads {
+        return Err(crate::Error::config(
+            "the asynchronous driver requires sparse (touched-row) gradients: the dense step \
+             rewrites every table row from a stale read, destroying concurrent updates to rows \
+             this worker never touched; drop --dense-grads or use the synchronous driver",
+        ));
+    }
+    let workers = workers.max(1);
+    let known = dataset.all_known();
+    let sampler = UniformSampler::new(dataset.num_entities.max(2));
+    let plan = BatchPlan::build(
+        &dataset.train,
+        &known,
+        &sampler,
+        config.batch_size,
+        config.seed,
+    );
+    if plan.num_batches() == 0 {
+        return Err(crate::Error::config(
+            "batch plan has no batches (empty training set?); refusing to report 0-batch epochs as loss 0",
+        ));
+    }
+    let shards = plan.shard(workers);
+
+    let mut slots: Vec<HogwildWorker<M>> = Vec::with_capacity(workers);
+    let mut shared_tables = None;
+    for shard in shards.iter() {
+        let mut m = make_model(dataset, config)?;
+        if m.store().has_paged() {
+            return Err(crate::Error::config(
+                "the asynchronous driver does not support paged parameter stores; \
+                 train single-process with --store disk, or use --store ram",
+            ));
+        }
+        m.attach_plan(shard)?;
+        // Replica 0 donates its (seeded, bit-identical-across-replicas)
+        // values as the canonical shared buffers; every later replica drops
+        // its own copy and aliases them.
+        match &shared_tables {
+            None => shared_tables = Some(m.store_mut().share_values()?),
+            Some(tables) => m.store_mut().alias_values(tables)?,
+        }
+        let size = shard.num_batches();
+        let mut graph = Graph::with_pool(PoolHandle::sequential());
+        graph.set_fused(config.fused);
+        slots.push(HogwildWorker {
+            model: m,
+            graph,
+            // Sequential inner pool for the same reason as the synchronous
+            // driver: the step runs *on* a dedicated worker thread, and the
+            // contract makes sequential kernels bit-identical anyway.
+            opt: Sgd::new(config.lr).with_pool(PoolHandle::sequential()),
+            size,
+            loss_sum: 0.0,
+            loss_count: 0,
+        });
+    }
+
+    let param_ids: Vec<ParamId> = slots[0].model.store().param_ids();
+    let scheduler = config
+        .lr_schedule
+        .map(|(step, gamma)| tensor::optim::StepLr::new(config.lr, step, gamma));
+    let started = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut steps = 0usize;
+    let margin = config.margin;
+
+    for epoch in 0..config.epochs {
+        for w in slots.iter_mut() {
+            if let Some(sched) = &scheduler {
+                sched.apply(&mut w.opt, epoch as u32);
+            }
+            w.loss_sum = 0.0;
+            w.loss_count = 0;
+        }
+        // The asynchronous sweep: one dedicated thread per worker (inline on
+        // the caller thread when `workers == 1`), no synchronization between
+        // them until the epoch-edge join below. Each iteration is the
+        // synchronous `Trainer` step sequence verbatim; `opt.step` writes
+        // through the replica's aliased value tensors into shared memory.
+        // `page_in_batch` is omitted: paged stores were rejected above, and
+        // it is a guaranteed no-op on resident stores.
+        scope_workers(&mut slots, |_, w| {
+            for b in 0..w.size {
+                w.model.store_mut().zero_grads();
+                w.graph.reset();
+                let (pos, neg) = w.model.score_batch(&mut w.graph, b);
+                let loss = w.graph.margin_ranking_loss(pos, neg, margin);
+                w.loss_sum += f64::from(w.graph.value(loss).get(0, 0));
+                w.loss_count += 1;
+                w.graph.backward(loss, w.model.store_mut());
+                w.opt.step(w.model.store_mut());
+            }
+        });
+        // Quiescent point: every worker joined. Fold the workers' dirty
+        // rows into rank 0 (clearing them locally) so its renormalization
+        // sweep covers everything any worker wrote this epoch, then run the
+        // epoch hook on rank 0 alone — the values are shared, so one renorm
+        // is the renorm.
+        let (rank0, rest) = slots.split_first_mut().expect("at least one worker");
+        for w in rest.iter_mut() {
+            for &id in &param_ids {
+                match w.model.store().dirty(id).as_slice() {
+                    None => rank0.model.store_mut().mark_all_dirty(id),
+                    Some(rows) => rank0.model.store_mut().mark_dirty(id, rows),
+                }
+                w.model.store_mut().for_dirty_rows(id, |_, _| false);
+            }
+        }
+        rank0.model.end_epoch();
+
+        let mut loss_sum = 0f64;
+        let mut loss_count = 0usize;
+        for w in slots.iter() {
+            loss_sum += w.loss_sum;
+            loss_count += w.loss_count;
+        }
+        steps += loss_count;
+        epoch_losses.push(if loss_count == 0 {
+            0.0
+        } else {
+            (loss_sum / loss_count as f64) as f32
+        });
+    }
+
+    let report = DistributedReport {
+        workers,
+        epoch_losses,
+        wall: started.elapsed(),
+        steps,
+    };
+    let rank0 = slots.into_iter().next().expect("at least one worker").model;
+    Ok((report, rank0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +751,51 @@ mod tests {
                 "touched-row renorm diverged from dense ablation at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn hogwild_covers_every_batch_and_loss_decreases() {
+        let ds = dataset();
+        let cfg = config();
+        let r = train_hogwild(&ds, &cfg, 4, SpTransE::from_config).unwrap();
+        assert_eq!(r.workers, 4);
+        // Unlike the synchronous driver, every worker sweeps its whole
+        // shard each epoch: total steps = epochs × batches, independent of
+        // the worker count.
+        assert_eq!(r.steps, 3 * (540usize.div_ceil(64)));
+        assert_eq!(r.epoch_losses.len(), 3);
+        assert!(
+            r.epoch_losses.last().unwrap() <= r.epoch_losses.first().unwrap(),
+            "async loss did not decrease: {:?}",
+            r.epoch_losses
+        );
+    }
+
+    #[test]
+    fn hogwild_rejects_unsafe_update_rules() {
+        let ds = dataset();
+        let adagrad = TrainConfig {
+            optimizer: crate::OptimizerKind::Adagrad,
+            ..config()
+        };
+        let err = train_hogwild(&ds, &adagrad, 2, SpTransE::from_config).unwrap_err();
+        assert!(err.to_string().contains("only --optimizer sgd"), "{err}");
+        let dense = TrainConfig {
+            dense_grads: true,
+            ..config()
+        };
+        let err = train_hogwild(&ds, &dense, 2, SpTransE::from_config).unwrap_err();
+        assert!(err.to_string().contains("touched-row"), "{err}");
+    }
+
+    #[test]
+    fn hogwild_returning_model_aliases_shared_values() {
+        let ds = dataset();
+        let cfg = config();
+        let (_, m) = train_hogwild_returning(&ds, &cfg, 2, SpTransE::from_config).unwrap();
+        let id = m.embedding_param();
+        assert!(m.store().value(id).is_shared());
+        assert!(m.store().value(id).as_slice().iter().all(|x| x.is_finite()));
     }
 
     #[test]

@@ -92,6 +92,10 @@ impl RowStorage for FileRowStorage {
     fn flush(&mut self) -> io::Result<()> {
         self.file.flush().map_err(to_io)
     }
+
+    fn io_ops(&self) -> (u64, u64) {
+        self.file.io_ops()
+    }
 }
 
 /// Read-only row storage over a finished embedding dump, for serving.

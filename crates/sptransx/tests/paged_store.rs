@@ -284,3 +284,76 @@ fn unpaged_table_round_trips_through_storage() {
     let (paged, _, _) = train_paged(&ds, &cfg, Box::new(VecStorage::new(204, cfg.dim)), BUDGET);
     assert_bits_equal(&paged.embeddings, &resident.embeddings, "one-epoch table");
 }
+
+#[test]
+fn hogwild_driver_rejects_paged_models() {
+    let ds = dataset();
+    let cfg = config();
+    let err = sptransx::distributed::train_hogwild(&ds, &cfg, 2, |ds, cfg| {
+        let mut m = SpTransE::from_config(ds, cfg)?;
+        let emb = m.embedding_param();
+        m.store_mut()
+            .page_out(emb, Box::new(VecStorage::new(204, cfg.dim)), BUDGET)?;
+        Ok(m)
+    })
+    .expect_err("paged replicas must be rejected");
+    assert!(err.to_string().contains("asynchronous driver"));
+}
+
+#[test]
+fn file_backend_coalesces_io_transfers_below_per_row_counts() {
+    // Write coalescing: the pager batches maximal runs of adjacent rows into
+    // single storage transfers, so over a full training run the *transfer*
+    // counts must come in strictly below the per-row miss/write-back
+    // counters — while the bytes on disk stay exactly what a row-at-a-time
+    // pager would have written.
+    let ds = dataset();
+    let cfg = config();
+    let dir = std::env::temp_dir().join("sptx-test-io-coalescing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("emb.bin");
+
+    let model = SpTransE::from_config(&ds, &cfg).unwrap();
+    let emb = model.embedding_param();
+    let mut trainer = Trainer::new(model, &ds, &cfg).unwrap();
+    let store = trainer.model_mut().store_mut();
+    let (rows, cols) = store.param_shape(emb);
+    store
+        .page_out(
+            emb,
+            Box::new(FileRowStorage::create(&path, rows, cols).unwrap()),
+            BUDGET,
+        )
+        .unwrap();
+    trainer.run().unwrap();
+
+    let store = trainer.model_mut().store_mut();
+    store.flush_paged(emb).unwrap();
+    let pager = store.pager(emb).unwrap();
+    let stats = pager.stats();
+    let (reads, writes) = pager.storage_io_ops();
+    assert!(
+        stats.misses > 0 && stats.write_backs > 0,
+        "budget too loose"
+    );
+    assert!(
+        reads < stats.misses,
+        "no read coalescing: {reads} transfers for {} misses",
+        stats.misses
+    );
+    assert!(
+        writes < stats.write_backs,
+        "no write coalescing: {writes} transfers for {} write-backs",
+        stats.write_backs
+    );
+
+    // Unchanged bytes: the flushed file must hold exactly the table the
+    // pager reassembles, row for row.
+    store.unpage(emb).unwrap();
+    let final_emb = trainer.model().store().value(emb).as_slice().to_vec();
+    let mut reopened = FileRowStorage::open(&path).unwrap();
+    let mut from_disk = vec![0f32; rows * cols];
+    reopened.read_rows_into(0, rows, &mut from_disk).unwrap();
+    assert_bits_equal(&from_disk, &final_emb, "flushed file vs final table");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -51,6 +51,7 @@
 mod arena;
 pub mod gradcheck;
 mod graph;
+pub mod hogwild;
 pub mod init;
 pub mod loss;
 pub mod memory;
@@ -67,6 +68,7 @@ pub use graph::{Graph, RowScore, Var};
 pub mod kernels {
     pub use crate::graph::scatter_add_rows;
 }
+pub use hogwild::SharedTable;
 pub use paged::{PageStats, Pager, RowStorage, VecStorage};
 pub use store::{ParamId, ParamStore, RowSet, TableView};
 pub use tensor::Tensor;

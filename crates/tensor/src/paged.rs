@@ -73,6 +73,13 @@ pub trait RowStorage: Send + std::fmt::Debug {
     fn flush(&mut self) -> std::io::Result<()> {
         Ok(())
     }
+    /// Backend I/O calls issued so far, as `(read_calls, write_calls)` —
+    /// one coalesced multi-row transfer counts once, which is what makes
+    /// the pager's run-coalescing observable. Backends without call
+    /// tracking report `(0, 0)` (the default).
+    fn io_ops(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// In-RAM [`RowStorage`]: a plain row-major vector.
@@ -228,6 +235,12 @@ pub struct Pager {
     /// so steady-state paging is allocation-free.
     union_scratch: Vec<u32>,
     pub(crate) slot_scratch: Vec<u32>,
+    /// Slots assigned to the current coalesced miss run ([`Pager::ensure`]).
+    run_scratch: Vec<u32>,
+    /// Staging buffer for coalesced multi-row reads and write-backs (rows
+    /// are contiguous in the backing store but scattered across cache
+    /// slots). Reused so steady-state paging stays allocation-free.
+    io_scratch: Vec<f32>,
 }
 
 impl Pager {
@@ -255,6 +268,8 @@ impl Pager {
             trace: None,
             union_scratch: Vec::new(),
             slot_scratch: Vec::new(),
+            run_scratch: Vec::new(),
+            io_scratch: Vec::new(),
         }
     }
 
@@ -276,6 +291,15 @@ impl Pager {
     /// Counter snapshot.
     pub fn stats(&self) -> PageStats {
         self.stats
+    }
+
+    /// Backing-store I/O call counters `(read_calls, write_calls)`, for
+    /// backends that track them (file-backed storage does; [`VecStorage`]
+    /// reports zeros). One coalesced multi-row transfer counts once, so
+    /// `read_calls ≤ misses` and `write_calls ≤ write_backs` measure how
+    /// much run-coalescing saved.
+    pub fn storage_io_ops(&self) -> (u64, u64) {
+        self.storage.io_ops()
     }
 
     /// Enables or disables row-trace recording (for simcache replay).
@@ -353,10 +377,19 @@ impl Pager {
     /// LRU recency; misses load from storage into a free or LRU-evicted
     /// slot, writing dirty victims back first.
     ///
+    /// Misses on **adjacent** rows coalesce: a maximal run of consecutive
+    /// non-resident rows becomes one backing-store read (into a staging
+    /// buffer, scattered to the run's slots) instead of one call per row.
+    /// Slot assignment, LRU order, and the hit/miss/eviction counters are
+    /// identical to the row-at-a-time walk — coalescing batches I/O calls,
+    /// never decisions — so the simcache replay cross-check still holds.
+    ///
     /// # Errors
     ///
     /// Fails if `rows` exceeds the slot budget (the batch working set does
     /// not fit — raise `--cache-rows`) or on backing-store I/O errors.
+    /// Both are fatal to the training run; after an error, rows of the
+    /// failing run may be mapped with unspecified cache bytes.
     pub fn ensure(&mut self, rows: &[u32], cache: &mut [f32]) -> crate::Result<()> {
         debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
         let cols = self.storage.cols();
@@ -364,7 +397,9 @@ impl Pager {
         if let Some(t) = &mut self.trace {
             t.extend_from_slice(rows);
         }
-        for &r in rows {
+        let mut i = 0;
+        while i < rows.len() {
+            let r = rows[i];
             let ri = r as usize;
             let s = self.slot_of[ri];
             if s != NOT_RESIDENT {
@@ -372,36 +407,91 @@ impl Pager {
                 self.pin_epoch[s as usize] = self.epoch;
                 self.detach(s);
                 self.push_front(s);
+                i += 1;
                 continue;
             }
-            self.stats.misses += 1;
-            let s = if self.next_free < self.budget {
-                let s = self.next_free as u32;
-                self.next_free += 1;
-                s
-            } else {
-                let victim = self.tail;
-                if victim == NOT_RESIDENT || self.pin_epoch[victim as usize] == self.epoch {
-                    return Err(storage_error(format!(
-                        "cache budget of {} rows is smaller than the working set ({} rows requested); raise --cache-rows",
-                        self.budget,
-                        rows.len()
-                    )));
+            // Maximal run of consecutive non-resident rows starting at `i`.
+            let mut j = i + 1;
+            while j < rows.len()
+                && rows[j] == r + (j - i) as u32
+                && self.slot_of[rows[j] as usize] == NOT_RESIDENT
+            {
+                j += 1;
+            }
+            let run = j - i;
+            // Assign a slot per run row first (evicting victims as needed;
+            // rows pinned earlier in this epoch — including earlier run
+            // rows — are never victims), then issue one coalesced read.
+            let mut run_slots = std::mem::take(&mut self.run_scratch);
+            run_slots.clear();
+            let mut failed = None;
+            for k in 0..run {
+                let rk = r + k as u32;
+                self.stats.misses += 1;
+                let s = if self.next_free < self.budget {
+                    let s = self.next_free as u32;
+                    self.next_free += 1;
+                    s
+                } else {
+                    let victim = self.tail;
+                    if victim == NOT_RESIDENT || self.pin_epoch[victim as usize] == self.epoch {
+                        failed = Some(storage_error(format!(
+                            "cache budget of {} rows is smaller than the working set ({} rows requested); raise --cache-rows",
+                            self.budget,
+                            rows.len()
+                        )));
+                        break;
+                    }
+                    match self.evict_slot(victim, cache, cols) {
+                        Ok(()) => victim,
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                };
+                let si = s as usize;
+                self.slot_of[rk as usize] = s;
+                self.row_of[si] = rk;
+                self.pin_epoch[si] = self.epoch;
+                // A recycled slot was detached by `evict_slot`; a brand-new
+                // one was never linked. Either way it joins at the head.
+                self.push_front(s);
+                self.dirty_slot[si] = false;
+                run_slots.push(s);
+            }
+            let read_result = match (&failed, run_slots.as_slice()) {
+                (Some(_), _) | (None, []) => Ok(()),
+                (None, &[s]) => {
+                    let si = s as usize;
+                    self.storage
+                        .read_rows_into(ri, 1, &mut cache[si * cols..(si + 1) * cols])
+                        .map_err(io_error)
                 }
-                self.evict_slot(victim, cache, cols)?;
-                victim
+                (None, slots) => {
+                    let mut staging = std::mem::take(&mut self.io_scratch);
+                    staging.resize(slots.len() * cols, 0.0);
+                    let res = self
+                        .storage
+                        .read_rows_into(ri, slots.len(), &mut staging)
+                        .map_err(io_error);
+                    if res.is_ok() {
+                        for (k, &s) in slots.iter().enumerate() {
+                            let si = s as usize;
+                            cache[si * cols..(si + 1) * cols]
+                                .copy_from_slice(&staging[k * cols..(k + 1) * cols]);
+                        }
+                    }
+                    self.io_scratch = staging;
+                    res
+                }
             };
-            let si = s as usize;
-            self.storage
-                .read_rows_into(ri, 1, &mut cache[si * cols..(si + 1) * cols])
-                .map_err(io_error)?;
-            self.slot_of[ri] = s;
-            self.row_of[si] = r;
-            self.pin_epoch[si] = self.epoch;
-            // A recycled slot was detached by `evict_slot`; a brand-new one
-            // was never linked. Either way it joins at the head.
-            self.push_front(s);
-            self.dirty_slot[si] = false;
+            self.run_scratch = run_slots;
+            if let Some(e) = failed {
+                return Err(e);
+            }
+            read_result?;
+            i = j;
         }
         Ok(())
     }
@@ -427,24 +517,65 @@ impl Pager {
     /// Writes every dirty resident row back to storage and flushes it. The
     /// cache stays resident (this is the checkpoint hook, not an unload).
     ///
+    /// Dirty rows are written in **absolute row order** so runs of adjacent
+    /// dirty rows coalesce into single backing-store writes (gathered
+    /// through a staging buffer — adjacent rows are usually scattered
+    /// across cache slots). The bytes that land in storage, and the
+    /// `write_backs` counter (one per row), are identical to the
+    /// slot-at-a-time walk.
+    ///
     /// # Errors
     ///
     /// I/O errors from the backing store.
     pub fn flush(&mut self, cache: &[f32]) -> crate::Result<()> {
         let cols = self.storage.cols();
+        let mut rows = std::mem::take(&mut self.union_scratch);
+        rows.clear();
         for si in 0..self.budget {
             if self.dirty_slot[si] && self.row_of[si] != NOT_RESIDENT {
-                self.storage
-                    .write_rows(
-                        self.row_of[si] as usize,
-                        1,
-                        &cache[si * cols..(si + 1) * cols],
-                    )
-                    .map_err(io_error)?;
-                self.stats.write_backs += 1;
-                self.dirty_slot[si] = false;
+                rows.push(self.row_of[si]);
             }
         }
+        rows.sort_unstable();
+        let mut staging = std::mem::take(&mut self.io_scratch);
+        let mut result = Ok(());
+        let mut i = 0;
+        while i < rows.len() {
+            let r0 = rows[i];
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == r0 + (j - i) as u32 {
+                j += 1;
+            }
+            let run = j - i;
+            let res = if run == 1 {
+                let si = self.slot_of[r0 as usize] as usize;
+                self.dirty_slot[si] = false;
+                self.stats.write_backs += 1;
+                self.storage
+                    .write_rows(r0 as usize, 1, &cache[si * cols..(si + 1) * cols])
+                    .map_err(io_error)
+            } else {
+                staging.resize(run * cols, 0.0);
+                for k in 0..run {
+                    let si = self.slot_of[(r0 as usize) + k] as usize;
+                    staging[k * cols..(k + 1) * cols]
+                        .copy_from_slice(&cache[si * cols..(si + 1) * cols]);
+                    self.dirty_slot[si] = false;
+                    self.stats.write_backs += 1;
+                }
+                self.storage
+                    .write_rows(r0 as usize, run, &staging[..run * cols])
+                    .map_err(io_error)
+            };
+            if let Err(e) = res {
+                result = Err(e);
+                break;
+            }
+            i = j;
+        }
+        self.io_scratch = staging;
+        self.union_scratch = rows;
+        result?;
         self.storage.flush().map_err(io_error)?;
         Ok(())
     }
@@ -609,6 +740,121 @@ mod tests {
         assert_eq!(p.stats().evictions, 0);
         assert_eq!(p.stats().misses, 4);
         assert_eq!(p.stats().hits, 8);
+    }
+
+    /// Wraps [`VecStorage`] counting backend calls, to observe coalescing.
+    #[derive(Debug)]
+    struct CallCountingStorage {
+        inner: VecStorage,
+        reads: u64,
+        writes: u64,
+    }
+
+    impl CallCountingStorage {
+        fn new(rows: usize, cols: usize) -> Box<Self> {
+            let mut inner = VecStorage::new(rows, cols);
+            for r in 0..rows {
+                let row: Vec<f32> = (0..cols).map(|c| (r * cols + c) as f32).collect();
+                inner.write_rows(r, 1, &row).unwrap();
+            }
+            Box::new(Self {
+                inner,
+                reads: 0,
+                writes: 0,
+            })
+        }
+    }
+
+    impl RowStorage for CallCountingStorage {
+        fn rows(&self) -> usize {
+            self.inner.rows()
+        }
+        fn cols(&self) -> usize {
+            self.inner.cols()
+        }
+        fn read_rows_into(
+            &mut self,
+            first: usize,
+            count: usize,
+            out: &mut [f32],
+        ) -> std::io::Result<()> {
+            self.reads += 1;
+            self.inner.read_rows_into(first, count, out)
+        }
+        fn write_rows(&mut self, first: usize, count: usize, data: &[f32]) -> std::io::Result<()> {
+            self.writes += 1;
+            self.inner.write_rows(first, count, data)
+        }
+        fn io_ops(&self) -> (u64, u64) {
+            (self.reads, self.writes)
+        }
+    }
+
+    #[test]
+    fn contiguous_miss_run_coalesces_to_one_read_with_same_bytes() {
+        let mut p = Pager::new(CallCountingStorage::new(32, 3), 16);
+        let mut cache = vec![0.0f32; 16 * 3];
+        let rows: Vec<u32> = (4..20).collect();
+        p.ensure(&rows, &mut cache).unwrap();
+        assert_eq!(
+            p.storage_io_ops(),
+            (1, 0),
+            "a 16-row contiguous miss run must be one backend read"
+        );
+        assert_eq!(p.stats().misses, 16, "counters stay per-row");
+        for &r in &rows {
+            let s = p.slot(r as usize);
+            let want: Vec<f32> = (0..3).map(|c| (r as usize * 3 + c) as f32).collect();
+            assert_eq!(&cache[s * 3..(s + 1) * 3], &want[..], "row {r} bytes");
+        }
+    }
+
+    #[test]
+    fn gaps_and_resident_rows_break_runs() {
+        let mut p = Pager::new(CallCountingStorage::new(32, 2), 16);
+        let mut cache = vec![0.0f32; 16 * 2];
+        // Two runs separated by a gap: two reads.
+        p.ensure(&[0, 1, 2, 5, 6], &mut cache).unwrap();
+        assert_eq!(p.storage_io_ops(), (2, 0));
+        // Rows 0..3 and 5..7 are now resident: only 3..5 and 7..8 miss,
+        // and residency breaks what would otherwise be one 0..8 run.
+        p.ensure(&[0, 1, 2, 3, 4, 5, 6, 7], &mut cache).unwrap();
+        assert_eq!(p.storage_io_ops(), (4, 0));
+        assert_eq!(p.stats().hits, 5);
+        assert_eq!(p.stats().misses, 8);
+    }
+
+    #[test]
+    fn flush_coalesces_adjacent_dirty_rows_and_preserves_bytes() {
+        let mut p = Pager::new(CallCountingStorage::new(32, 2), 8);
+        let mut cache = vec![0.0f32; 8 * 2];
+        // Load rows in an order that scatters adjacent rows across slots.
+        p.ensure(&[10], &mut cache).unwrap();
+        p.ensure(&[12], &mut cache).unwrap();
+        p.ensure(&[11], &mut cache).unwrap();
+        p.ensure(&[20], &mut cache).unwrap();
+        for r in [10u32, 11, 12, 20] {
+            let s = p.slot(r as usize);
+            cache[s * 2..(s + 1) * 2].copy_from_slice(&[-(r as f32), r as f32]);
+            p.mark_slot_dirty(s);
+        }
+        let writes_before = p.storage_io_ops().1;
+        p.flush(&cache).unwrap();
+        assert_eq!(
+            p.storage_io_ops().1 - writes_before,
+            2,
+            "rows 10..13 must coalesce into one write; row 20 is its own"
+        );
+        assert_eq!(p.stats().write_backs, 4, "counters stay per-row");
+        let mut out = [0.0f32; 2];
+        for r in [10usize, 11, 12, 20] {
+            p.storage.read_rows_into(r, 1, &mut out).unwrap();
+            assert_eq!(out, [-(r as f32), r as f32], "row {r} written back");
+        }
+        // A second flush has nothing dirty: no further writes.
+        let writes_before = p.storage_io_ops().1;
+        p.flush(&cache).unwrap();
+        assert_eq!(p.storage_io_ops().1, writes_before);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! pinned cache with LRU eviction and dirty-row write-back (see
 //! [`crate::paged`]).
 
+use crate::hogwild::SharedTable;
 use crate::paged::{io_error, storage_error, Pager, RowStorage};
 use crate::{Error, Result, Tensor};
 
@@ -606,6 +607,82 @@ impl ParamStore {
     /// Total number of learnable scalars.
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Converts every parameter's **value** tensor to Hogwild-shared
+    /// storage, returning one [`SharedTable`] handle per parameter (in
+    /// registration order) for replica stores to alias via
+    /// [`ParamStore::alias_values`].
+    ///
+    /// Only values are shared: gradients, touched sets, and dirty sets stay
+    /// private to each store, so concurrent workers accumulate gradients
+    /// independently and only their optimizer *steps* race on the shared
+    /// bytes (see [`crate::hogwild`] for the safety argument).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any parameter is paged out — the paged value tensor is a
+    /// slot cache, not the table, and Hogwild sharing of a demand-paged
+    /// cache is not supported.
+    pub fn share_values(&mut self) -> Result<Vec<SharedTable>> {
+        if self.has_paged() {
+            return Err(storage_error(
+                "Hogwild value sharing is incompatible with paged parameters \
+                 (the value tensor holds a slot cache, not the table)"
+                    .into(),
+            ));
+        }
+        Ok(self.values.iter_mut().map(Tensor::share).collect())
+    }
+
+    /// Replaces this store's value tensors with aliases of `tables` (as
+    /// produced by another store's [`ParamStore::share_values`]), making
+    /// this store a Hogwild replica: its forwards read — and its optimizer
+    /// steps write — the canonical store's bytes, while its gradients and
+    /// row sets remain private.
+    ///
+    /// Every parameter is conservatively marked all-dirty (its value now
+    /// changes under other workers' feet); the async driver merges and
+    /// settles dirty sets at epoch edges.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any parameter is paged, or if `tables` does not match this
+    /// store parameter-for-parameter in count and shape.
+    pub fn alias_values(&mut self, tables: &[SharedTable]) -> Result<()> {
+        if self.has_paged() {
+            return Err(storage_error(
+                "Hogwild value sharing is incompatible with paged parameters".into(),
+            ));
+        }
+        if tables.len() != self.values.len() {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "alias_values: {} shared tables for {} parameters",
+                    tables.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        for (i, table) in tables.iter().enumerate() {
+            let have = self.values[i].shape();
+            let want = (table.rows(), table.cols());
+            if have != want {
+                return Err(Error::ShapeMismatch {
+                    context: format!(
+                        "alias_values: parameter '{}' is {}x{} but the shared table is {}x{}",
+                        self.names[i], have.0, have.1, want.0, want.1
+                    ),
+                });
+            }
+        }
+        for (value, table) in self.values.iter_mut().zip(tables) {
+            *value = Tensor::from_shared(table);
+        }
+        for dirty in &mut self.dirty {
+            dirty.mark_all();
+        }
+        Ok(())
     }
 
     fn assert_resident(&self, id: ParamId) {

@@ -1,13 +1,31 @@
 //! The dense tensor type.
 
+use std::sync::Arc;
+
+use crate::hogwild::{SharedBuf, SharedTable};
 use crate::memory;
 use crate::Arena;
+
+/// The backing storage of a [`Tensor`]: exclusively owned bytes (the
+/// default), or a Hogwild-shared buffer aliased by replica tensors across
+/// threads (see [`crate::hogwild`]).
+#[derive(Debug)]
+enum Data {
+    Owned(Vec<f32>),
+    Shared(Arc<SharedBuf>),
+}
 
 /// An owned, row-major `rows × cols` matrix of `f32` with tracked allocation.
 ///
 /// `Tensor` is deliberately 2-D: every object in translation-based KGE
 /// training is a matrix (embedding tables, batches of expression rows,
 /// per-triple score columns). Column vectors are `m × 1` tensors.
+///
+/// Most tensors exclusively own their buffer. A tensor can instead alias a
+/// [`SharedTable`] (the Hogwild asynchronous-training arm;
+/// [`crate::ParamStore::share_values`]): its accessors then read and write
+/// the shared bytes in place, [`Tensor::clone`] snapshots to a private
+/// owned copy, and the arena-reclamation path rejects it.
 ///
 /// # Examples
 ///
@@ -18,11 +36,11 @@ use crate::Arena;
 /// let b = a.map(|x| x * 2.0);
 /// assert_eq!(b.row(1), &[6.0, 8.0]);
 /// ```
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Data,
 }
 
 impl Tensor {
@@ -32,7 +50,7 @@ impl Tensor {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Data::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -42,7 +60,7 @@ impl Tensor {
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: Data::Owned(vec![value; rows * cols]),
         }
     }
 
@@ -56,7 +74,11 @@ impl Tensor {
         match arena.take(rows * cols) {
             Some(mut data) => {
                 data.fill(0.0);
-                Self { rows, cols, data }
+                Self {
+                    rows,
+                    cols,
+                    data: Data::Owned(data),
+                }
             }
             None => Self::zeros(rows, cols),
         }
@@ -73,7 +95,11 @@ impl Tensor {
     /// gathers, elementwise maps, row reductions).
     pub fn uninit_in(arena: &mut Arena, rows: usize, cols: usize) -> Self {
         match arena.take(rows * cols) {
-            Some(data) => Self { rows, cols, data },
+            Some(data) => Self {
+                rows,
+                cols,
+                data: Data::Owned(data),
+            },
             None => Self::zeros(rows, cols),
         }
     }
@@ -86,7 +112,11 @@ impl Tensor {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");
         memory::register((data.len() * 4) as u64);
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Data::Owned(data),
+        }
     }
 
     /// Creates a tensor from fixed-size row arrays.
@@ -96,6 +126,29 @@ impl Tensor {
             data.extend_from_slice(r);
         }
         Self::from_vec(rows.len(), N, data)
+    }
+
+    /// The backing buffer, whichever storage holds it.
+    #[inline]
+    fn buf(&self) -> &[f32] {
+        match &self.data {
+            Data::Owned(v) => v,
+            // SAFETY: the Hogwild contract (crate::hogwild): racing writers
+            // may exist, but each element reads as a valid old-or-new f32.
+            Data::Shared(b) => unsafe { b.slice() },
+        }
+    }
+
+    /// The backing buffer, mutably.
+    #[inline]
+    fn buf_mut(&mut self) -> &mut [f32] {
+        match &mut self.data {
+            Data::Owned(v) => v,
+            // SAFETY: the Hogwild contract (crate::hogwild): this view may
+            // alias other replicas' views; writes are plain aligned f32
+            // stores to rows this replica's batch touched.
+            Data::Shared(b) => unsafe { b.slice_mut() },
+        }
     }
 
     /// Number of rows.
@@ -113,13 +166,13 @@ impl Tensor {
     /// Total element count.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Whether the tensor has zero elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The `(rows, cols)` pair.
@@ -128,16 +181,23 @@ impl Tensor {
         (self.rows, self.cols)
     }
 
+    /// Whether this tensor aliases a Hogwild [`SharedTable`] rather than
+    /// exclusively owning its buffer.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Data::Shared(_))
+    }
+
     /// Underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.buf()
     }
 
     /// Mutable underlying buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.buf_mut()
     }
 
     /// Borrows row `i`.
@@ -147,7 +207,8 @@ impl Tensor {
     /// Panics if `i >= rows`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
-        &self.data[i * self.cols..(i + 1) * self.cols]
+        let cols = self.cols;
+        &self.buf()[i * cols..(i + 1) * cols]
     }
 
     /// Mutably borrows row `i`.
@@ -157,7 +218,8 @@ impl Tensor {
     /// Panics if `i >= rows`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.buf_mut()[i * cols..(i + 1) * cols]
     }
 
     /// Element accessor.
@@ -168,7 +230,7 @@ impl Tensor {
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
         assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
-        self.data[i * self.cols + j]
+        self.buf()[i * self.cols + j]
     }
 
     /// Sets one element.
@@ -179,12 +241,13 @@ impl Tensor {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
         assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
-        self.data[i * self.cols + j] = v;
+        let idx = i * self.cols + j;
+        self.buf_mut()[idx] = v;
     }
 
     /// A borrowed [`sparse::DenseView`] of this tensor.
     pub fn view(&self) -> sparse::DenseView<'_> {
-        sparse::DenseView::new(self.rows, self.cols, &self.data)
+        sparse::DenseView::new(self.rows, self.cols, self.buf())
     }
 
     /// Applies `f` elementwise, returning a new tensor.
@@ -196,7 +259,7 @@ impl Tensor {
     /// autograd tape routes all its elementwise work through its own handle).
     pub fn map_with(&self, pool: &xparallel::PoolHandle, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = Tensor::zeros(self.rows, self.cols);
-        let src = &self.data;
+        let src = self.buf();
         pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(src[offset + k]);
@@ -228,7 +291,7 @@ impl Tensor {
         out: &mut Tensor,
     ) {
         assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
-        let src = &self.data;
+        let src = self.buf();
         pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(src[offset + k]);
@@ -249,7 +312,7 @@ impl Tensor {
     ) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         let mut out = Tensor::zeros(self.rows, self.cols);
-        let (a, b) = (&self.data, &other.data);
+        let (a, b) = (self.buf(), other.buf());
         pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(a[offset + k], b[offset + k]);
@@ -273,7 +336,7 @@ impl Tensor {
     ) {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         assert_eq!(self.shape(), out.shape(), "zip_map output shape mismatch");
-        let (a, b) = (&self.data, &other.data);
+        let (a, b) = (self.buf(), other.buf());
         pool.for_mut(out.as_mut_slice(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d = f(a[offset + k], b[offset + k]);
@@ -297,8 +360,8 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_scaled_with(&mut self, pool: &xparallel::PoolHandle, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        let b = &other.data;
-        pool.for_mut(&mut self.data, 4096, |offset, chunk| {
+        let b = other.buf();
+        pool.for_mut(self.buf_mut(), 4096, |offset, chunk| {
             for (k, d) in chunk.iter_mut().enumerate() {
                 *d += alpha * b[offset + k];
             }
@@ -307,37 +370,39 @@ impl Tensor {
 
     /// In-place fill with zeros.
     pub fn zero_(&mut self) {
-        self.data.fill(0.0);
+        self.buf_mut().fill(0.0);
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
+        let data = self.buf();
         xparallel::parallel_map_reduce(
-            self.data.len(),
+            data.len(),
             8192,
             0f64,
-            |r| self.data[r].iter().map(|&x| x as f64).sum::<f64>(),
+            |r| data[r].iter().map(|&x| x as f64).sum::<f64>(),
             |a, b| a + b,
         ) as f32
     }
 
     /// Mean of all elements (`0.0` for empty tensors).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// The Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
+        let data = self.buf();
         (xparallel::parallel_map_reduce(
-            self.data.len(),
+            data.len(),
             8192,
             0f64,
             |r| {
-                self.data[r]
+                data[r]
                     .iter()
                     .map(|&x| (x as f64) * (x as f64))
                     .sum::<f64>()
@@ -351,7 +416,7 @@ impl Tensor {
     /// `eps` are left untouched).
     pub fn normalize_rows_(&mut self, eps: f32) {
         let cols = self.cols;
-        xparallel::parallel_for_rows(&mut self.data, cols.max(1), 64, |_, chunk| {
+        xparallel::parallel_for_rows(self.buf_mut(), cols.max(1), 64, |_, chunk| {
             for row in chunk.chunks_exact_mut(cols.max(1)) {
                 let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
                 if norm > eps {
@@ -364,38 +429,98 @@ impl Tensor {
         });
     }
 
-    /// Consumes the tensor, returning the buffer (deregisters memory).
+    /// Consumes the tensor, returning the buffer.
+    ///
+    /// An owned buffer is moved out (deregistering its bytes); a
+    /// Hogwild-shared tensor returns a **snapshot copy**, leaving the
+    /// shared buffer (and its registration) with the surviving handles.
     pub fn into_vec(mut self) -> Vec<f32> {
-        let data = std::mem::take(&mut self.data);
-        // The Drop impl will see an empty buffer, so deregister here.
-        memory::deregister((data.len() * 4) as u64);
-        data
+        match std::mem::replace(&mut self.data, Data::Owned(Vec::new())) {
+            Data::Owned(data) => {
+                // The Drop impl will see an empty buffer, so deregister here.
+                memory::deregister((data.len() * 4) as u64);
+                data
+            }
+            // SAFETY: snapshot read under the Hogwild contract; callers of
+            // into_vec on a shared tensor (dumps, evaluation) run after the
+            // async workers have quiesced.
+            Data::Shared(b) => unsafe { b.slice() }.to_vec(),
+        }
     }
 
     /// Consumes the tensor, returning the buffer **without** deregistering:
     /// the bytes stay counted as live. This is the [`Arena`] reclamation
     /// path — registration ownership moves to the pool (and back out again
     /// on the next [`Tensor::zeros_in`] / [`Tensor::uninit_in`] hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics for Hogwild-shared tensors: their buffer belongs to every
+    /// aliasing replica and can never be recycled into a graph arena.
+    /// (Unreachable in practice — graphs only ever reclaim their own
+    /// owned node tensors.)
     pub(crate) fn into_raw_registered(mut self) -> Vec<f32> {
-        // The Drop impl sees an empty buffer and deregisters nothing.
-        std::mem::take(&mut self.data)
+        match std::mem::replace(&mut self.data, Data::Owned(Vec::new())) {
+            Data::Owned(data) => {
+                // The Drop impl sees an empty buffer and deregisters nothing.
+                data
+            }
+            Data::Shared(_) => panic!("shared tensors cannot be reclaimed into an arena"),
+        }
+    }
+
+    /// Converts this tensor's storage to Hogwild-shared (a no-op returning
+    /// a fresh handle if it already is), moving memory-accounting ownership
+    /// of the bytes into the shared buffer. The tensor keeps aliasing the
+    /// same bytes; the returned handle lets other tensors alias them too.
+    pub(crate) fn share(&mut self) -> SharedTable {
+        let arc = match std::mem::replace(&mut self.data, Data::Owned(Vec::new())) {
+            Data::Owned(data) => Arc::new(SharedBuf::new(data)),
+            Data::Shared(b) => b,
+        };
+        self.data = Data::Shared(Arc::clone(&arc));
+        SharedTable::new(arc, self.rows, self.cols)
+    }
+
+    /// Creates a tensor aliasing `table`'s shared buffer (no bytes copied,
+    /// no new memory registered — the shared buffer already owns the
+    /// registration).
+    pub(crate) fn from_shared(table: &SharedTable) -> Tensor {
+        Tensor {
+            rows: table.rows(),
+            cols: table.cols(),
+            data: Data::Shared(table.buf_arc()),
+        }
     }
 }
 
 impl Clone for Tensor {
+    /// Deep copy. Cloning a Hogwild-shared tensor snapshots the shared
+    /// bytes into a private owned buffer (a clone is a new tensor, never a
+    /// new alias — aliasing is explicit via [`crate::ParamStore::alias_values`]).
     fn clone(&self) -> Self {
-        memory::register((self.data.len() * 4) as u64);
+        let data = self.buf().to_vec();
+        memory::register((data.len() * 4) as u64);
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.clone(),
+            data: Data::Owned(data),
         }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.buf() == other.buf()
     }
 }
 
 impl Drop for Tensor {
     fn drop(&mut self) {
-        memory::deregister((self.data.len() * 4) as u64);
+        if let Data::Owned(v) = &self.data {
+            memory::deregister((v.len() * 4) as u64);
+        }
+        // Shared buffers deregister once, when the last handle drops.
     }
 }
 
@@ -460,5 +585,33 @@ mod tests {
         let a = Tensor::zeros(1, 2);
         let b = Tensor::zeros(2, 1);
         let _ = a.zip_map(&b, |x, _| x);
+    }
+
+    #[test]
+    fn shared_tensors_alias_and_clone_snapshots() {
+        let mut a = Tensor::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert!(!a.is_shared());
+        let table = a.share();
+        assert!(a.is_shared());
+        let mut b = Tensor::from_shared(&table);
+        b.set(0, 0, 9.0);
+        assert_eq!(a.get(0, 0), 9.0, "aliases see each other's writes");
+        assert_eq!(a, b);
+        let mut snap = a.clone();
+        assert!(!snap.is_shared());
+        snap.set(0, 0, -1.0);
+        assert_eq!(a.get(0, 0), 9.0, "clones are private copies");
+        assert_eq!(a.into_vec(), vec![9.0, 2.0, 3.0, 4.0]);
+        // `b` still holds the shared buffer; dropping it releases the
+        // registration (checked globally by the memory accounting tests).
+    }
+
+    #[test]
+    fn sharing_twice_returns_same_buffer() {
+        let mut a = Tensor::zeros(2, 2);
+        let t1 = a.share();
+        let t2 = a.share();
+        unsafe { t1.row_mut(0)[0] = 5.0 };
+        assert_eq!(unsafe { t2.row(0) }[0], 5.0);
     }
 }

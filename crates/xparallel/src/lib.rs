@@ -199,6 +199,48 @@ where
     PoolHandle::global().for_rows(data, stride, min_rows, body);
 }
 
+/// Runs one **long-lived worker per slot** on dedicated scoped OS threads:
+/// `body(i, &mut slots[i])` for every `i`, all concurrently, joining before
+/// return.
+///
+/// This is deliberately *not* pool fan-out. The pool's primitives
+/// ([`parallel_for`], [`PoolHandle::for_each_mut`]) dispatch short tasks
+/// and rejoin at a barrier per call — the synchronous training step's
+/// shape. Hogwild-style asynchronous training instead needs W workers that
+/// each run an entire epoch's batch stream with **no barrier between
+/// steps**; those workers would starve (or deadlock with
+/// `SPTX_NUM_THREADS=1`) if they occupied pool workers for a whole epoch
+/// while also dispatching their own kernels onto the same pool. Dedicated
+/// scoped threads sidestep both problems and leave the pool free for
+/// whatever parallelism each worker's kernels want.
+///
+/// A single slot runs inline on the caller thread — no thread is spawned,
+/// so a one-worker "async" run executes the exact instruction stream a
+/// plain sequential driver would (the degenerate-determinism contract).
+///
+/// # Panics
+///
+/// Propagates a panic raised by any worker after all workers have been
+/// joined.
+pub fn scope_workers<T, F>(slots: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if slots.len() <= 1 {
+        if let Some(slot) = slots.first_mut() {
+            body(0, slot);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let body = &body;
+            s.spawn(move || body(i, slot));
+        }
+    });
+}
+
 /// Maps chunks of `0..len` to partial values and folds them in chunk order.
 ///
 /// `map(range)` produces one partial per chunk; `reduce` combines partials
@@ -439,6 +481,46 @@ mod tests {
             parallel_for(1000, 1, |r| {
                 if r.contains(&500) {
                     panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_workers_runs_every_slot_concurrently() {
+        let mut slots: Vec<(usize, std::thread::ThreadId)> =
+            vec![(0, std::thread::current().id()); 4];
+        scope_workers(&mut slots, |i, slot| {
+            slot.0 = i + 1;
+            slot.1 = std::thread::current().id();
+        });
+        for (i, (v, tid)) in slots.iter().enumerate() {
+            assert_eq!(*v, i + 1);
+            assert_ne!(
+                *tid,
+                std::thread::current().id(),
+                "multi-slot workers run on dedicated threads"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_workers_single_slot_runs_inline() {
+        let mut slots = [std::thread::current().id()];
+        scope_workers(&mut slots, |_, slot| *slot = std::thread::current().id());
+        assert_eq!(slots[0], std::thread::current().id());
+        // Zero slots is a no-op.
+        scope_workers::<u8, _>(&mut [], |_, _| unreachable!());
+    }
+
+    #[test]
+    fn scope_workers_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut slots = [0u32; 3];
+            scope_workers(&mut slots, |i, _| {
+                if i == 2 {
+                    panic!("worker down");
                 }
             });
         });

@@ -5,7 +5,9 @@
 //! * `generate` — write a synthetic KG to TSV files
 //!   (`--entities`, `--relations`, `--triples`, `--out <dir>`).
 //! * `train` — train a model on a TSV file and save embeddings
-//!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`).
+//!   (`--model`, `--train <file>`, `--epochs`, `--dim`, `--lr`, `--out`);
+//!   `--async true --workers N` switches to the lock-free Hogwild arm
+//!   (nondeterministic, SGD + sparse gradients + resident store only).
 //! * `stats` — print dataset statistics (degrees, relation classes).
 //! * `serve` — load saved embeddings, build (or load) an IVF candidate
 //!   index, replay a Zipf-skewed query workload through the ANN and exact
@@ -15,7 +17,8 @@
 //! Every subcommand accepts `--threads N` to pin the worker-pool size. The
 //! training and evaluation engines are bit-identical at any thread count
 //! (the determinism contract CI enforces), so the knob only trades
-//! wall-clock time.
+//! wall-clock time. The one documented exception is `train --async true`
+//! with 2+ workers, which is nondeterministic by design.
 //!
 //! Parsing is deliberately dependency-free (`--key value` pairs); this
 //! module holds the testable core, `src/bin/sptx.rs` is a thin shell.
@@ -188,13 +191,52 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     let out = PathBuf::from(args.str_or("out", "embeddings.bin"));
     let paged = paged_store_from_args(args, &model_name, &config, &out)?;
 
+    // `--async true` selects the Hogwild arm; `--workers` is meaningless
+    // (and therefore rejected) on the synchronous default.
+    let use_async: bool = args.parse_or("async", false)?;
+    if args.options.contains_key("workers") && !use_async {
+        return Err(CliError::Usage(
+            "--workers only applies to the asynchronous arm; add --async true".into(),
+        ));
+    }
+    let workers: usize = args.parse_or("workers", 4)?;
+    if use_async {
+        if workers == 0 {
+            return Err(CliError::Usage("--workers must be at least 1".into()));
+        }
+        if paged.is_some() {
+            return Err(CliError::Usage(
+                "--async true is incompatible with --store disk (workers share one resident \
+                 parameter buffer; a row cache cannot be shared lock-free)"
+                    .into(),
+            ));
+        }
+        if config.optimizer != OptimizerKind::Sgd {
+            return Err(CliError::Usage(
+                "--async true requires --optimizer sgd (stateless updates are what make \
+                 lock-free row collisions benign)"
+                    .into(),
+            ));
+        }
+        if config.dense_grads {
+            return Err(CliError::Usage(
+                "--async true needs the sparse touched-row gradient path; drop --dense-grads true"
+                    .into(),
+            ));
+        }
+    }
+
     let (ds, _vocab) = load_dataset(Path::new(&train_path), args)?;
-    let result = train_dispatch(
-        &model_name,
-        &ds,
-        &config,
-        paged.as_ref().map(|(p, b)| (p.as_path(), *b)),
-    );
+    let result = if use_async {
+        train_dispatch_async(&model_name, &ds, &config, workers)
+    } else {
+        train_dispatch(
+            &model_name,
+            &ds,
+            &config,
+            paged.as_ref().map(|(p, b)| (p.as_path(), *b)),
+        )
+    };
     // The pagefile is scratch space for the run; keep the filesystem clean
     // whether training succeeded or not.
     if let Some((pagefile, _)) = &paged {
@@ -788,6 +830,67 @@ fn train_dispatch(
     }
 }
 
+/// The `--async true` dispatch: trains through the Hogwild driver and
+/// evaluates/dumps from the returned rank-0 replica (all replicas alias the
+/// same shared values, so after the final epoch-edge join it *is* the
+/// model). The summary names the arm and its worker count so report
+/// consumers can tell a nondeterministic run from a contract run.
+fn train_dispatch_async(
+    model: &str,
+    ds: &Dataset,
+    config: &TrainConfig,
+    workers: usize,
+) -> Result<(String, EmbeddingDump), CliError> {
+    macro_rules! run_async {
+        ($ctor:expr) => {{
+            tensor::profile::reset();
+            let (report, m) =
+                sptransx::distributed::train_hogwild_returning(ds, config, workers, $ctor)?;
+            let kernel_table = kernel_counter_table();
+            let eval = kg::eval::evaluate_batched(
+                &m,
+                &ds.test,
+                &ds.all_known(),
+                &EvalConfig {
+                    max_triples: Some(500),
+                    sample: kg::eval::SampleStrategy::Strided,
+                    ..Default::default()
+                },
+            );
+            let emb = m.store().lookup("embeddings").map(|id| {
+                let t = m.store().value(id);
+                (t.rows(), t.cols(), t.as_slice().to_vec())
+            });
+            let summary = format!(
+                "{}: {} epochs, loss {:.4} -> {:.4}, wall {:.2}s, Hits@10 {:.3}, MRR {:.3}\n\
+                 arm: async hogwild ({} workers, nondeterministic), sparse touched-row \
+                 gradients/renorm, {} kernels\n{}",
+                KgeModel::name(&m),
+                report.epoch_losses.len(),
+                report.epoch_losses.first().copied().unwrap_or(0.0),
+                report.epoch_losses.last().copied().unwrap_or(0.0),
+                report.wall.as_secs_f64(),
+                eval.hits(10).unwrap_or(0.0),
+                eval.mrr,
+                report.workers,
+                if config.fused { "fused" } else { "unfused" },
+                kernel_table,
+            );
+            Ok((summary, emb))
+        }};
+    }
+    match model {
+        "transe" => run_async!(SpTransE::from_config),
+        "toruse" => run_async!(SpTorusE::from_config),
+        "transr" => run_async!(SpTransR::from_config),
+        "transh" => run_async!(SpTransH::from_config),
+        "distmult" => run_async!(SpDistMult::from_config),
+        other => Err(CliError::Usage(format!(
+            "unknown --model {other:?} (transe|toruse|transr|transh|distmult)"
+        ))),
+    }
+}
+
 /// Renders the Table-5-style per-kernel counter report for the training run:
 /// one row per autograd kernel (`op::*` scope) with call counts and the
 /// analytic bytes-moved / flop totals from `sparse::metrics`.
@@ -861,7 +964,7 @@ USAGE:
                 [--optimizer sgd|adagrad|adam] [--lr-decay STEP:GAMMA]
                 [--sampler uniform|bernoulli] [--dense-grads true|false]
                 [--fused true|false] [--store ram|disk] [--cache-rows N]
-                [--out embeddings.bin]
+                [--async true] [--workers N] [--out embeddings.bin]
   sptx stats    --train FILE.tsv
   sptx serve    --emb FILE.bin --train FILE.tsv [--norm l1|l2] [--k K]
                 [--clusters C] [--nprobe P] [--kmeans-iters I]
@@ -880,6 +983,15 @@ margin-loss+backward-seed kernels (also bit-identical; the unfused tape
 materializes the chunk-by-dim intermediates). The train report names which
 arm ran and prints a per-kernel calls/bytes/flops counter table. --lr-decay
 multiplies the learning rate by GAMMA every STEP epochs.
+
+--async true trains with the lock-free Hogwild arm: --workers N threads
+(default 4) share one set of parameter tensors and apply touched-row SGD
+updates with no barriers and no locks. Throughput scales with cores, but the
+run is nondeterministic at 2+ workers (update interleaving and occasional
+lost increments on row collisions) — validate results statistically, and use
+the synchronous default wherever the bit-determinism contract matters. At
+--workers 1 the arm degenerates to the synchronous trainer bit-for-bit.
+Requires SGD, sparse gradients and --store ram.
 
 --store disk trains out of core: the embedding table lives in {out}.pagefile
 and only each batch's touched rows are paged into a --cache-rows row RAM
@@ -1168,6 +1280,72 @@ mod tests {
                 "expected a usage error for {extra:?}"
             );
         }
+    }
+
+    #[test]
+    fn train_async_end_to_end_and_flag_validation() {
+        // Flag validation fires before any dataset loads.
+        for extra in [
+            &["--workers", "2"][..], // --workers without --async
+            &["--async", "true", "--workers", "0"],
+            &["--async", "true", "--store", "disk"],
+            &["--async", "true", "--optimizer", "adam"],
+            &["--async", "true", "--dense-grads", "true"],
+        ] {
+            let mut argv = strs(&["train", "--train", "missing.tsv"]);
+            argv.extend(strs(extra));
+            let args = parse_args(&argv).unwrap();
+            assert!(
+                matches!(run(&args), Err(CliError::Usage(_))),
+                "expected a usage error for {extra:?}"
+            );
+        }
+
+        let dir = std::env::temp_dir().join("sptx-cli-test-async");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&parse_args(&strs(&[
+            "generate",
+            "--entities",
+            "80",
+            "--relations",
+            "4",
+            "--triples",
+            "500",
+            "--out",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let train_file = dir.join("train.tsv").to_string_lossy().to_string();
+        let emb_out = dir.join("emb.bin").to_string_lossy().to_string();
+        let train = parse_args(&strs(&[
+            "train",
+            "--train",
+            &train_file,
+            "--epochs",
+            "3",
+            "--dim",
+            "8",
+            "--batch-size",
+            "64",
+            "--async",
+            "true",
+            "--workers",
+            "2",
+            "--out",
+            &emb_out,
+        ]))
+        .unwrap();
+        let msg = run(&train).unwrap();
+        assert!(msg.contains("SpTransE"), "{msg}");
+        assert!(
+            msg.contains("arm: async hogwild (2 workers, nondeterministic)"),
+            "{msg}"
+        );
+        assert!(msg.contains("MRR"), "{msg}");
+        assert!(msg.contains("per-kernel counters"), "{msg}");
+        assert!(dir.join("emb.bin").exists());
     }
 
     #[test]
