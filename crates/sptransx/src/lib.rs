@@ -63,7 +63,7 @@ pub use models::sptorus::SpTorusE;
 pub use models::sptranse::SpTransE;
 pub use models::sptransh::SpTransH;
 pub use models::sptransr::SpTransR;
-pub use paging::{FileRowStorage, ReadOnlyRowStorage};
+pub use paging::{FileRowStorage, Prefetcher, ReadOnlyRowStorage};
 pub use scorer::{ComplExScorer, RotatEScorer};
 pub use train::{Breakdown, TrainReport, Trainer};
 
